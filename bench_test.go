@@ -1,0 +1,220 @@
+// Benchmark harness: one benchmark per table and figure in the paper's
+// evaluation (§5). Each benchmark performs a full regeneration of its
+// experiment per iteration and reports the headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the evaluation
+// end to end. The cmd/ tools print the full tables; see EXPERIMENTS.md
+// for paper-vs-measured values.
+package cheriabi_test
+
+import (
+	"testing"
+
+	"cheriabi"
+	"cheriabi/internal/bodiag"
+	"cheriabi/internal/compat"
+	"cheriabi/internal/testsuite"
+	"cheriabi/internal/trace"
+	"cheriabi/internal/workload"
+)
+
+// BenchmarkFigure4 regenerates one Figure 4 bar per sub-benchmark: the
+// CheriABI overhead over the mips64 baseline in instructions, cycles, and
+// L2 misses.
+func BenchmarkFigure4(b *testing.B) {
+	for _, w := range workload.Figure4 {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var row workload.Overhead
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = workload.Figure4Row(w, []int64{1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.InstPct, "inst-%")
+			b.ReportMetric(row.CyclePct, "cycles-%")
+			b.ReportMetric(row.L2Pct, "l2miss-%")
+		})
+	}
+}
+
+// BenchmarkSyscallMicro regenerates the §5.2 system-call timings: fork
+// slower under CheriABI, select faster.
+func BenchmarkSyscallMicro(b *testing.B) {
+	for _, name := range []string{"getpid", "read", "write", "select", "fork"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			var rows []workload.SyscallResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				rows, err = workload.SyscallMicro([]string{name}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rows[0].LegacyCycles, "mips64-cyc")
+			b.ReportMetric(rows[0].CheriCycles, "cheri-cyc")
+			b.ReportMetric(rows[0].DeltaPct, "delta-%")
+		})
+	}
+}
+
+// BenchmarkInitdbMacro regenerates the §5.2 macro-benchmark: CheriABI and
+// ASan cycle ratios over the baseline (paper: 1.068x and 3.29x).
+func BenchmarkInitdbMacro(b *testing.B) {
+	var r workload.InitdbResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = workload.Initdb(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.CheriRatio, "cheri-x")
+	b.ReportMetric(r.ASanRatio, "asan-x")
+}
+
+// BenchmarkCLCAblation regenerates the §5.2 ISA-extension ablation: code
+// size and overhead with and without the large-immediate capability load.
+func BenchmarkCLCAblation(b *testing.B) {
+	var r workload.CLCResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = workload.CLCAblation("initdb-dynamic", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.CodeReductionPct, "codesize-%")
+	b.ReportMetric(r.OverheadSmallPct, "smallimm-%")
+	b.ReportMetric(r.OverheadBigPct, "bigimm-%")
+}
+
+// BenchmarkTable1TestSuites regenerates Table 1: the three test suites
+// under both ABIs.
+func BenchmarkTable1TestSuites(b *testing.B) {
+	var rows []testsuite.Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = testsuite.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Suite == "FreeBSD" && r.ABI == "CheriABI" {
+			b.ReportMetric(float64(r.Pass), "cheri-pass")
+			b.ReportMetric(float64(r.Fail), "cheri-fail")
+		}
+	}
+}
+
+// BenchmarkTable2Compat regenerates Table 2: the lint counts over the
+// ported-code corpus.
+func BenchmarkTable2Compat(b *testing.B) {
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, row := range compat.PaperTable2 {
+			counts, err := compat.Analyze(row)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range counts {
+				total += n
+			}
+		}
+	}
+	b.ReportMetric(float64(total), "findings")
+}
+
+// BenchmarkTable3BOdiag regenerates a representative slice of Table 3 per
+// iteration (the full 291x4x3 run lives in cmd/cheri-bodiag).
+func BenchmarkTable3BOdiag(b *testing.B) {
+	all := bodiag.Generate()
+	var subset []bodiag.Case
+	for i, c := range all {
+		if i%12 == 0 {
+			subset = append(subset, c)
+		}
+	}
+	var res *bodiag.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r := bodiag.NewRunner()
+		res, err = r.Run(subset)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Detected["cheriabi"][0]), "cheri-min")
+	b.ReportMetric(float64(res.Detected["mips64"][0]), "mips64-min")
+	b.ReportMetric(float64(res.Detected["asan"][0]), "asan-min")
+}
+
+// BenchmarkFigure5Trace regenerates the §5.5 abstract-capability
+// reconstruction of the secure-server run.
+func BenchmarkFigure5Trace(b *testing.B) {
+	var col *trace.Collector
+	var err error
+	for i := 0; i < b.N; i++ {
+		col, err = workload.TraceSecureServer(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(col.Count()), "cap-events")
+	b.ReportMetric(col.FractionBelow(trace.SourceAll, 1<<10)*100, "le1KiB-%")
+}
+
+// BenchmarkSubObjectAblation measures the paper's §6 future-work
+// extension (sub-object bounds): the overhead it adds to the most
+// struct-dense workload, and the Table 3 intra-object residue it closes
+// (the 12 min-misses become detections).
+func BenchmarkSubObjectAblation(b *testing.B) {
+	w, _ := workload.ByName("spec2006-xalancbmk")
+	var intra []bodiag.Case
+	for _, c := range bodiag.Generate() {
+		if c.Region == bodiag.RegIntra {
+			intra = append(intra, c)
+		}
+	}
+	env := []bodiag.Env{{Name: "cheri+subobj", ABI: cheriabi.ABICheri, SubObjectBounds: true}}
+	var overheadPct float64
+	var caught int
+	for i := 0; i < b.N; i++ {
+		base, err := workload.Run(w, workload.BuildOptions{ABI: cheriabi.ABICheri}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub, err := workload.Run(w, workload.BuildOptions{ABI: cheriabi.ABICheri, SubObjectBounds: true}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		overheadPct = (float64(sub.Cycles) - float64(base.Cycles)) / float64(base.Cycles) * 100
+		res, err := bodiag.NewRunner().RunEnvs(intra, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		caught = res.Detected["cheri+subobj"][0]
+	}
+	b.ReportMetric(overheadPct, "subobj-cycles-%")
+	b.ReportMetric(float64(caught), "intra-min-caught")
+	b.ReportMetric(float64(len(intra)), "intra-total")
+}
+
+// BenchmarkSimulator measures raw simulation speed: guest instructions
+// executed per host second for a compute-bound workload.
+func BenchmarkSimulator(b *testing.B) {
+	w, _ := workload.ByName("auto-basicmath")
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		m, err := workload.Run(w, workload.BuildOptions{ABI: cheriabi.ABICheri}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = m.Instructions
+	}
+	b.SetBytes(int64(insts)) // bytes/s stands in for guest instructions/s
+}

@@ -1,0 +1,26 @@
+// Command cheri-compat regenerates the paper's Table 2: the taxonomy of
+// source changes required for CheriABI, measured by the compiler's
+// compatibility lints over the synthetic FreeBSD-shaped corpus.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cheriabi/internal/compat"
+)
+
+func main() {
+	table, err := compat.Table()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-compat:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Table 2. CheriABI changes by category")
+	fmt.Println("PP: pointer provenance, IP: integer provenance, M: monotonicity,")
+	fmt.Println("PS: pointer shape, I: pointer as integer, VA: virtual address,")
+	fmt.Println("BF: bit flags, H: hashing, A: alignment, CC: calling convention,")
+	fmt.Println("U: unsupported")
+	fmt.Println()
+	fmt.Print(table)
+}

@@ -1,0 +1,60 @@
+// Command cheri-run compiles a MiniC source file and runs it on the
+// simulated machine under the selected ABI.
+//
+// Usage: cheri-run [-abi mips64|cheriabi] [-asan] [-stats] file.c [args...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cheriabi"
+)
+
+func main() {
+	abiFlag := flag.String("abi", "cheriabi", "process ABI: mips64 or cheriabi")
+	asan := flag.Bool("asan", false, "instrument with AddressSanitizer (mips64 only)")
+	stats := flag.Bool("stats", false, "print architectural statistics")
+	seed := flag.Int64("seed", 0, "layout perturbation seed")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: cheri-run [-abi mips64|cheriabi] [-asan] [-stats] file.c [args...]")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-run:", err)
+		os.Exit(1)
+	}
+	abi := cheriabi.ABICheri
+	if *abiFlag == "mips64" {
+		abi = cheriabi.ABILegacy
+	}
+	img, findings, err := cheriabi.Compile(cheriabi.CompileOptions{
+		Name: "a.out", ABI: abi, ASan: *asan,
+	}, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-run:", err)
+		os.Exit(1)
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", f)
+	}
+	sys := cheriabi.NewSystem(cheriabi.Config{Seed: *seed, Console: os.Stdout})
+	res, err := sys.RunImage(img, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-run:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\ninstructions=%d cycles=%d loads=%d stores=%d caploads=%d capstores=%d syscalls=%d l2miss=%d\n",
+			res.Stats.Instructions, res.Stats.Cycles, res.Stats.Loads, res.Stats.Stores,
+			res.Stats.CapLoads, res.Stats.CapStores, res.Stats.Syscalls, sys.L2Misses())
+	}
+	if res.Signal != 0 {
+		fmt.Fprintf(os.Stderr, "cheri-run: killed by signal %d\n", res.Signal)
+		os.Exit(128 + res.Signal)
+	}
+	os.Exit(res.ExitCode)
+}

@@ -1,0 +1,24 @@
+// Command cheri-tests regenerates the paper's Table 1: the FreeBSD,
+// PostgreSQL, and libc++ test suites under both ABIs.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cheriabi/internal/testsuite"
+)
+
+func main() {
+	rows, err := testsuite.Table1()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-tests:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Table 1. Test suite results")
+	fmt.Print(testsuite.Render(rows))
+	fmt.Println("\nPaper reference:")
+	fmt.Println("FreeBSD MIPS        3501    90   244  | CheriABI 3301  122  246")
+	fmt.Println("PostgreSQL MIPS      167     0     0  | CheriABI  150   16    1")
+	fmt.Println("libc++ MIPS         5338    29   789  | CheriABI 5333   34  789")
+}

@@ -1,0 +1,33 @@
+// Command cheri-trace regenerates the paper's Figure 5: the cumulative
+// distribution of capability bounds sizes by source, reconstructed from a
+// traced run of the secure-server workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cheriabi/internal/trace"
+	"cheriabi/internal/workload"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "layout perturbation seed")
+	flag.Parse()
+	col, err := workload.TraceSecureServer(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("Figure 5. Cumulative capability counts by bounds size (%d events)\n\n", col.Count())
+	fmt.Print(trace.Render(col, []string{
+		trace.SourceAll, trace.SourceStack, trace.SourceMalloc,
+		trace.SourceExec, trace.SourceGOT, trace.SourceSyscall, trace.SourceKern,
+	}))
+	fmt.Printf("\nfraction of capabilities <= 1KiB: %.1f%%\n",
+		col.FractionBelow(trace.SourceAll, 1<<10)*100)
+	fmt.Printf("largest capability: %d bytes\n", col.MaxLen(trace.SourceAll))
+	fmt.Println("\nPaper shape: ~90% under 1KiB; no capability over 16MiB;")
+	fmt.Println("kern and syscall lines virtually indistinguishable from the X-axis.")
+}

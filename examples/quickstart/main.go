@@ -1,0 +1,48 @@
+// Quickstart: compile one C program for both ABIs, run it, and watch
+// CheriABI catch the heap overflow the legacy ABI silently tolerates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cheriabi"
+)
+
+const program = `
+int main(int argc, char **argv) {
+	printf("hello from %s (argc=%d)\n", argv[0], argc);
+
+	char *buf = (char *)malloc(16);
+	int i;
+	for (i = 0; i < 16; i++) buf[i] = 'a' + i;
+	printf("in bounds:  buf[15] = %c\n", buf[15]);
+
+	// One byte past the allocation: undefined behaviour in C.
+	buf[16] = '!';
+	printf("out of bounds write survived\n");
+	return 0;
+}
+`
+
+func main() {
+	for _, abi := range []cheriabi.ABI{cheriabi.ABILegacy, cheriabi.ABICheri} {
+		fmt.Printf("=== %v ===\n", abi)
+		img, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: "quickstart", ABI: abi}, program)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys := cheriabi.NewSystem(cheriabi.Config{})
+		res, err := sys.RunImage(img, "quickstart")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Output)
+		if res.Signal != 0 {
+			fmt.Printf("--> process killed by signal %d (SIGPROT: capability bounds violation)\n", res.Signal)
+		} else {
+			fmt.Printf("--> process exited %d; the overflow corrupted adjacent heap memory\n", res.ExitCode)
+		}
+		fmt.Printf("    (%d instructions, %d cycles)\n\n", res.Stats.Instructions, res.Stats.Cycles)
+	}
+}

@@ -1,0 +1,314 @@
+// Package bodiag reproduces the paper's §5.4 memory-protection evaluation:
+// a BOdiagsuite-style corpus of 291 buffer-overflow programs (after
+// Kratkiewicz), each with a correct variant and three faulty variants —
+// min (off by one byte), med (off by 8), large (off by 4096) — run under
+// three environments: the mips64 baseline, CheriABI, and the
+// AddressSanitizer-instrumented legacy build.
+package bodiag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Region is where the overflowed buffer lives.
+type Region int
+
+// Buffer regions.
+const (
+	RegStack Region = iota
+	RegHeap
+	RegGlobal
+	RegIntra    // intra-object: past a struct field, within the object
+	RegAdjacent // heap overflow landing inside an adjacent allocation
+	RegAPI      // overflow through a POSIX API (getcwd/read/snprintf)
+)
+
+func (r Region) String() string {
+	return [...]string{"stack", "heap", "global", "intra", "adjacent", "api"}[r]
+}
+
+// Access distinguishes read from write overflows.
+type Access int
+
+// Access kinds.
+const (
+	AccWrite Access = iota
+	AccRead
+)
+
+func (a Access) String() string {
+	if a == AccRead {
+		return "read"
+	}
+	return "write"
+}
+
+// IdxKind is how the faulty index is computed.
+type IdxKind int
+
+// Index kinds (the Kratkiewicz taxonomy dimensions we span: index
+// complexity, control flow, and interprocedural/library reach).
+const (
+	IdxConst IdxKind = iota
+	IdxVar
+	IdxLoop
+	IdxMemcpy // overflow via the C library's memcpy
+	IdxFunc   // overflow in a callee the pointer was passed to
+)
+
+func (k IdxKind) String() string {
+	return [...]string{"const", "var", "loop", "memcpy", "func"}[k]
+}
+
+// Case is one BOdiagsuite program family.
+type Case struct {
+	ID     int
+	Region Region
+	Access Access
+	Idx    IdxKind
+	Size   int
+	// TailBytes is the sibling-field size for intra-object cases.
+	TailBytes int
+	// API selects the POSIX interface for RegAPI cases.
+	API string
+	// PageEnd places a heap buffer against the end of its mapping: 1 =
+	// flush with the page boundary (min crosses), 2 = 4 bytes of slack
+	// (med crosses). These model the paper's few mips64 detections at
+	// small offsets: buffers that happen to abut unmapped pages.
+	PageEnd int
+}
+
+// Name is a stable identifier.
+func (c Case) Name() string {
+	if c.Region == RegAPI {
+		return fmt.Sprintf("bo%03d-api-%s", c.ID, c.API)
+	}
+	return fmt.Sprintf("bo%03d-%s-%s-%s-%d", c.ID, c.Region, c.Access, c.Idx, c.Size)
+}
+
+// Variant selects the overflow magnitude.
+type Variant int
+
+// Variants: the paper's columns plus the correct control.
+const (
+	VarOK Variant = iota
+	VarMin
+	VarMed
+	VarLarge
+)
+
+func (v Variant) String() string {
+	return [...]string{"ok", "min", "med", "large"}[v]
+}
+
+// Offset returns the bytes past the end for the variant.
+func (v Variant) Offset() int {
+	switch v {
+	case VarMin:
+		return 1
+	case VarMed:
+		return 8
+	case VarLarge:
+		return 4096
+	}
+	return 0
+}
+
+// Generate returns the 291-case suite, mirroring the composition of the
+// original: bulk stack/heap/global cases across sizes, access and index
+// kinds, 12 intra-object cases (the class CheriABI cannot catch at min
+// without compatibility cost), 6 adjacent-allocation cases (which defeat
+// redzone-based detection at large offsets), and 3 POSIX-API cases.
+func Generate() []Case {
+	var out []Case
+	id := 0
+	add := func(c Case) {
+		id++
+		c.ID = id
+		out = append(out, c)
+	}
+	sizes := []int{8, 16, 24, 32, 48, 64, 100, 128, 256}
+	// 9 sizes x 3 regions x 2 accesses x 5 index kinds = 270 base cases.
+	for _, size := range sizes {
+		for _, reg := range []Region{RegStack, RegHeap, RegGlobal} {
+			for _, acc := range []Access{AccWrite, AccRead} {
+				for _, idx := range []IdxKind{IdxConst, IdxVar, IdxLoop, IdxMemcpy, IdxFunc} {
+					c := Case{Region: reg, Access: acc, Idx: idx, Size: size}
+					// Eight of the large heap buffers abut their mapping's
+					// end, mirroring the layouts behind the paper's mips64
+					// rows (4 detected at min, 8 at med).
+					if reg == RegHeap && size == 256 {
+						switch idx {
+						case IdxConst, IdxVar:
+							c.PageEnd = 1
+						case IdxLoop, IdxMemcpy:
+							c.PageEnd = 2
+						}
+					}
+					add(c)
+				}
+			}
+		}
+	}
+	// 12 intra-object cases: 10 with a small tail (med crosses the object
+	// end), 2 with a large tail (even med stays inside — the residue the
+	// paper reports as undetectable "without some impact on
+	// compatibility").
+	for i := 0; i < 10; i++ {
+		add(Case{Region: RegIntra, Access: AccWrite, Idx: IdxConst, Size: 8 + 8*i, TailBytes: 4})
+	}
+	add(Case{Region: RegIntra, Access: AccWrite, Idx: IdxConst, Size: 16, TailBytes: 64})
+	add(Case{Region: RegIntra, Access: AccRead, Idx: IdxConst, Size: 32, TailBytes: 64})
+	// 6 adjacent-allocation heap cases.
+	for i := 0; i < 6; i++ {
+		add(Case{Region: RegAdjacent, Access: AccWrite, Idx: IdxConst, Size: 8192})
+	}
+	// 3 POSIX API cases ("a small number of which use POSIX APIs such as
+	// getcwd with an incorrect length").
+	add(Case{Region: RegAPI, Size: 16, API: "getcwd"})
+	add(Case{Region: RegAPI, Size: 32, API: "read"})
+	add(Case{Region: RegAPI, Size: 24, API: "snprintf"})
+
+	if len(out) != 291 {
+		panic(fmt.Sprintf("bodiag: generated %d cases, want 291", len(out)))
+	}
+	return out
+}
+
+// Source renders the MiniC program for one case/variant. A detected
+// kernel-mediated violation exits 99; everything else relies on the
+// environment to trap (or not).
+func Source(c Case, v Variant) string {
+	off := v.Offset()
+	last := c.Size - 1 + off // the faulty (or final legal) byte index
+	var b strings.Builder
+
+	switch c.Region {
+	case RegGlobal:
+		fmt.Fprintf(&b, "char buf[%d];\n", c.Size)
+	case RegIntra:
+		fmt.Fprintf(&b, "struct box { char buf[%d]; char tail[%d]; };\nstruct box g;\n", c.Size, c.TailBytes)
+	}
+	b.WriteString("int sink;\nint idx;\n")
+	if c.Idx == IdxMemcpy {
+		b.WriteString("char scratch[8192];\n")
+	}
+	if c.Idx == IdxFunc {
+		b.WriteString("int poke(char *p, int i) { p[i] = 7; return 0; }\n")
+		b.WriteString("int peek(char *p, int i) { return p[i]; }\n")
+	}
+	b.WriteString("int main() {\n")
+
+	switch c.Region {
+	case RegStack:
+		fmt.Fprintf(&b, "\tchar buf[%d];\n", c.Size)
+	case RegHeap:
+		if c.PageEnd != 0 {
+			slack := 0
+			if c.PageEnd == 2 {
+				slack = 4
+			}
+			// An allocation flush against the end of its page, with
+			// malloc-equivalent bounds installed on the pointer.
+			fmt.Fprintf(&b, "\tchar *m = (char *)mmap(0, 4096, 3, 0);\n")
+			fmt.Fprintf(&b, "\tchar *buf = (char *)cheri_bounds_set(m + 4096 - %d - %d, %d);\n",
+				c.Size, slack, c.Size)
+		} else {
+			fmt.Fprintf(&b, "\tchar *buf = (char *)malloc(%d);\n", c.Size)
+		}
+	case RegAdjacent:
+		fmt.Fprintf(&b, "\tchar *buf = (char *)malloc(%d);\n\tchar *other = (char *)malloc(%d);\n\tother[0] = 1;\n", c.Size, c.Size)
+	case RegIntra:
+		b.WriteString("\tchar *buf = g.buf;\n")
+	case RegAPI:
+		return apiSource(c, v)
+	}
+
+	// Touch the legal range first so the OK variant is meaningful.
+	fmt.Fprintf(&b, "\tint i;\n\tfor (i = 0; i < %d; i++) buf[i] = (char)i;\n", c.Size)
+
+	switch c.Idx {
+	case IdxConst:
+		if c.Access == AccWrite {
+			fmt.Fprintf(&b, "\tbuf[%d] = 7;\n", last)
+		} else {
+			fmt.Fprintf(&b, "\tsink = buf[%d];\n", last)
+		}
+	case IdxVar:
+		fmt.Fprintf(&b, "\tidx = %d;\n", last)
+		if c.Access == AccWrite {
+			b.WriteString("\tbuf[idx] = 7;\n")
+		} else {
+			b.WriteString("\tsink = buf[idx];\n")
+		}
+	case IdxLoop:
+		if c.Access == AccWrite {
+			fmt.Fprintf(&b, "\tfor (i = 0; i <= %d; i++) buf[i] = (char)i;\n", last)
+		} else {
+			fmt.Fprintf(&b, "\tfor (i = 0; i <= %d; i++) sink += buf[i];\n", last)
+		}
+	case IdxMemcpy:
+		if c.Access == AccWrite {
+			fmt.Fprintf(&b, "\tmemcpy(buf, scratch, %d);\n", last+1)
+		} else {
+			fmt.Fprintf(&b, "\tmemcpy(scratch, buf, %d);\n", last+1)
+		}
+	case IdxFunc:
+		if c.Access == AccWrite {
+			fmt.Fprintf(&b, "\tpoke(buf, %d);\n", last)
+		} else {
+			fmt.Fprintf(&b, "\tsink = peek(buf, %d);\n", last)
+		}
+	}
+	b.WriteString("\treturn 0;\n}\n")
+	return b.String()
+}
+
+// apiSource renders the POSIX-API cases: the caller misstates the buffer
+// length to the kernel or library.
+func apiSource(c Case, v Variant) string {
+	claimed := c.Size + v.Offset()
+	switch c.API {
+	case "getcwd":
+		// The buffer is c.Size bytes; the claimed length is larger; the
+		// working directory needs Size+1 bytes. The CheriABI kernel is
+		// bounded by the capability, not the claim.
+		return fmt.Sprintf(`
+int main() {
+	char buf[%d];
+	chdir("%s");
+	long r = getcwd(buf, %d);
+	if (r < 0 && errno() == 14) return 99; // EFAULT: violation stopped
+	return 0;
+}
+`, c.Size, CwdPath, claimed)
+	case "read":
+		return fmt.Sprintf(`
+char src[8192];
+int main() {
+	char buf[%d];
+	int fd = open("/tmp/bodiag.dat", 0x200 | 2, 0);
+	write(fd, src, %d);
+	lseek(fd, 0, 0);
+	long r = read(fd, buf, %d);
+	if (r < 0 && errno() == 14) return 99;
+	return 0;
+}
+`, c.Size, claimed+16, claimed)
+	case "snprintf":
+		return fmt.Sprintf(`
+int main() {
+	char buf[%d];
+	long r = snprintf(buf, %d, "%%d-%%d-%%d-%%d-%%d-%%d", 111111, 222222, 333333, 444444, 555555, 666666);
+	if (r < 0) return 99;
+	return 0;
+}
+`, c.Size, claimed)
+	}
+	panic("bodiag: unknown API " + c.API)
+}
+
+// CwdPath is the 16-byte working directory the getcwd case relies on; the
+// runner creates it.
+const CwdPath = "/tmp/abcdefghijk"

@@ -1,0 +1,138 @@
+package bodiag
+
+import (
+	"fmt"
+
+	"cheriabi"
+)
+
+// Env is one evaluated protection environment (a Table 3 row).
+type Env struct {
+	Name string
+	ABI  cheriabi.ABI
+	ASan bool
+	// SubObjectBounds enables the §6 member-narrowing extension (used by
+	// the ablation benchmarks, not the paper's Table 3).
+	SubObjectBounds bool
+}
+
+// Envs are the paper's three rows.
+var Envs = []Env{
+	{Name: "mips64", ABI: cheriabi.ABILegacy},
+	{Name: "cheriabi", ABI: cheriabi.ABICheri},
+	{Name: "asan", ABI: cheriabi.ABILegacy, ASan: true},
+}
+
+// Result is a full Table 3: detections per environment and variant.
+type Result struct {
+	Total int
+	// Detected[env][variant-1] counts min/med/large detections.
+	Detected map[string][3]int
+	// OKFailures counts correct variants that misbehaved (must be 0).
+	OKFailures int
+	// Failures lists diagnostics for unexpected behaviour.
+	Failures []string
+}
+
+// Runner executes bodiag cases, reusing one booted system per environment
+// to keep the 3,500-odd runs fast.
+type Runner struct {
+	systems map[string]*cheriabi.System
+	counter int
+}
+
+// NewRunner returns a Runner with lazily booted systems.
+func NewRunner() *Runner {
+	return &Runner{systems: map[string]*cheriabi.System{}}
+}
+
+func (r *Runner) system(env Env) *cheriabi.System {
+	s, ok := r.systems[env.Name]
+	if !ok {
+		s = cheriabi.NewSystem(cheriabi.Config{MemBytes: 192 << 20})
+		s.Kernel.FS.Mkdir(CwdPath)
+		r.systems[env.Name] = s
+	}
+	return s
+}
+
+// detected runs one case/variant in env and reports whether the violation
+// was detected: the process died on a signal, or a kernel/library path
+// refused the access (exit 99 = EFAULT observed).
+func (r *Runner) detected(env Env, c Case, v Variant) (bool, error) {
+	r.counter++
+	src := Source(c, v)
+	img, _, err := cheriabi.Compile(cheriabi.CompileOptions{
+		Name:            fmt.Sprintf("%s-%s-%d", c.Name(), v, r.counter),
+		ABI:             env.ABI,
+		ASan:            env.ASan,
+		SubObjectBounds: env.SubObjectBounds,
+	}, src)
+	if err != nil {
+		return false, fmt.Errorf("%s/%s: compile: %w", c.Name(), v, err)
+	}
+	sys := r.system(env)
+	res, err := sys.RunImage(img)
+	if err != nil {
+		return false, fmt.Errorf("%s/%s: run: %w", c.Name(), v, err)
+	}
+	return res.Signal != 0 || res.ExitCode == 99, nil
+}
+
+// Run evaluates the given cases (pass Generate() for the full table).
+func (r *Runner) Run(cases []Case) (*Result, error) { return r.RunEnvs(cases, Envs) }
+
+// RunEnvs evaluates cases under a custom environment list (ablations).
+func (r *Runner) RunEnvs(cases []Case, envs []Env) (*Result, error) {
+	out := &Result{Total: len(cases), Detected: map[string][3]int{}}
+	for _, env := range envs {
+		var counts [3]int
+		for _, c := range cases {
+			// Sanity: the correct variant must run clean everywhere.
+			if ok, err := r.detected(env, c, VarOK); err != nil {
+				return nil, err
+			} else if ok {
+				out.OKFailures++
+				out.Failures = append(out.Failures, fmt.Sprintf("%s: OK variant flagged under %s", c.Name(), env.Name))
+			}
+			for vi, v := range []Variant{VarMin, VarMed, VarLarge} {
+				hit, err := r.detected(env, c, v)
+				if err != nil {
+					return nil, err
+				}
+				if hit {
+					counts[vi]++
+				}
+			}
+		}
+		out.Detected[env.Name] = counts
+	}
+	return out, nil
+}
+
+// Render formats the result as the paper's Table 3.
+func (res *Result) Render() string {
+	s := fmt.Sprintf("%-10s %6s %6s %6s   (of %d tests)\n", "", "min", "med", "large", res.Total)
+	names := make([]string, 0, len(res.Detected))
+	for _, env := range Envs {
+		if _, ok := res.Detected[env.Name]; ok {
+			names = append(names, env.Name)
+		}
+	}
+	for name := range res.Detected {
+		seen := false
+		for _, n := range names {
+			if n == name {
+				seen = true
+			}
+		}
+		if !seen {
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		c := res.Detected[name]
+		s += fmt.Sprintf("%-10s %6d %6d %6d\n", name, c[0], c[1], c[2])
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+// Package cache models the memory hierarchy of the paper's FPGA platform:
+// split 32-KiB set-associative L1 instruction and data caches and a shared
+// 256-KiB L2, in front of a fixed-latency DRAM ("Our FPGA system has
+// 32-KiB L1 caches and a shared 256-KiB L2 cache, all set-associative,
+// similar to widely shipped CPUs such as many ARM Cortex A53
+// implementations, although without pre-fetching").
+//
+// Tags travel with cache lines (the tag controller is folded into the line
+// fill), so capability-width accesses cost the same as data accesses of
+// the same size; the purecap overhead emerges from the doubled pointer
+// footprint, exactly as in the paper.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	Size       uint64 // total bytes
+	LineSize   uint64 // bytes per line
+	Ways       uint64 // associativity
+	HitLatency uint64 // cycles charged on hit at this level
+}
+
+// Stats counts accesses at one level.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// Hits returns the number of hits.
+func (s Stats) Hits() uint64 { return s.Accesses - s.Misses }
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level
+// with LRU replacement.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	nsets uint64
+	clock uint64
+	stats Stats
+}
+
+// New builds a cache from cfg; Size must be divisible by LineSize*Ways.
+func New(cfg Config) *Cache {
+	nsets := cfg.Size / (cfg.LineSize * cfg.Ways)
+	if nsets == 0 || cfg.Size%(cfg.LineSize*cfg.Ways) != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry %+v", cfg.Name, cfg))
+	}
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics (the contents stay warm).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// access looks up the line containing pa; on miss it allocates, evicting
+// LRU. Returns hit and whether a dirty line was written back.
+func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
+	c.clock++
+	c.stats.Accesses++
+	lineAddr := pa / c.cfg.LineSize
+	set := c.sets[lineAddr%c.nsets]
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lru = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			return true, false
+		}
+	}
+	c.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		writeback = true
+		c.stats.Writebacks++
+	}
+	set[victim] = line{valid: true, dirty: write, tag: lineAddr, lru: c.clock}
+	return false, writeback
+}
+
+// Flush invalidates all lines (e.g. between benchmark repetitions).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+}
+
+// Hierarchy is the full memory system: split L1s over a shared L2 over
+// DRAM. Access methods return the cycle cost of the access.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	DRAMLatency  uint64
+	dramAccesses uint64
+}
+
+// DefaultHierarchy reproduces the paper's FPGA geometry: 32-KiB 4-way L1s,
+// 256-KiB 8-way shared L2, 64-byte lines.
+func DefaultHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1I:         New(Config{Name: "L1I", Size: 32 << 10, LineSize: 64, Ways: 4, HitLatency: 1}),
+		L1D:         New(Config{Name: "L1D", Size: 32 << 10, LineSize: 64, Ways: 4, HitLatency: 1}),
+		L2:          New(Config{Name: "L2", Size: 256 << 10, LineSize: 64, Ways: 8, HitLatency: 9}),
+		DRAMLatency: 50,
+	}
+}
+
+// DRAMAccesses returns the number of line fills that reached DRAM.
+func (h *Hierarchy) DRAMAccesses() uint64 { return h.dramAccesses }
+
+func (h *Hierarchy) lineSpan(pa, size uint64) (first, last uint64) {
+	ls := h.L1D.cfg.LineSize
+	if size == 0 {
+		size = 1
+	}
+	return pa / ls, (pa + size - 1) / ls
+}
+
+// accessLevel walks one line access through L1 -> L2 -> DRAM.
+func (h *Hierarchy) accessLevel(l1 *Cache, lineAddr uint64, write bool) uint64 {
+	pa := lineAddr * l1.cfg.LineSize
+	cycles := l1.cfg.HitLatency
+	hit, wb := l1.access(pa, write)
+	if hit {
+		return cycles
+	}
+	cycles += h.L2.cfg.HitLatency
+	hit2, wb2 := h.L2.access(pa, false)
+	if !hit2 {
+		cycles += h.DRAMLatency
+		h.dramAccesses++
+	}
+	// Dirty evictions drain through a write buffer; charge a small constant.
+	if wb || wb2 {
+		cycles += 2
+	}
+	return cycles
+}
+
+// Fetch models an instruction fetch of size bytes at pa.
+func (h *Hierarchy) Fetch(pa, size uint64) uint64 {
+	first, last := h.lineSpan(pa, size)
+	var cycles uint64
+	for l := first; l <= last; l++ {
+		cycles += h.accessLevel(h.L1I, l, false)
+	}
+	return cycles
+}
+
+// Data models a data access of size bytes at pa.
+func (h *Hierarchy) Data(pa, size uint64, write bool) uint64 {
+	first, last := h.lineSpan(pa, size)
+	var cycles uint64
+	for l := first; l <= last; l++ {
+		cycles += h.accessLevel(h.L1D, l, write)
+	}
+	return cycles
+}
+
+// Flush invalidates the whole hierarchy.
+func (h *Hierarchy) Flush() {
+	h.L1I.Flush()
+	h.L1D.Flush()
+	h.L2.Flush()
+}
+
+// ResetStats zeroes statistics at every level.
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.dramAccesses = 0
+}

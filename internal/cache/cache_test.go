@@ -1,0 +1,103 @@
+package cache
+
+import "testing"
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(Config{Name: "t", Size: 1 << 10, LineSize: 64, Ways: 2, HitLatency: 1})
+	if hit, _ := c.access(0x100, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _ := c.access(0x100, false); !hit {
+		t.Fatal("warm access missed")
+	}
+	if hit, _ := c.access(0x13F, false); !hit {
+		t.Fatal("same line access missed")
+	}
+	if hit, _ := c.access(0x140, false); hit {
+		t.Fatal("next line hit while cold")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Misses != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 64B lines, 2 sets -> 256B cache.
+	c := New(Config{Name: "t", Size: 256, LineSize: 64, Ways: 2, HitLatency: 1})
+	// Three lines mapping to set 0 (stride 128).
+	c.access(0x000, false)
+	c.access(0x080, false)
+	c.access(0x000, false) // touch A so B is LRU
+	c.access(0x100, false) // evicts B
+	if hit, _ := c.access(0x000, false); !hit {
+		t.Fatal("A should still be resident")
+	}
+	if hit, _ := c.access(0x080, false); hit {
+		t.Fatal("B should have been evicted")
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := New(Config{Name: "t", Size: 128, LineSize: 64, Ways: 1, HitLatency: 1})
+	c.access(0x000, true)                     // dirty
+	if _, wb := c.access(0x080, false); !wb { // conflict evicts dirty line
+		t.Fatal("dirty eviction did not write back")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := DefaultHierarchy()
+	// Cold: L1 miss + L2 miss -> 1 + 9 + 50.
+	if got := h.Data(0x1000, 8, false); got != 60 {
+		t.Fatalf("cold access cost %d, want 60", got)
+	}
+	// Warm: L1 hit -> 1.
+	if got := h.Data(0x1000, 8, false); got != 1 {
+		t.Fatalf("warm access cost %d, want 1", got)
+	}
+	if h.DRAMAccesses() != 1 {
+		t.Fatalf("dram accesses = %d", h.DRAMAccesses())
+	}
+}
+
+func TestStraddlingAccessTouchesTwoLines(t *testing.T) {
+	h := DefaultHierarchy()
+	cost := h.Data(0x103C, 8, false) // crosses the 0x1040 line boundary
+	if cost != 120 {
+		t.Fatalf("straddling cold access cost %d, want 120", cost)
+	}
+}
+
+func TestL2SharedBetweenIAndD(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Fetch(0x2000, 4)                              // fills L2
+	if got := h.Data(0x2000, 4, false); got != 10 { // L1D miss, L2 hit
+		t.Fatalf("L2 shared access cost %d, want 10", got)
+	}
+}
+
+func TestFlushAndReset(t *testing.T) {
+	h := DefaultHierarchy()
+	h.Data(0x1000, 8, false)
+	h.Flush()
+	h.ResetStats()
+	if got := h.Data(0x1000, 8, false); got != 60 {
+		t.Fatalf("post-flush access cost %d, want 60", got)
+	}
+	if h.L1D.Stats().Accesses != 1 {
+		t.Fatalf("stats not reset")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "bad", Size: 100, LineSize: 64, Ways: 4})
+}

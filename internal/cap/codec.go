@@ -1,0 +1,99 @@
+package cap
+
+import "encoding/binary"
+
+// In-memory capability encoding. The tag travels out of band (one tag bit
+// per capability-sized granule of physical memory, package mem); these
+// functions pack and unpack only the in-band bits.
+//
+// 128-bit layout (little endian):
+//
+//	[0:8)   cursor (the full 64-bit address)
+//	[8:16)  packed metadata:
+//	        bits 0..11   permissions
+//	        bits 12..19  otype (0xFF = unsealed; the simulator uses small
+//	                     object types only)
+//	        bits 20..25  exponent E
+//	        bits 26..40  length mantissa (len >> E)
+//	        bits 41..56  signed base offset ((addr>>E) - (base>>E)), which
+//	                     recovers the base from the cursor exactly while the
+//	                     cursor stays inside the representable window
+//
+// 256-bit layout: cursor, base, length, packed perms/otype — all direct.
+//
+// Untagged memory bytes decode to an untagged capability carrying only the
+// cursor bits; untagged capabilities are never dereferenceable so their
+// bounds are immaterial.
+
+const (
+	otypeShift = 12
+	expShift   = 20
+	lenShift   = 26
+	boffShift  = 41
+)
+
+// Encode packs c into buf, which must be at least f.Bytes long. The tag is
+// not stored; callers keep it out of band.
+func (f Format) Encode(c Capability, buf []byte) {
+	if f.MW == 0 {
+		binary.LittleEndian.PutUint64(buf[0:8], c.addr)
+		binary.LittleEndian.PutUint64(buf[8:16], c.base)
+		binary.LittleEndian.PutUint64(buf[16:24], c.len)
+		binary.LittleEndian.PutUint64(buf[24:32], uint64(c.perms)|uint64(c.otype&0xFF)<<otypeShift)
+		return
+	}
+	binary.LittleEndian.PutUint64(buf[0:8], c.addr)
+	e := f.exponent(c.len)
+	ot := uint64(0xFF)
+	if c.otype != OTypeUnsealed {
+		ot = uint64(c.otype & 0xFF)
+	}
+	boff := int64(c.addr>>e) - int64(c.base>>e)
+	packed := uint64(c.perms) |
+		ot<<otypeShift |
+		uint64(e)<<expShift |
+		(c.len>>e)<<lenShift |
+		uint64(uint16(boff))<<boffShift
+	binary.LittleEndian.PutUint64(buf[8:16], packed)
+}
+
+// Decode unpacks a capability from buf with the given out-of-band tag.
+func (f Format) Decode(buf []byte, tag bool) Capability {
+	addr := binary.LittleEndian.Uint64(buf[0:8])
+	if !tag {
+		return NullWithAddr(addr)
+	}
+	if f.MW == 0 {
+		packed := binary.LittleEndian.Uint64(buf[24:32])
+		ot := uint32(packed >> otypeShift & 0xFF)
+		if ot == 0xFF {
+			ot = OTypeUnsealed
+		}
+		return Capability{
+			tag:   true,
+			addr:  addr,
+			base:  binary.LittleEndian.Uint64(buf[8:16]),
+			len:   binary.LittleEndian.Uint64(buf[16:24]),
+			perms: Perm(packed) & PermAll,
+			otype: ot,
+		}
+	}
+	packed := binary.LittleEndian.Uint64(buf[8:16])
+	perms := Perm(packed) & PermAll
+	ot := uint32(packed >> otypeShift & 0xFF)
+	if ot == 0xFF {
+		ot = OTypeUnsealed
+	}
+	e := uint(packed >> expShift & 0x3F)
+	lenMant := packed >> lenShift & 0x7FFF
+	boff := int64(int16(packed >> boffShift & 0xFFFF))
+	base := uint64(int64(addr>>e)-boff) << e
+	return Capability{
+		tag:   true,
+		addr:  addr,
+		base:  base,
+		len:   lenMant << e,
+		perms: perms,
+		otype: ot,
+	}
+}

@@ -1,0 +1,178 @@
+package cap
+
+// Format describes a capability encoding. The paper benchmarks the 128-bit
+// compressed encoding ("as its lower overheads make it a more realistic
+// candidate for commercial adoption") and mentions a 256-bit direct
+// encoding; both are provided.
+//
+// The 128-bit format follows the CHERI-Concentrate recipe: bounds are
+// expressed as MW-bit mantissas scaled by 2^E, so
+//
+//   - lengths up to (2^MW - 2^(MW-3)) bytes are exactly representable with
+//     E = 0 (byte-granular bounds for small objects);
+//   - larger regions require base and top aligned to 2^E, forcing
+//     allocators to pad ("Compression exploits commonalities ... but
+//     requires that large spans are aligned and sized at larger than byte
+//     granularity", paper §2 fn. 2);
+//   - the cursor may roam a slack of 2^(MW-3) scaled units beyond either
+//     bound (the representable window); moving it further clears the tag.
+type Format struct {
+	Name string
+	// Bytes is the in-memory size of one capability (16 or 32). Pointer
+	// size is what drives the purecap cache-footprint overhead in Fig. 4.
+	Bytes uint64
+	// MW is the mantissa width for compressed bounds; 0 means exact
+	// (uncompressed) bounds with unlimited cursor range.
+	MW uint
+}
+
+// Format128 is the compressed 128-bit encoding benchmarked in the paper.
+var Format128 = Format{Name: "c128", Bytes: 16, MW: 14}
+
+// Format256 is the direct 256-bit encoding: exact bounds, no
+// representability constraints, double the memory footprint.
+var Format256 = Format{Name: "c256", Bytes: 32, MW: 0}
+
+// Exact reports whether the format represents all bounds exactly.
+func (f Format) Exact() bool { return f.MW == 0 }
+
+// exponent returns the smallest exponent E at which a region of the given
+// length is representable: length in scaled units must leave 1/8 headroom
+// in the MW-bit mantissa so the representable window exists.
+func (f Format) exponent(length uint64) uint {
+	if f.MW == 0 {
+		return 0
+	}
+	limit := (uint64(1) << f.MW) - (uint64(1) << (f.MW - 3))
+	e := uint(0)
+	for length>>e > limit {
+		e++
+	}
+	return e
+}
+
+// RepresentableLength returns length rounded up to the next representable
+// capability length (the CRRL instruction). Allocators use this to pad
+// requests so SetBounds yields exact bounds.
+func (f Format) RepresentableLength(length uint64) uint64 {
+	e := f.exponent(length)
+	if e == 0 {
+		return length
+	}
+	mask := (uint64(1) << e) - 1
+	r := (length + mask) &^ mask
+	// Rounding up may push the length past the limit for this exponent.
+	if f.exponent(r) != e {
+		e = f.exponent(r)
+		mask = (uint64(1) << e) - 1
+		r = (length + mask) &^ mask
+	}
+	return r
+}
+
+// RepresentableAlignmentMask returns the mask a base address must be
+// aligned with for a region of the given length to have exact bounds (the
+// CRAM instruction).
+func (f Format) RepresentableAlignmentMask(length uint64) uint64 {
+	return ^((uint64(1) << f.exponent(length)) - 1)
+}
+
+// representable reports whether bounds [base, base+length) are exactly
+// encodable.
+func (f Format) representable(base, length uint64) bool {
+	if f.MW == 0 {
+		return true
+	}
+	e := f.exponent(length)
+	mask := (uint64(1) << e) - 1
+	return base&mask == 0 && length&mask == 0
+}
+
+// cursorOK reports whether addr is inside the representable window of a
+// capability with the given bounds: [base - slack, top + slack) where
+// slack is 1/8 of the mantissa span. Outside the window the encoding can
+// no longer recover the bounds from the address, so the tag is cleared.
+func (f Format) cursorOK(base, length, addr uint64) bool {
+	if f.MW == 0 {
+		return true
+	}
+	e := f.exponent(length)
+	slack := uint64(1) << (e + f.MW - 3)
+	lo := base - slack
+	if lo > base { // underflow: window clamps at 0
+		lo = 0
+	}
+	hi := base + length + slack
+	if hi < base+length { // overflow: window clamps at 2^64-1
+		hi = ^uint64(0)
+	}
+	return addr >= lo && addr < hi
+}
+
+// SetBounds derives from c a capability whose bounds are the smallest
+// representable region containing [addr, addr+length), with the cursor at
+// addr. It fails with FaultLength if even the *requested* region exceeds
+// c's bounds, and with FaultLength if rounding would exceed them (strict
+// monotonicity: a derived capability never grants more than its parent).
+func (f Format) SetBounds(c Capability, addr, length uint64) (Capability, error) {
+	if !c.tag {
+		return Null(), fault(FaultTag, c, addr, length)
+	}
+	if c.Sealed() {
+		return Null(), fault(FaultSeal, c, addr, length)
+	}
+	if addr < c.base || addr-c.base > c.len || length > c.len-(addr-c.base) {
+		return Null(), fault(FaultLength, c, addr, length)
+	}
+	e := f.exponent(length)
+	mask := (uint64(1) << e) - 1
+	newBase := addr &^ mask
+	newTop := (addr + length + mask) &^ mask
+	if newBase < c.base || newTop > c.base+c.len {
+		return Null(), fault(FaultLength, c, addr, length)
+	}
+	c.base = newBase
+	c.len = newTop - newBase
+	c.addr = addr
+	return c, nil
+}
+
+// SetBoundsExact is SetBounds but fails with FaultRepresentable unless the
+// requested bounds are exactly representable (the CSetBoundsExact
+// instruction).
+func (f Format) SetBoundsExact(c Capability, addr, length uint64) (Capability, error) {
+	if !f.representable(addr, length) {
+		return Null(), fault(FaultRepresentable, c, addr, length)
+	}
+	out, err := f.SetBounds(c, addr, length)
+	if err != nil {
+		return out, err
+	}
+	if out.base != addr || out.len != length {
+		return Null(), fault(FaultRepresentable, c, addr, length)
+	}
+	return out, nil
+}
+
+// SetAddr returns c with the cursor set to addr. If addr leaves the
+// representable window the result keeps the address but loses the tag
+// (and, as in real implementations, its bounds become unusable — we model
+// that by zeroing them, since an untagged capability's bounds are never
+// consulted).
+func (f Format) SetAddr(c Capability, addr uint64) Capability {
+	if c.Sealed() && c.tag {
+		c.tag = false
+	}
+	if c.tag && !f.cursorOK(c.base, c.len, addr) {
+		return NullWithAddr(addr)
+	}
+	c.addr = addr
+	return c
+}
+
+// IncAddr returns c with the cursor advanced by delta (pointer arithmetic:
+// "arithmetic on the address contained in the architectural capability,
+// leaving its bounds and permissions unchanged").
+func (f Format) IncAddr(c Capability, delta int64) Capability {
+	return f.SetAddr(c, c.addr+uint64(delta))
+}

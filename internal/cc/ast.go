@@ -1,0 +1,265 @@
+package cc
+
+// MiniC type system. Types are ABI-independent descriptions; sizes of
+// pointers (and therefore struct layout, the paper's "pointer shape"
+// change category) are resolved at code-generation time.
+
+type typeKind int
+
+const (
+	tVoid typeKind = iota
+	tInt
+	tPtr
+	tArray
+	tStruct
+	tFunc // function type (only meaningful behind a pointer or as a callee)
+)
+
+// ctype is a MiniC type.
+type ctype struct {
+	kind     typeKind
+	size     int  // integer width in bytes (tInt)
+	signed   bool // integer signedness
+	capInt   bool // intptr_t/uintptr_t: provenance-carrying integer
+	elem     *ctype
+	arrayLen int
+	sdef     *structDef
+	fn       *funcSig
+}
+
+type field struct {
+	name string
+	typ  *ctype
+}
+
+type structDef struct {
+	name   string
+	fields []field
+}
+
+type funcSig struct {
+	ret      *ctype
+	params   []*ctype
+	variadic bool
+}
+
+var (
+	typeVoid  = &ctype{kind: tVoid}
+	typeChar  = &ctype{kind: tInt, size: 1, signed: true}
+	typeUChar = &ctype{kind: tInt, size: 1}
+	typeShort = &ctype{kind: tInt, size: 2, signed: true}
+	typeInt   = &ctype{kind: tInt, size: 8, signed: true} // ILP64-flavoured MiniC: int is 8 bytes
+	typeUInt  = &ctype{kind: tInt, size: 8}
+	typeLong  = &ctype{kind: tInt, size: 8, signed: true}
+	typeULong = &ctype{kind: tInt, size: 8}
+	// typeIntPtr / typeUIntPtr carry provenance under CheriABI ("casting
+	// pointers through integer types other than intptr_t" loses it).
+	typeIntPtr  = &ctype{kind: tInt, size: 8, signed: true, capInt: true}
+	typeUIntPtr = &ctype{kind: tInt, size: 8, capInt: true}
+)
+
+func ptrTo(t *ctype) *ctype { return &ctype{kind: tPtr, elem: t} }
+
+func (t *ctype) isPtr() bool     { return t.kind == tPtr }
+func (t *ctype) isInt() bool     { return t.kind == tInt }
+func (t *ctype) isCapLike() bool { return t.kind == tPtr || (t.kind == tInt && t.capInt) }
+func (t *ctype) isArray() bool   { return t.kind == tArray }
+
+// decay returns the pointer type an array decays to, or t unchanged.
+func (t *ctype) decay() *ctype {
+	if t.kind == tArray {
+		return ptrTo(t.elem)
+	}
+	return t
+}
+
+func (t *ctype) String() string {
+	switch t.kind {
+	case tVoid:
+		return "void"
+	case tInt:
+		if t.capInt {
+			if t.signed {
+				return "intptr_t"
+			}
+			return "uintptr_t"
+		}
+		sign := ""
+		if !t.signed {
+			sign = "unsigned "
+		}
+		switch t.size {
+		case 1:
+			return sign + "char"
+		case 2:
+			return sign + "short"
+		default:
+			return sign + "long"
+		}
+	case tPtr:
+		return t.elem.String() + "*"
+	case tArray:
+		return t.elem.String() + "[]"
+	case tStruct:
+		return "struct " + t.sdef.name
+	case tFunc:
+		return "function"
+	}
+	return "?"
+}
+
+// AST nodes. Every node carries the source line for diagnostics and lints.
+
+type expr interface{ line() int }
+
+type exprBase struct{ ln int }
+
+func (e exprBase) line() int { return e.ln }
+
+type (
+	numExpr struct {
+		exprBase
+		val int64
+	}
+	strExpr struct {
+		exprBase
+		val string
+	}
+	identExpr struct {
+		exprBase
+		name string
+	}
+	unaryExpr struct {
+		exprBase
+		op string // - ~ ! * & ++ -- (pre)
+		x  expr
+	}
+	postfixExpr struct {
+		exprBase
+		op string // ++ --
+		x  expr
+	}
+	binExpr struct {
+		exprBase
+		op   string
+		l, r expr
+	}
+	assignExpr struct {
+		exprBase
+		op   string // = += -= *= /= %= &= |= ^= <<= >>=
+		l, r expr
+	}
+	callExpr struct {
+		exprBase
+		fn   expr // identExpr for direct calls; any expr for fn pointers
+		args []expr
+	}
+	indexExpr struct {
+		exprBase
+		x, idx expr
+	}
+	memberExpr struct {
+		exprBase
+		x     expr
+		name  string
+		arrow bool
+	}
+	castExpr struct {
+		exprBase
+		typ *ctype
+		x   expr
+	}
+	sizeofExpr struct {
+		exprBase
+		typ *ctype // nil: size of expression x
+		x   expr
+	}
+	condExpr struct {
+		exprBase
+		c, t, f expr
+	}
+)
+
+type stmt interface{ sline() int }
+
+type stmtBase struct{ ln int }
+
+func (s stmtBase) sline() int { return s.ln }
+
+type (
+	blockStmt struct {
+		stmtBase
+		list []stmt
+	}
+	exprStmt struct {
+		stmtBase
+		x expr
+	}
+	declStmt struct {
+		stmtBase
+		name string
+		typ  *ctype
+		init expr
+	}
+	ifStmt struct {
+		stmtBase
+		cond      expr
+		then, els stmt
+	}
+	whileStmt struct {
+		stmtBase
+		cond expr
+		body stmt
+		post bool // do-while
+	}
+	forStmt struct {
+		stmtBase
+		init stmt
+		cond expr
+		step expr
+		body stmt
+	}
+	returnStmt struct {
+		stmtBase
+		x expr
+	}
+	breakStmt  struct{ stmtBase }
+	contStmt   struct{ stmtBase }
+	switchStmt struct {
+		stmtBase
+		cond  expr
+		cases []switchCase
+	}
+)
+
+type switchCase struct {
+	val   int64
+	def   bool
+	stmts []stmt
+}
+
+// Top-level declarations.
+
+type funcDecl struct {
+	name   string
+	sig    *funcSig
+	params []string
+	body   *blockStmt // nil: extern declaration
+	static bool
+	ln     int
+}
+
+type varDecl struct {
+	name   string
+	typ    *ctype
+	init   expr // nil or constant/string/&global initialiser
+	extern bool
+	static bool
+	ln     int
+}
+
+type unit struct {
+	funcs   []*funcDecl
+	vars    []*varDecl
+	structs map[string]*structDef
+}

@@ -1,0 +1,253 @@
+package cc
+
+import "cheriabi/internal/isa"
+
+// genBinary evaluates a binary expression, including short-circuit logic.
+func (g *gen) genBinary(x *binExpr) (val, error) {
+	if x.op == "&&" || x.op == "||" {
+		return g.genShortCircuit(x)
+	}
+	l, err := g.genExpr(x.l)
+	if err != nil {
+		return val{}, err
+	}
+	r, err := g.genExpr(x.r)
+	if err != nil {
+		return val{}, err
+	}
+	return g.applyBinary(x.op, l, r, x.line())
+}
+
+func (g *gen) genShortCircuit(x *binExpr) (val, error) {
+	end := g.newLabel()
+	rd, err := g.allocInt(x.line())
+	if err != nil {
+		return val{}, err
+	}
+	// Seed the result with the short-circuit value.
+	if x.op == "&&" {
+		g.emit(isa.Inst{Op: isa.ADDI, Ra: rd, Rb: 0, Imm: 0})
+	} else {
+		g.emit(isa.Inst{Op: isa.ADDI, Ra: rd, Rb: 0, Imm: 1})
+	}
+	// Branch straight to end if the left side decides.
+	if err := g.genCondBranch(x.l, end, x.op == "||"); err != nil {
+		return val{}, err
+	}
+	rv, err := g.genExpr(x.r)
+	if err != nil {
+		return val{}, err
+	}
+	rb := rv.reg
+	if rv.isCap {
+		g.emit(isa.Inst{Op: isa.CGETADDR, Ra: isa.RAT, Rb: rv.reg})
+		rb = isa.RAT
+	}
+	g.emit(isa.Inst{Op: isa.SLTU, Ra: rd, Rb: 0, Rc: rb}) // rd = (r != 0)
+	g.release(rv)
+	g.bind(end)
+	return val{kind: vkTemp, typ: typeLong, reg: rd}, nil
+}
+
+// applyBinary combines two already-evaluated operands. Pointer arithmetic
+// keeps provenance (CIncOffset); mixed-representation comparisons drop to
+// addresses.
+func (g *gen) applyBinary(op string, l, r val, line int) (val, error) {
+	// Normalise integer + pointer to pointer + integer.
+	if op == "+" && r.typ.isPtr() && !l.typ.isPtr() {
+		l, r = r, l
+	}
+	// Pointer +/- integer.
+	if l.isCap && !r.isCap && (op == "+" || op == "-") && l.typ.isPtr() {
+		esz := g.sizeOf(l.typ.elem)
+		if esz != 1 {
+			g.scaleReg(r.reg, esz)
+		}
+		if op == "-" {
+			g.emit(isa.Inst{Op: isa.SUB, Ra: r.reg, Rb: 0, Rc: r.reg})
+		}
+		g.emit(isa.Inst{Op: isa.CINCOFF, Ra: l.reg, Rb: l.reg, Rc: r.reg})
+		g.release(r)
+		return l, nil
+	}
+	if !l.isCap && !r.isCap && l.typ.isPtr() && r.typ.isInt() && (op == "+" || op == "-") {
+		// Legacy pointer arithmetic: plain integer maths, scaled.
+		esz := g.sizeOf(l.typ.elem)
+		if esz != 1 {
+			g.scaleReg(r.reg, esz)
+		}
+		aluOp := isa.ADD
+		if op == "-" {
+			aluOp = isa.SUB
+		}
+		g.emit(isa.Inst{Op: aluOp, Ra: l.reg, Rb: l.reg, Rc: r.reg})
+		g.release(r)
+		return l, nil
+	}
+	// Pointer - pointer: element difference.
+	if l.typ.isPtr() && r.typ.isPtr() && op == "-" {
+		esz := g.sizeOf(l.typ.elem)
+		var rd uint8
+		if l.isCap {
+			g.release(r)
+			g.release(l)
+			var err error
+			rd, err = g.allocInt(line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emit(isa.Inst{Op: isa.CSUB, Ra: rd, Rb: l.reg, Rc: r.reg})
+		} else {
+			g.emit(isa.Inst{Op: isa.SUB, Ra: l.reg, Rb: l.reg, Rc: r.reg})
+			g.release(r)
+			rd = l.reg
+		}
+		if esz > 1 {
+			g.emitConst(isa.RAT, esz)
+			g.emit(isa.Inst{Op: isa.DIV, Ra: rd, Rb: rd, Rc: isa.RAT})
+		}
+		return val{kind: vkTemp, typ: typeLong, reg: rd}, nil
+	}
+	// Capability-and-integer bitwise/shift/etc: operate in address space,
+	// preserving provenance via CSetAddr (the paper's CGetAddr compiler
+	// mode for uintptr_t manipulation: alignment, flag bits).
+	if l.isCap && (op == "&" || op == "|" || op == "^" || op == "<<" || op == ">>" || op == "%" || op == "+" || op == "-" || op == "*" || op == "/") {
+		if r.isCap {
+			var err error
+			r, err = g.coerce(r, typeLong, line)
+			if err != nil {
+				return val{}, err
+			}
+		}
+		g.emit(isa.Inst{Op: isa.CGETADDR, Ra: isa.RAT, Rb: l.reg})
+		iv := val{kind: vkTemp, typ: typeLong, reg: isa.RAT}
+		res, err := g.applyIntBinary(op, iv, r, line, true)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit(isa.Inst{Op: isa.CSETADDR, Ra: l.reg, Rb: l.reg, Rc: res.reg})
+		return l, nil
+	}
+	// Comparisons where either side is a capability: compare addresses.
+	if l.isCap || r.isCap {
+		var err error
+		if l.isCap {
+			l, err = g.coerce(l, typeLong, line)
+			if err != nil {
+				return val{}, err
+			}
+		}
+		if r.isCap {
+			r, err = g.coerce(r, typeLong, line)
+			if err != nil {
+				return val{}, err
+			}
+		}
+	}
+	return g.applyIntBinary(op, l, r, line, false)
+}
+
+// scaleReg multiplies a register by a constant element size.
+func (g *gen) scaleReg(reg uint8, esz int64) {
+	if esz&(esz-1) == 0 {
+		sh := int32(0)
+		for v := esz; v > 1; v >>= 1 {
+			sh++
+		}
+		g.emit(isa.Inst{Op: isa.SLLI, Ra: reg, Rb: reg, Imm: sh})
+		return
+	}
+	g.emitConst(isa.RAT, esz)
+	g.emit(isa.Inst{Op: isa.MUL, Ra: reg, Rb: reg, Rc: isa.RAT})
+}
+
+// applyIntBinary handles integer-register operands. If inPlaceRAT, the
+// left operand is the assembler temp and the result lands there.
+func (g *gen) applyIntBinary(op string, l, r val, line int, inPlaceRAT bool) (val, error) {
+	unsigned := !l.typ.signed || !r.typ.signed
+	rd := l.reg
+	res := l
+	emit3 := func(o isa.Op) {
+		g.emit(isa.Inst{Op: o, Ra: rd, Rb: l.reg, Rc: r.reg})
+	}
+	switch op {
+	case "+":
+		emit3(isa.ADD)
+	case "-":
+		emit3(isa.SUB)
+	case "*":
+		emit3(isa.MUL)
+	case "/":
+		if unsigned {
+			emit3(isa.DIVU)
+		} else {
+			emit3(isa.DIV)
+		}
+	case "%":
+		if unsigned {
+			emit3(isa.REMU)
+		} else {
+			emit3(isa.REM)
+		}
+	case "&":
+		emit3(isa.AND)
+	case "|":
+		emit3(isa.OR)
+	case "^":
+		emit3(isa.XOR)
+	case "<<":
+		emit3(isa.SLL)
+	case ">>":
+		if unsigned {
+			emit3(isa.SRL)
+		} else {
+			emit3(isa.SRA)
+		}
+	case "==":
+		emit3(isa.XOR)
+		g.emit(isa.Inst{Op: isa.SLTIU, Ra: rd, Rb: rd, Imm: 1})
+		res.typ = typeLong
+	case "!=":
+		emit3(isa.XOR)
+		g.emit(isa.Inst{Op: isa.SLTU, Ra: rd, Rb: 0, Rc: rd})
+		res.typ = typeLong
+	case "<":
+		if unsigned {
+			emit3(isa.SLTU)
+		} else {
+			emit3(isa.SLT)
+		}
+		res.typ = typeLong
+	case ">":
+		o := isa.SLT
+		if unsigned {
+			o = isa.SLTU
+		}
+		g.emit(isa.Inst{Op: o, Ra: rd, Rb: r.reg, Rc: l.reg})
+		res.typ = typeLong
+	case "<=":
+		o := isa.SLT
+		if unsigned {
+			o = isa.SLTU
+		}
+		g.emit(isa.Inst{Op: o, Ra: rd, Rb: r.reg, Rc: l.reg})
+		g.emit(isa.Inst{Op: isa.XORI, Ra: rd, Rb: rd, Imm: 1})
+		res.typ = typeLong
+	case ">=":
+		o := isa.SLT
+		if unsigned {
+			o = isa.SLTU
+		}
+		emit3(o)
+		g.emit(isa.Inst{Op: isa.XORI, Ra: rd, Rb: rd, Imm: 1})
+		res.typ = typeLong
+	default:
+		return val{}, g.errf(line, "unsupported operator %q", op)
+	}
+	g.release(r)
+	if inPlaceRAT {
+		// Result is in RAT; nothing to track.
+		return val{kind: vkTemp, typ: res.typ, reg: isa.RAT}, nil
+	}
+	return res, nil
+}

@@ -1,0 +1,564 @@
+package cc_test
+
+import (
+	"strings"
+	"testing"
+
+	"cheriabi"
+)
+
+// compileRun builds src and runs it under the given ABI.
+func compileRun(t *testing.T, abi cheriabi.ABI, src string, argv ...string) *cheriabi.RunResult {
+	t.Helper()
+	img, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: "test", ABI: abi}, src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 64 << 20})
+	res, err := sys.RunImage(img, argv...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// both runs the test body against both ABIs.
+func both(t *testing.T, fn func(t *testing.T, abi cheriabi.ABI)) {
+	t.Run("mips64", func(t *testing.T) { fn(t, cheriabi.ABILegacy) })
+	t.Run("cheriabi", func(t *testing.T) { fn(t, cheriabi.ABICheri) })
+}
+
+func TestReturnCode(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `int main() { return 42; }`)
+		if res.ExitCode != 42 {
+			t.Fatalf("exit = %d, signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestArithmeticAndLoops(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() {
+	int sum = 0;
+	int i;
+	for (i = 0; i < 10; i++) sum = sum + i;
+	if (sum != 45) return 1;
+	if (fib(15) != 610) return 2;
+	if ((7 * 6) % 5 != 2) return 3;
+	if ((1 << 10) != 1024) return 4;
+	if ((-8 >> 1) != -4) return 5;
+	if ((255 & 0x0F) != 15) return 6;
+	unsigned long u = 3;
+	if (18446744073709551615ul / u != 6148914691236517205ul) return 7;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestPrintfAndStrings(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int main() {
+	char buf[32];
+	printf("n=%d s=%s c=%c x=%x\n", 42, "hi", 'Z', 255);
+	snprintf(buf, 32, "[%d]", 7);
+	puts(buf);
+	return 0;
+}`)
+		want := "n=42 s=hi c=Z x=ff\n[7]\n"
+		if res.Output != want {
+			t.Fatalf("output %q want %q", res.Output, want)
+		}
+	})
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int g[8];
+int main() {
+	int loc[4];
+	int *p = loc;
+	int i;
+	for (i = 0; i < 4; i++) p[i] = i * i;
+	if (loc[3] != 9) return 1;
+	*(p + 2) = 77;
+	if (loc[2] != 77) return 2;
+	for (i = 0; i < 8; i++) g[i] = i;
+	int *q = &g[5];
+	if (*q != 5) return 3;
+	if (q - g != 5) return 4;
+	q++;
+	if (*q != 6) return 5;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d out=%q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+func TestStructs(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+struct point { long x; long y; char tag; };
+struct node { long v; struct node *next; };
+int main() {
+	struct point p;
+	p.x = 3; p.y = 4; p.tag = 'a';
+	struct point *pp = &p;
+	if (pp->x + pp->y != 7) return 1;
+	pp->y = 40;
+	if (p.y != 40) return 2;
+
+	struct node a; struct node b;
+	a.v = 1; a.next = &b;
+	b.v = 2; b.next = 0;
+	if (a.next->v != 2) return 3;
+	if (b.next != 0) return 4;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestPointerShapeDiffersBetweenABIs(t *testing.T) {
+	src := `
+struct holder { char c; char *p; };
+int main() { return sizeof(struct holder); }`
+	legacy := compileRun(t, cheriabi.ABILegacy, src)
+	cheri := compileRun(t, cheriabi.ABICheri, src)
+	if legacy.ExitCode != 16 {
+		t.Fatalf("legacy sizeof = %d, want 16", legacy.ExitCode)
+	}
+	if cheri.ExitCode != 32 {
+		t.Fatalf("cheriabi sizeof = %d, want 32 (16-byte pointers)", cheri.ExitCode)
+	}
+}
+
+func TestMallocFree(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int main() {
+	long *a = (long *)malloc(10 * sizeof(long));
+	if (a == 0) return 1;
+	int i;
+	for (i = 0; i < 10; i++) a[i] = i * 3;
+	long sum = 0;
+	for (i = 0; i < 10; i++) sum += a[i];
+	if (sum != 135) return 2;
+	a = (long *)realloc(a, 20 * sizeof(long));
+	if (a[9] != 27) return 3;
+	free(a);
+	char *s = (char *)calloc(4, 4);
+	if (s[15] != 0) return 4;
+	free(s);
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestHeapOverflowCaughtOnlyByCheriABI(t *testing.T) {
+	src := `
+int main() {
+	char *p = (char *)malloc(16);
+	int i;
+	for (i = 0; i <= 16; i++) p[i] = 'A'; // one past the end
+	return 0;
+}`
+	legacy := compileRun(t, cheriabi.ABILegacy, src)
+	if legacy.Signal != 0 {
+		t.Fatalf("legacy should run past the overflow, got signal %d", legacy.Signal)
+	}
+	cheri := compileRun(t, cheriabi.ABICheri, src)
+	if cheri.Signal != 34 { // SIGPROT
+		t.Fatalf("cheriabi should die with SIGPROT, got signal %d exit %d", cheri.Signal, cheri.ExitCode)
+	}
+}
+
+func TestStackOverflowCaughtOnlyByCheriABI(t *testing.T) {
+	src := `
+int smash(char *p) { p[24] = 7; return 0; } // past the 16-byte buffer
+int main() {
+	char buf[16];
+	smash(buf);
+	return 0;
+}`
+	legacy := compileRun(t, cheriabi.ABILegacy, src)
+	if legacy.Signal != 0 {
+		t.Fatalf("legacy: signal %d", legacy.Signal)
+	}
+	cheri := compileRun(t, cheriabi.ABICheri, src)
+	if cheri.Signal != 34 {
+		t.Fatalf("cheriabi: want SIGPROT, got signal %d", cheri.Signal)
+	}
+}
+
+func TestIntPtrTPreservesProvenance(t *testing.T) {
+	// Round-tripping through uintptr_t keeps the capability valid;
+	// round-tripping through long loses the tag and faults on use.
+	good := `
+int main() {
+	int x = 5;
+	int *p = &x;
+	uintptr_t u = (uintptr_t)p;
+	u = u + 0;
+	int *q = (int *)u;
+	return *q == 5 ? 0 : 1;
+}`
+	res := compileRun(t, cheriabi.ABICheri, good)
+	if res.ExitCode != 0 || res.Signal != 0 {
+		t.Fatalf("uintptr_t round trip failed: exit %d signal %d", res.ExitCode, res.Signal)
+	}
+	bad := `
+int main() {
+	int x = 5;
+	int *p = &x;
+	long u = (long)p;      // integer-provenance bug (Table 2 "IP")
+	int *q = (int *)u;
+	return *q == 5 ? 0 : 1;
+}`
+	res = compileRun(t, cheriabi.ABICheri, bad)
+	if res.Signal != 34 {
+		t.Fatalf("plain-integer round trip should fault: exit %d signal %d", res.ExitCode, res.Signal)
+	}
+	// The same program is fine on the legacy ABI.
+	res = compileRun(t, cheriabi.ABILegacy, bad)
+	if res.ExitCode != 0 {
+		t.Fatalf("legacy round trip: exit %d", res.ExitCode)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int apply(int (*op)(int, int), int a, int b) { return op(a, b); }
+int (*table[2])(int, int);
+int main() {
+	if (apply(add, 40, 2) != 42) return 1;
+	if (apply(sub, 50, 8) != 42) return 2;
+	table[0] = add;
+	table[1] = sub;
+	if (table[0](1, 2) != 3) return 3;
+	if (table[1](5, 2) != 3) return 4;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestQsortWithGuestComparator(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+long vals[16];
+int cmp(long *a, long *b) {
+	if (*a < *b) return -1;
+	if (*a > *b) return 1;
+	return 0;
+}
+int main() {
+	int i;
+	for (i = 0; i < 16; i++) vals[i] = (31 * (i + 7)) % 23;
+	qsort(vals, 16, sizeof(long), cmp);
+	for (i = 1; i < 16; i++) {
+		if (vals[i - 1] > vals[i]) return 1;
+	}
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d out=%q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+func TestStringFunctions(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int main() {
+	char buf[64];
+	strcpy(buf, "hello");
+	if (strlen(buf) != 5) return 1;
+	strcat(buf, " world");
+	if (strcmp(buf, "hello world") != 0) return 2;
+	if (strncmp(buf, "hello!", 5) != 0) return 3;
+	char *p = strchr(buf, 'w');
+	if (p == 0) return 4;
+	if (*p != 'w') return 5;
+	if (memcmp("abc", "abd", 3) >= 0) return 6;
+	memset(buf, 0, 64);
+	if (buf[10] != 0) return 7;
+	if (atoi("  -451x") != -451) return 8;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestSwitch(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int classify(int c) {
+	switch (c) {
+	case 1: return 10;
+	case 2: return 20;
+	case 3: return 30;
+	default: return -1;
+	}
+}
+int main() {
+	if (classify(1) != 10) return 1;
+	if (classify(3) != 30) return 2;
+	if (classify(9) != -1) return 3;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d", res.ExitCode)
+		}
+	})
+}
+
+func TestGlobalInitialisers(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+long counter = 7;
+char *msg = "boot";
+long table[4] = { 2, 3, 5, 7 };
+char name[8] = "sim";
+int main() {
+	if (counter != 7) return 1;
+	if (msg[0] != 'b' || msg[3] != 't') return 2;
+	if (table[0] + table[1] + table[2] + table[3] != 17) return 3;
+	if (name[0] != 's' || name[3] != 0) return 4;
+	counter++;
+	if (counter != 8) return 5;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestArgv(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int main(int argc, char **argv) {
+	if (argc != 3) return 1;
+	printf("%s %s\n", argv[1], argv[2]);
+	return 0;
+}`, "prog", "alpha", "beta")
+		if res.ExitCode != 0 || res.Output != "alpha beta\n" {
+			t.Fatalf("exit=%d out=%q", res.ExitCode, res.Output)
+		}
+	})
+}
+
+func TestSyscallsFromC(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int main() {
+	if (getpid() <= 0) return 1;
+	int fds[2];
+	if (pipe(fds) != 0) return 2;
+	if (write(fds[1], "ping", 4) != 4) return 3;
+	char buf[8];
+	if (read(fds[0], buf, 8) != 4) return 4;
+	if (buf[0] != 'p' || buf[3] != 'g') return 5;
+	close(fds[0]);
+	close(fds[1]);
+	int fd = open("/tmp/t.txt", 0x200 | 2, 0);
+	if (fd < 0) return 6;
+	if (write(fd, "data", 4) != 4) return 7;
+	if (lseek(fd, 0, 0) != 0) return 8;
+	if (read(fd, buf, 8) != 4) return 9;
+	close(fd);
+	unlink("/tmp/t.txt");
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestForkFromC(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int main() {
+	int pid = fork();
+	if (pid == 0) {
+		exit(7);
+	}
+	int status = 0;
+	if (wait4(pid, &status, 0) != pid) return 1;
+	return (status >> 8) == 7 ? 0 : 2;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestSbrkENOSYSUnderCheriABI(t *testing.T) {
+	src := `
+int main() {
+	long r = (long)sbrk(4096);
+	if (r == -1) return errno();
+	return 0;
+}`
+	cheri := compileRun(t, cheriabi.ABICheri, src)
+	if cheri.ExitCode != 78 { // ENOSYS
+		t.Fatalf("cheriabi sbrk: exit %d, want 78", cheri.ExitCode)
+	}
+	legacy := compileRun(t, cheriabi.ABILegacy, src)
+	if legacy.ExitCode != 0 {
+		t.Fatalf("legacy sbrk: exit %d", legacy.ExitCode)
+	}
+}
+
+func TestMmapFromC(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int main() {
+	long *m = (long *)mmap(0, 8192, 3, 0); // RW
+	if (m == 0) return 1;
+	m[100] = 4242;
+	if (m[100] != 4242) return 2;
+	if (munmap(m, 8192) != 0) return 3;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+		}
+	})
+}
+
+func TestCheriIntrospection(t *testing.T) {
+	res := compileRun(t, cheriabi.ABICheri, `
+int main() {
+	char *p = (char *)malloc(100);
+	if (!cheri_tag_get(p)) return 1;
+	if (cheri_length_get(p) != 100) return 2; // exact small bounds
+	char *q = (char *)cheri_bounds_set(p, 10);
+	if (cheri_length_get(q) != 10) return 3;
+	char *r = (char *)cheri_tag_clear(p);
+	if (cheri_tag_get(r)) return 4;
+	if (representable_length(100) != 100) return 5;
+	return 0;
+}`)
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d signal = %d", res.ExitCode, res.Signal)
+	}
+}
+
+func TestLintsDetectTable2Idioms(t *testing.T) {
+	src := `
+long hash_ptr(char *p) { return ((long)p) % 64; }
+char *align_ptr(char *p) { return (char *)(((uintptr_t)p) & ~15); }
+char *tag_ptr(char *p) { return (char *)(((uintptr_t)p) | 1); }
+int main() { return 0; }
+`
+	findings, err := cheriabi.Lint("lint-test", cheriabi.ABICheri, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := map[string]int{}
+	for _, f := range findings {
+		cats[f.Cat.String()]++
+	}
+	if cats["IP"] == 0 {
+		t.Errorf("IP (pointer->long cast) not detected: %v", findings)
+	}
+	if cats["A"] == 0 {
+		t.Errorf("A (alignment mask) not detected: %v", findings)
+	}
+	if cats["BF"] == 0 {
+		t.Errorf("BF (flag bits) not detected: %v", findings)
+	}
+}
+
+func TestConditionalExpr(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int main() {
+	int a = 5;
+	int b = a > 3 ? 10 : 20;
+	int c = a < 3 ? 10 : 20;
+	return b + c == 30 ? 0 : 1;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d", res.ExitCode)
+		}
+	})
+}
+
+func TestShortCircuit(t *testing.T) {
+	both(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := compileRun(t, abi, `
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+	if (0 && bump()) return 1;
+	if (calls != 0) return 2;
+	if (!(1 || bump())) return 3;
+	if (calls != 0) return 4;
+	if (!(1 && bump())) return 5;
+	if (calls != 1) return 6;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit = %d", res.ExitCode)
+		}
+	})
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res := compileRun(t, cheriabi.ABICheri, `int main() { int i; long s = 0; for (i = 0; i < 1000; i++) s += i; return 0; }`)
+	if res.Stats.Instructions < 1000 {
+		t.Fatalf("instructions = %d", res.Stats.Instructions)
+	}
+	if res.Stats.Cycles < res.Stats.Instructions {
+		t.Fatalf("cycles %d < instructions %d", res.Stats.Cycles, res.Stats.Instructions)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		`int main() { return undeclared_fn(); }`,
+		`int main() { undeclared_var = 1; return 0; }`,
+		`int main( { return 0; }`,
+		`int f(int x) { return x; } int f(int x) { return x; } int main() { return 0; }`,
+	}
+	for i, src := range cases {
+		if _, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: "bad", ABI: cheriabi.ABICheri}, src); err == nil {
+			t.Errorf("case %d: expected compile error", i)
+		}
+	}
+}
+
+func TestOutputContainsNoGarbage(t *testing.T) {
+	res := compileRun(t, cheriabi.ABICheri, `int main() { printf("%d", 123); return 0; }`)
+	if !strings.HasPrefix(res.Output, "123") || len(res.Output) != 3 {
+		t.Fatalf("output %q", res.Output)
+	}
+}

@@ -1,0 +1,287 @@
+package cc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cheriabi"
+)
+
+// Differential testing: generate random integer expression trees, evaluate
+// them in Go, compile them as MiniC for both ABIs, and require all three
+// agree. This exercises the expression code generator, constant
+// materialisation, temp-register allocation, and the two calling
+// conventions far beyond the hand-written tests.
+
+type exprGen struct {
+	rng  *rand.Rand
+	vars []string // available variables (long)
+}
+
+// gen returns a MiniC expression and its Go evaluation under the given
+// variable values.
+func (g *exprGen) gen(depth int, vals map[string]int64) (string, int64) {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			v := int64(g.rng.Intn(2001) - 1000)
+			return fmt.Sprintf("%d", v), v
+		case 1:
+			v := int64(g.rng.Uint32()) // larger constants exercise LUI chains
+			return fmt.Sprintf("%d", v), v
+		default:
+			name := g.vars[g.rng.Intn(len(g.vars))]
+			return name, vals[name]
+		}
+	}
+	l, lv := g.gen(depth-1, vals)
+	r, rv := g.gen(depth-1, vals)
+	ops := []string{"+", "-", "*", "&", "|", "^", "<", ">", "==", "!=", "<=", ">=", "&&", "||"}
+	op := ops[g.rng.Intn(len(ops))]
+	var out int64
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		out = lv + rv
+	case "-":
+		out = lv - rv
+	case "*":
+		out = lv * rv
+	case "&":
+		out = lv & rv
+	case "|":
+		out = lv | rv
+	case "^":
+		out = lv ^ rv
+	case "<":
+		out = b2i(lv < rv)
+	case ">":
+		out = b2i(lv > rv)
+	case "==":
+		out = b2i(lv == rv)
+	case "!=":
+		out = b2i(lv != rv)
+	case "<=":
+		out = b2i(lv <= rv)
+	case ">=":
+		out = b2i(lv >= rv)
+	case "&&":
+		out = b2i(lv != 0 && rv != 0)
+	case "||":
+		out = b2i(lv != 0 || rv != 0)
+	}
+	return "(" + l + " " + op + " " + r + ")", out
+}
+
+func TestDifferentialExpressions(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260610))
+	g := &exprGen{rng: rng, vars: []string{"a", "b", "c", "d"}}
+
+	const perProgram = 8
+	for trial := 0; trial < 6; trial++ {
+		vals := map[string]int64{}
+		var decl strings.Builder
+		for _, v := range g.vars {
+			vals[v] = int64(rng.Intn(4001) - 2000)
+			fmt.Fprintf(&decl, "\tlong %s = %d;\n", v, vals[v])
+		}
+		var body strings.Builder
+		var expects []int64
+		for i := 0; i < perProgram; i++ {
+			e, want := g.gen(3, vals)
+			fmt.Fprintf(&body, "\tprintf(\"%%d\\n\", %s);\n", e)
+			expects = append(expects, want)
+		}
+		src := "int main() {\n" + decl.String() + body.String() + "\treturn 0;\n}\n"
+
+		var want strings.Builder
+		for _, v := range expects {
+			fmt.Fprintf(&want, "%d\n", v)
+		}
+		for _, abi := range []cheriabi.ABI{cheriabi.ABILegacy, cheriabi.ABICheri} {
+			res := compileRun(t, abi, src)
+			if res.Signal != 0 {
+				t.Fatalf("trial %d %v: killed by %d\nsource:\n%s", trial, abi, res.Signal, src)
+			}
+			if res.Output != want.String() {
+				t.Fatalf("trial %d %v: output mismatch\nsource:\n%s\ngot:\n%s\nwant:\n%s",
+					trial, abi, src, res.Output, want.String())
+			}
+		}
+	}
+}
+
+// TestDifferentialUnsignedDivision covers the signed/unsigned division and
+// shift selection, which the expression generator above avoids (Go and C
+// disagree on negative shifts and division-by-zero).
+func TestDifferentialUnsignedDivision(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		a := rng.Uint64()
+		b := rng.Uint64()%1000 + 1
+		sa := int64(rng.Intn(100000) - 50000)
+		sb := int64(rng.Intn(999) + 1)
+		src := fmt.Sprintf(`
+int main() {
+	unsigned long a = %dul;
+	unsigned long b = %d;
+	long sa = %d;
+	long sb = %d;
+	printf("%%u %%u %%d %%d %%u %%d\n", a / b, a %% b, sa / sb, sa %% sb, a >> 7, sa >> 3);
+	return 0;
+}`, a, b, sa, sb)
+		want := fmt.Sprintf("%d %d %d %d %d %d\n", a/b, a%b, sa/sb, sa%sb, a>>7, sa>>3)
+		for _, abi := range []cheriabi.ABI{cheriabi.ABILegacy, cheriabi.ABICheri} {
+			res := compileRun(t, abi, src)
+			if res.Output != want {
+				t.Fatalf("trial %d %v:\ngot  %q\nwant %q\nsource:%s", trial, abi, res.Output, want, src)
+			}
+		}
+	}
+}
+
+// TestNestedControlFlow: loops, breaks, continues, do-while nesting.
+func TestNestedControlFlow(t *testing.T) {
+	src := `
+int main() {
+	int total = 0;
+	int i; int j;
+	for (i = 0; i < 10; i++) {
+		if (i == 3) continue;
+		if (i == 8) break;
+		j = 0;
+		do {
+			j++;
+			if (j == 2) continue;
+			if (j > 4) break;
+			total += i * 10 + j;
+		} while (j < 100);
+	}
+	int k = 0;
+	while (k < 5) {
+		k++;
+		switch (k) {
+		case 2: total += 1000; break;
+		case 4: continue;
+		default: total += 1;
+		}
+		total += 2;
+	}
+	return total % 251;
+}`
+	var want int
+	{
+		total := 0
+		for i := 0; i < 10; i++ {
+			if i == 3 {
+				continue
+			}
+			if i == 8 {
+				break
+			}
+			j := 0
+			for {
+				j++
+				if j == 2 {
+					if j < 100 {
+						continue
+					}
+					break
+				}
+				if j > 4 {
+					break
+				}
+				total += i*10 + j
+				if j >= 100 {
+					break
+				}
+			}
+		}
+		k := 0
+		for k < 5 {
+			k++
+			cont := false
+			switch k {
+			case 2:
+				total += 1000
+			case 4:
+				cont = true
+			default:
+				total++
+			}
+			if cont {
+				continue
+			}
+			total += 2
+		}
+		want = total % 251
+	}
+	for _, abi := range []cheriabi.ABI{cheriabi.ABILegacy, cheriabi.ABICheri} {
+		res := compileRun(t, abi, src)
+		if res.ExitCode != want {
+			t.Fatalf("%v: exit %d want %d", abi, res.ExitCode, want)
+		}
+	}
+}
+
+// TestScopeShadowing: block-scoped redeclaration.
+func TestScopeShadowing(t *testing.T) {
+	src := `
+long x = 5;
+int main() {
+	long acc = x; // 5
+	{
+		long x = 10;
+		acc += x; // 15
+		{
+			long x = 100;
+			acc += x; // 115
+		}
+		acc += x; // 125
+	}
+	acc += x; // 130
+	return (int)acc;
+}`
+	for _, abi := range []cheriabi.ABI{cheriabi.ABILegacy, cheriabi.ABICheri} {
+		res := compileRun(t, abi, src)
+		if res.ExitCode != 130 {
+			t.Fatalf("%v: exit %d", abi, res.ExitCode)
+		}
+	}
+}
+
+// TestDeepCallChain: register spills across many live values and calls.
+func TestDeepCallChain(t *testing.T) {
+	src := `
+long f1(long x) { return x + 1; }
+long f2(long x) { return f1(x) * 2; }
+long f3(long x) { return f2(x) + f1(x); }
+long f4(long x) { return f3(x) + f2(x) + f1(x); }
+int main() {
+	long a = f1(1) + f2(2) + f3(3) + f4(4);
+	long b = f4(f3(f2(f1(0))));
+	return (int)((a * 31 + b) % 199);
+}`
+	want := func() int {
+		f1 := func(x int64) int64 { return x + 1 }
+		f2 := func(x int64) int64 { return f1(x) * 2 }
+		f3 := func(x int64) int64 { return f2(x) + f1(x) }
+		f4 := func(x int64) int64 { return f3(x) + f2(x) + f1(x) }
+		a := f1(1) + f2(2) + f3(3) + f4(4)
+		b := f4(f3(f2(f1(0))))
+		return int((a*31 + b) % 199)
+	}()
+	for _, abi := range []cheriabi.ABI{cheriabi.ABILegacy, cheriabi.ABICheri} {
+		res := compileRun(t, abi, src)
+		if res.ExitCode != want {
+			t.Fatalf("%v: exit %d want %d", abi, res.ExitCode, want)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package cc
+
+import "fmt"
+
+// Category is a Table 2 change/incompatibility category: the taxonomy of
+// source changes the paper required across the FreeBSD userland.
+type Category int
+
+// Table 2 categories.
+const (
+	CatPP Category = iota // pointer provenance
+	CatIP                 // integer provenance (casts via non-intptr_t ints)
+	CatM                  // monotonicity (reaching outside bounds)
+	CatPS                 // pointer shape (size/alignment assumptions)
+	CatI                  // pointer as integer (sentinel values)
+	CatVA                 // virtual-address manipulation (other)
+	CatBF                 // bit flags in pointer low bits
+	CatH                  // hashing virtual addresses
+	CatA                  // pointer alignment arithmetic
+	CatCC                 // calling convention (prototypes, variadics)
+	CatU                  // unsupported (sbrk, pointer XOR)
+	NumCategories
+)
+
+var catNames = [NumCategories]string{"PP", "IP", "M", "PS", "I", "VA", "BF", "H", "A", "CC", "U"}
+
+func (c Category) String() string {
+	if int(c) < len(catNames) {
+		return catNames[c]
+	}
+	return fmt.Sprintf("Cat(%d)", int(c))
+}
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Cat  Category
+	Line int
+	Msg  string
+}
+
+func (f Finding) String() string { return fmt.Sprintf("%s: line %d: %s", f.Cat, f.Line, f.Msg) }
+
+func (g *gen) lint(cat Category, line int, msg string) {
+	g.lints = append(g.lints, Finding{Cat: cat, Line: line, Msg: msg})
+}
+
+// lintCast classifies pointer/integer casts: the compiler warnings the
+// paper added to locate code requiring changes for CHERI C.
+func (g *gen) lintCast(x *castExpr) {
+	from, err := g.typeOf(x.x)
+	if err != nil {
+		return
+	}
+	to := x.typ
+	switch {
+	case from.decay().isPtr() && to.isInt() && !to.capInt:
+		g.lint(CatIP, x.line(), "pointer cast to plain integer loses provenance; use uintptr_t")
+	case from.isInt() && !from.capInt && to.isPtr():
+		if v, ok := g.constEval(x.x); ok {
+			if v != 0 {
+				g.lint(CatI, x.line(), "integer constant used as pointer sentinel")
+			}
+		} else {
+			g.lint(CatPP, x.line(), "integer cast to pointer has no provenance")
+		}
+	}
+}
+
+// lintExprPatterns runs the syntactic idiom checks over an expression tree
+// (bit flags, alignment tricks, address hashing, pointer XOR).
+func (g *gen) lintExprPatterns(e expr) {
+	switch x := e.(type) {
+	case *binExpr:
+		lt, lerr := g.typeOf(x.l)
+		if lerr == nil && lt.decay().isCapLike() {
+			switch x.op {
+			case "&":
+				if n, ok := x.r.(*numExpr); ok && n.val != 0 && n.val < 16 {
+					g.lint(CatBF, x.line(), "reading flag bits from pointer low bits")
+				} else if u, ok := x.r.(*unaryExpr); ok && u.op == "~" {
+					g.lint(CatA, x.line(), "aligning a pointer with a mask")
+				} else {
+					g.lint(CatVA, x.line(), "bitwise arithmetic on a pointer")
+				}
+			case "|":
+				g.lint(CatBF, x.line(), "storing flag bits in pointer low bits")
+			case "^":
+				if rt, rerr := g.typeOf(x.r); rerr == nil && rt.decay().isCapLike() {
+					g.lint(CatU, x.line(), "XOR of two pointers is unsupported on CHERI")
+				} else {
+					g.lint(CatH, x.line(), "hashing a virtual address")
+				}
+			case "%", ">>":
+				g.lint(CatH, x.line(), "hashing a virtual address")
+			}
+		}
+		g.lintExprPatterns(x.l)
+		g.lintExprPatterns(x.r)
+	case *unaryExpr:
+		g.lintExprPatterns(x.x)
+	case *assignExpr:
+		g.lintExprPatterns(x.l)
+		g.lintExprPatterns(x.r)
+	case *callExpr:
+		if id, ok := x.fn.(*identExpr); ok && id.name == "sbrk" {
+			g.lint(CatU, x.line(), "sbrk is not supported under CheriABI")
+		}
+		for _, a := range x.args {
+			g.lintExprPatterns(a)
+		}
+	case *castExpr:
+		g.lintExprPatterns(x.x)
+	case *indexExpr:
+		g.lintExprPatterns(x.x)
+		g.lintExprPatterns(x.idx)
+	case *condExpr:
+		g.lintExprPatterns(x.c)
+		g.lintExprPatterns(x.t)
+		g.lintExprPatterns(x.f)
+	case *sizeofExpr:
+		if x.typ != nil && x.typ.isPtr() {
+			g.lint(CatPS, x.line(), "sizeof(pointer) differs between ABIs")
+		}
+	case *memberExpr:
+		g.lintExprPatterns(x.x)
+	case *postfixExpr:
+		g.lintExprPatterns(x.x)
+	}
+}
+
+// lintFunc runs the idiom checks over one function with its parameters in
+// scope (the lint pass precedes code generation, so it maintains its own
+// symbol environment for typeOf).
+func (g *gen) lintFunc(fn *funcDecl) {
+	g.fn = fn
+	g.pushScope()
+	for i, t := range fn.sig.params {
+		if i < len(fn.params) {
+			g.locals[len(g.locals)-1][fn.params[i]] = localVar{typ: t}
+		}
+	}
+	g.lintStmts(fn.body)
+	g.popScope()
+}
+
+// lintStmts walks statements applying the expression idiom checks.
+func (g *gen) lintStmts(s stmt) {
+	switch x := s.(type) {
+	case *blockStmt:
+		g.pushScope()
+		for _, inner := range x.list {
+			g.lintStmts(inner)
+		}
+		g.popScope()
+	case *exprStmt:
+		g.lintExprPatterns(x.x)
+	case *declStmt:
+		g.locals[len(g.locals)-1][x.name] = localVar{typ: x.typ}
+		if x.init != nil {
+			g.lintExprPatterns(x.init)
+		}
+	case *ifStmt:
+		g.lintExprPatterns(x.cond)
+		g.lintStmts(x.then)
+		if x.els != nil {
+			g.lintStmts(x.els)
+		}
+	case *whileStmt:
+		g.lintExprPatterns(x.cond)
+		g.lintStmts(x.body)
+	case *forStmt:
+		if x.init != nil {
+			g.lintStmts(x.init)
+		}
+		if x.cond != nil {
+			g.lintExprPatterns(x.cond)
+		}
+		if x.step != nil {
+			g.lintExprPatterns(x.step)
+		}
+		g.lintStmts(x.body)
+	case *returnStmt:
+		if x.x != nil {
+			g.lintExprPatterns(x.x)
+		}
+	case *switchStmt:
+		g.lintExprPatterns(x.cond)
+		for _, c := range x.cases {
+			for _, inner := range c.stmts {
+				g.lintStmts(inner)
+			}
+		}
+	}
+}
+
+// typeOf infers the static type of an expression without emitting code
+// (best-effort; used by sizeof and the lints).
+func (g *gen) typeOf(e expr) (*ctype, error) {
+	switch x := e.(type) {
+	case *numExpr:
+		return typeLong, nil
+	case *strExpr:
+		return ptrTo(typeChar), nil
+	case *identExpr:
+		if lv, ok := g.lookupLocal(x.name); ok {
+			return lv.typ, nil
+		}
+		if t, ok := g.globals[x.name]; ok {
+			return t, nil
+		}
+		if fd, ok := g.funcs[x.name]; ok {
+			return ptrTo(&ctype{kind: tFunc, fn: fd.sig}), nil
+		}
+		return nil, fmt.Errorf("unknown identifier %s", x.name)
+	case *unaryExpr:
+		t, err := g.typeOf(x.x)
+		if err != nil {
+			return nil, err
+		}
+		switch x.op {
+		case "*":
+			if t.decay().isPtr() {
+				return t.decay().elem, nil
+			}
+			return typeChar, nil
+		case "&":
+			return ptrTo(t), nil
+		default:
+			return t, nil
+		}
+	case *postfixExpr:
+		return g.typeOf(x.x)
+	case *binExpr:
+		lt, err := g.typeOf(x.l)
+		if err != nil {
+			return nil, err
+		}
+		switch x.op {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+			return typeLong, nil
+		}
+		if lt.decay().isPtr() {
+			rt, err := g.typeOf(x.r)
+			if err == nil && rt.decay().isPtr() && x.op == "-" {
+				return typeLong, nil
+			}
+			return lt.decay(), nil
+		}
+		return lt, nil
+	case *assignExpr:
+		return g.typeOf(x.l)
+	case *callExpr:
+		if id, ok := x.fn.(*identExpr); ok {
+			if fd, ok := g.funcs[id.name]; ok {
+				return fd.sig.ret, nil
+			}
+			if b, ok := builtins[id.name]; ok {
+				if b.retPtr {
+					return ptrTo(typeChar), nil
+				}
+				return typeLong, nil
+			}
+		}
+		t, err := g.typeOf(x.fn)
+		if err == nil && t.isPtr() && t.elem.kind == tFunc {
+			return t.elem.fn.ret, nil
+		}
+		return typeLong, nil
+	case *indexExpr:
+		t, err := g.typeOf(x.x)
+		if err != nil {
+			return nil, err
+		}
+		if t.decay().isPtr() {
+			return t.decay().elem, nil
+		}
+		return nil, fmt.Errorf("indexing non-pointer")
+	case *memberExpr:
+		t, err := g.typeOf(x.x)
+		if err != nil {
+			return nil, err
+		}
+		var sd *structDef
+		if x.arrow && t.decay().isPtr() && t.decay().elem.kind == tStruct {
+			sd = t.decay().elem.sdef
+		} else if !x.arrow && t.kind == tStruct {
+			sd = t.sdef
+		} else {
+			return nil, fmt.Errorf("bad member access")
+		}
+		_, ft, ok := g.fieldOffset(sd, x.name)
+		if !ok {
+			return nil, fmt.Errorf("no field %s", x.name)
+		}
+		return ft, nil
+	case *castExpr:
+		return x.typ, nil
+	case *sizeofExpr:
+		return typeULong, nil
+	case *condExpr:
+		return g.typeOf(x.t)
+	}
+	return typeLong, nil
+}

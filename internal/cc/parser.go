@@ -1,0 +1,869 @@
+package cc
+
+import "fmt"
+
+// parser is a recursive-descent parser for MiniC: the C subset described
+// in DESIGN.md §6 (integers, pointers, arrays, structs, function pointers,
+// full expression and statement grammar, no preprocessor).
+type parser struct {
+	toks     []token
+	pos      int
+	file     string
+	unit     *unit
+	typedefs map[string]*ctype
+}
+
+func parse(file, src string) (*unit, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks: toks, file: file,
+		unit:     &unit{structs: map[string]*structDef{}},
+		typedefs: map[string]*ctype{},
+	}
+	for !p.at(tokEOF, "") {
+		if err := p.topDecl(); err != nil {
+			return nil, err
+		}
+	}
+	return p.unit, nil
+}
+
+func (p *parser) tok() token  { return p.toks[p.pos] }
+func (p *parser) advance()    { p.pos++ }
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.tok()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", p.file, p.tok().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokKind, text string) error {
+	if !p.accept(kind, text) {
+		return p.errf("expected %q, found %s", text, p.tok())
+	}
+	return nil
+}
+
+// atType reports whether the current token starts a type.
+func (p *parser) atType() bool {
+	t := p.tok()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "void", "char", "short", "int", "long", "unsigned", "signed",
+			"struct", "const", "volatile", "intptr_t", "uintptr_t", "size_t", "ssize_t":
+			return true
+		}
+	}
+	if t.kind == tokIdent {
+		_, ok := p.typedefs[t.text]
+		return ok
+	}
+	return false
+}
+
+// baseType parses a type specifier (without declarators).
+func (p *parser) baseType() (*ctype, error) {
+	for p.accept(tokKeyword, "const") || p.accept(tokKeyword, "volatile") {
+	}
+	t := p.tok()
+	if t.kind == tokIdent {
+		if td, ok := p.typedefs[t.text]; ok {
+			p.advance()
+			return td, nil
+		}
+		return nil, p.errf("unknown type %q", t.text)
+	}
+	if t.kind != tokKeyword {
+		return nil, p.errf("expected type, found %s", t)
+	}
+	switch t.text {
+	case "void":
+		p.advance()
+		return typeVoid, nil
+	case "intptr_t":
+		p.advance()
+		return typeIntPtr, nil
+	case "uintptr_t":
+		p.advance()
+		return typeUIntPtr, nil
+	case "size_t":
+		p.advance()
+		return typeULong, nil
+	case "ssize_t":
+		p.advance()
+		return typeLong, nil
+	case "struct":
+		p.advance()
+		name := p.tok().text
+		if p.tok().kind != tokIdent {
+			return nil, p.errf("expected struct name")
+		}
+		p.advance()
+		sd, ok := p.unit.structs[name]
+		if !ok {
+			sd = &structDef{name: name}
+			p.unit.structs[name] = sd
+		}
+		if p.at(tokPunct, "{") {
+			if err := p.structBody(sd); err != nil {
+				return nil, err
+			}
+		}
+		return &ctype{kind: tStruct, sdef: sd}, nil
+	}
+	// Integer types: [unsigned|signed] char|short|int|long [long].
+	signed := true
+	switch t.text {
+	case "unsigned":
+		signed = false
+		p.advance()
+	case "signed":
+		p.advance()
+	}
+	width := 8
+	switch p.tok().text {
+	case "char":
+		width = 1
+		p.advance()
+	case "short":
+		width = 2
+		p.advance()
+		p.accept(tokKeyword, "int")
+	case "int":
+		p.advance()
+	case "long":
+		p.advance()
+		p.accept(tokKeyword, "long")
+		p.accept(tokKeyword, "int")
+	default:
+		// bare "unsigned"/"signed"
+	}
+	switch {
+	case width == 1 && signed:
+		return typeChar, nil
+	case width == 1:
+		return typeUChar, nil
+	case width == 2 && signed:
+		return typeShort, nil
+	case width == 2:
+		return &ctype{kind: tInt, size: 2}, nil
+	case signed:
+		return typeLong, nil
+	default:
+		return typeULong, nil
+	}
+}
+
+func (p *parser) structBody(sd *structDef) error {
+	if err := p.expect(tokPunct, "{"); err != nil {
+		return err
+	}
+	sd.fields = nil
+	for !p.accept(tokPunct, "}") {
+		base, err := p.baseType()
+		if err != nil {
+			return err
+		}
+		for {
+			typ, name, err := p.declarator(base)
+			if err != nil {
+				return err
+			}
+			sd.fields = append(sd.fields, field{name: name, typ: typ})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// declarator parses pointers, a name, array suffixes, and C function
+// pointer syntax `(*name)(params)`.
+func (p *parser) declarator(base *ctype) (*ctype, string, error) {
+	t := base
+	for p.accept(tokPunct, "*") {
+		for p.accept(tokKeyword, "const") || p.accept(tokKeyword, "volatile") {
+		}
+		t = ptrTo(t)
+	}
+	// Function pointer: ( * name [dims] ) ( params )
+	if p.at(tokPunct, "(") && p.toks[p.pos+1].text == "*" {
+		p.advance()
+		p.advance()
+		name := p.tok().text
+		if p.tok().kind != tokIdent {
+			return nil, "", p.errf("expected function-pointer name")
+		}
+		p.advance()
+		arrayLen := -1
+		if p.accept(tokPunct, "[") {
+			if p.tok().kind != tokNumber {
+				return nil, "", p.errf("function-pointer array needs a constant size")
+			}
+			arrayLen = int(p.tok().num)
+			p.advance()
+			if err := p.expect(tokPunct, "]"); err != nil {
+				return nil, "", err
+			}
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, "", err
+		}
+		sig, _, err := p.paramList()
+		if err != nil {
+			return nil, "", err
+		}
+		sig.ret = t
+		fp := ptrTo(&ctype{kind: tFunc, fn: sig})
+		if arrayLen >= 0 {
+			return &ctype{kind: tArray, elem: fp, arrayLen: arrayLen}, name, nil
+		}
+		return fp, name, nil
+	}
+	name := ""
+	if p.tok().kind == tokIdent {
+		name = p.tok().text
+		p.advance()
+	}
+	// Array suffixes (innermost last).
+	var dims []int
+	for p.accept(tokPunct, "[") {
+		n := 0
+		if p.tok().kind == tokNumber {
+			n = int(p.tok().num)
+			p.advance()
+		}
+		if err := p.expect(tokPunct, "]"); err != nil {
+			return nil, "", err
+		}
+		dims = append(dims, n)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = &ctype{kind: tArray, elem: t, arrayLen: dims[i]}
+	}
+	return t, name, nil
+}
+
+// paramList parses '(' params ')' returning the signature and names.
+func (p *parser) paramList() (*funcSig, []string, error) {
+	if err := p.expect(tokPunct, "("); err != nil {
+		return nil, nil, err
+	}
+	sig := &funcSig{}
+	var names []string
+	if p.accept(tokPunct, ")") {
+		return sig, names, nil
+	}
+	if p.at(tokKeyword, "void") && p.toks[p.pos+1].text == ")" {
+		p.advance()
+		p.advance()
+		return sig, names, nil
+	}
+	for {
+		if p.accept(tokPunct, "...") {
+			sig.variadic = true
+			break
+		}
+		base, err := p.baseType()
+		if err != nil {
+			return nil, nil, err
+		}
+		typ, name, err := p.declarator(base)
+		if err != nil {
+			return nil, nil, err
+		}
+		sig.params = append(sig.params, typ.decay())
+		names = append(names, name)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return sig, names, p.expect(tokPunct, ")")
+}
+
+func (p *parser) topDecl() error {
+	if p.accept(tokKeyword, "typedef") {
+		base, err := p.baseType()
+		if err != nil {
+			return err
+		}
+		typ, name, err := p.declarator(base)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			return p.errf("typedef needs a name")
+		}
+		p.typedefs[name] = typ
+		return p.expect(tokPunct, ";")
+	}
+	extern := p.accept(tokKeyword, "extern")
+	static := p.accept(tokKeyword, "static")
+	base, err := p.baseType()
+	if err != nil {
+		return err
+	}
+	// Bare struct definition: struct S { ... };
+	if base.kind == tStruct && p.accept(tokPunct, ";") {
+		return nil
+	}
+	line := p.tok().line
+	typ, name, err := p.declarator(base)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		return p.errf("declaration needs a name")
+	}
+	// Function? (The function-pointer form `(*name)(...)` was consumed by
+	// the declarator, so a '(' here always begins a parameter list.)
+	if p.at(tokPunct, "(") {
+		sig, names, err := p.paramList()
+		if err != nil {
+			return err
+		}
+		sig.ret = typ
+		fd := &funcDecl{name: name, sig: sig, params: names, static: static, ln: line}
+		if p.accept(tokPunct, ";") {
+			p.unit.funcs = append(p.unit.funcs, fd)
+			return nil
+		}
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		fd.body = body
+		p.unit.funcs = append(p.unit.funcs, fd)
+		return nil
+	}
+	// Variable(s).
+	for {
+		vd := &varDecl{name: name, typ: typ, extern: extern, static: static, ln: line}
+		if p.accept(tokPunct, "=") {
+			init, err := p.initializer()
+			if err != nil {
+				return err
+			}
+			vd.init = init
+		}
+		p.unit.vars = append(p.unit.vars, vd)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+		typ, name, err = p.declarator(base)
+		if err != nil {
+			return err
+		}
+	}
+	return p.expect(tokPunct, ";")
+}
+
+// initializer parses a scalar initializer or a brace list (arrays).
+func (p *parser) initializer() (expr, error) {
+	if p.at(tokPunct, "{") {
+		ln := p.tok().line
+		p.advance()
+		var items []expr
+		for !p.accept(tokPunct, "}") {
+			e, err := p.assignExprP()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, e)
+			if !p.accept(tokPunct, ",") {
+				if err := p.expect(tokPunct, "}"); err != nil {
+					return nil, err
+				}
+				break
+			}
+		}
+		// Represent brace lists as a call-like node on a reserved name.
+		return &callExpr{exprBase: exprBase{ln}, fn: &identExpr{exprBase{ln}, "$braces"}, args: items}, nil
+	}
+	return p.assignExprP()
+}
+
+// ---- statements ----
+
+func (p *parser) block() (*blockStmt, error) {
+	ln := p.tok().line
+	if err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &blockStmt{stmtBase: stmtBase{ln}}
+	for !p.accept(tokPunct, "}") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.list = append(b.list, s)
+	}
+	return b, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	ln := p.tok().line
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+
+	case p.accept(tokKeyword, "if"):
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		s := &ifStmt{stmtBase: stmtBase{ln}, cond: cond, then: then}
+		if p.accept(tokKeyword, "else") {
+			s.els, err = p.statement()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case p.accept(tokKeyword, "while"):
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{stmtBase: stmtBase{ln}, cond: cond, body: body}, nil
+
+	case p.accept(tokKeyword, "do"):
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokKeyword, "while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &whileStmt{stmtBase: stmtBase{ln}, cond: cond, body: body, post: true}, nil
+
+	case p.accept(tokKeyword, "for"):
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var init stmt
+		var err error
+		if !p.accept(tokPunct, ";") {
+			init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+		var cond expr
+		if !p.at(tokPunct, ";") {
+			cond, err = p.exprP()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		var step expr
+		if !p.at(tokPunct, ")") {
+			step, err = p.exprP()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &forStmt{stmtBase: stmtBase{ln}, init: init, cond: cond, step: step, body: body}, nil
+
+	case p.accept(tokKeyword, "return"):
+		s := &returnStmt{stmtBase: stmtBase{ln}}
+		if !p.at(tokPunct, ";") {
+			x, err := p.exprP()
+			if err != nil {
+				return nil, err
+			}
+			s.x = x
+		}
+		return s, p.expect(tokPunct, ";")
+
+	case p.accept(tokKeyword, "break"):
+		return &breakStmt{stmtBase{ln}}, p.expect(tokPunct, ";")
+	case p.accept(tokKeyword, "continue"):
+		return &contStmt{stmtBase{ln}}, p.expect(tokPunct, ";")
+
+	case p.accept(tokKeyword, "switch"):
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		s := &switchStmt{stmtBase: stmtBase{ln}, cond: cond}
+		for !p.accept(tokPunct, "}") {
+			var c switchCase
+			if p.accept(tokKeyword, "case") {
+				neg := p.accept(tokPunct, "-")
+				if p.tok().kind != tokNumber && p.tok().kind != tokChar {
+					return nil, p.errf("case needs a constant")
+				}
+				c.val = p.tok().num
+				if neg {
+					c.val = -c.val
+				}
+				p.advance()
+			} else if p.accept(tokKeyword, "default") {
+				c.def = true
+			} else {
+				return nil, p.errf("expected case or default")
+			}
+			if err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			for !p.at(tokKeyword, "case") && !p.at(tokKeyword, "default") && !p.at(tokPunct, "}") {
+				st, err := p.statement()
+				if err != nil {
+					return nil, err
+				}
+				c.stmts = append(c.stmts, st)
+			}
+			s.cases = append(s.cases, c)
+		}
+		return s, nil
+
+	case p.accept(tokPunct, ";"):
+		return &blockStmt{stmtBase: stmtBase{ln}}, nil
+
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(tokPunct, ";")
+	}
+}
+
+// simpleStmt parses a declaration or expression statement (no trailing ';').
+func (p *parser) simpleStmt() (stmt, error) {
+	ln := p.tok().line
+	if p.atType() {
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		b := &blockStmt{stmtBase: stmtBase{ln}}
+		for {
+			typ, name, err := p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			if name == "" {
+				return nil, p.errf("declaration needs a name")
+			}
+			d := &declStmt{stmtBase: stmtBase{ln}, name: name, typ: typ}
+			if p.accept(tokPunct, "=") {
+				d.init, err = p.initializer()
+				if err != nil {
+					return nil, err
+				}
+			}
+			b.list = append(b.list, d)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if len(b.list) == 1 {
+			return b.list[0], nil
+		}
+		return b, nil
+	}
+	x, err := p.exprP()
+	if err != nil {
+		return nil, err
+	}
+	return &exprStmt{stmtBase: stmtBase{ln}, x: x}, nil
+}
+
+// ---- expressions (precedence climbing) ----
+
+func (p *parser) exprP() (expr, error) { return p.assignExprP() }
+
+func (p *parser) assignExprP() (expr, error) {
+	l, err := p.condExprP()
+	if err != nil {
+		return nil, err
+	}
+	t := p.tok()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			p.advance()
+			r, err := p.assignExprP()
+			if err != nil {
+				return nil, err
+			}
+			return &assignExpr{exprBase{t.line}, t.text, l, r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) condExprP() (expr, error) {
+	c, err := p.binExprP(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "?") {
+		t, err := p.exprP()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		f, err := p.condExprP()
+		if err != nil {
+			return nil, err
+		}
+		return &condExpr{exprBase{c.line()}, c, t, f}, nil
+	}
+	return c, nil
+}
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) binExprP(minPrec int) (expr, error) {
+	l, err := p.unaryExprP()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		prec, ok := binPrec[t.text]
+		if t.kind != tokPunct || !ok || prec < minPrec {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.binExprP(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{exprBase{t.line}, t.text, l, r}
+	}
+}
+
+func (p *parser) unaryExprP() (expr, error) {
+	t := p.tok()
+	switch {
+	case p.accept(tokPunct, "-"), p.accept(tokPunct, "~"), p.accept(tokPunct, "!"),
+		p.accept(tokPunct, "*"), p.accept(tokPunct, "&"),
+		p.accept(tokPunct, "++"), p.accept(tokPunct, "--"):
+		x, err := p.unaryExprP()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{exprBase{t.line}, t.text, x}, nil
+	case p.accept(tokPunct, "+"):
+		return p.unaryExprP()
+	case p.accept(tokKeyword, "sizeof"):
+		if p.at(tokPunct, "(") && p.typeAfterParen() {
+			p.advance()
+			typ, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			return &sizeofExpr{exprBase{t.line}, typ, nil}, p.expect(tokPunct, ")")
+		}
+		x, err := p.unaryExprP()
+		if err != nil {
+			return nil, err
+		}
+		return &sizeofExpr{exprBase{t.line}, nil, x}, nil
+	case p.at(tokPunct, "(") && p.typeAfterParen():
+		p.advance()
+		typ, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExprP()
+		if err != nil {
+			return nil, err
+		}
+		return &castExpr{exprBase{t.line}, typ, x}, nil
+	}
+	return p.postfixExprP()
+}
+
+// typeAfterParen reports whether '(' is followed by a type (cast/sizeof).
+func (p *parser) typeAfterParen() bool {
+	save := p.pos
+	defer func() { p.pos = save }()
+	p.advance() // '('
+	return p.atType()
+}
+
+// typeName parses a type with abstract declarator (pointers only).
+func (p *parser) typeName() (*ctype, error) {
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "*") {
+		base = ptrTo(base)
+	}
+	return base, nil
+}
+
+func (p *parser) postfixExprP() (expr, error) {
+	x, err := p.primaryExprP()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.tok()
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.exprP()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{exprBase{t.line}, x, idx}
+		case p.accept(tokPunct, "("):
+			var args []expr
+			for !p.accept(tokPunct, ")") {
+				a, err := p.assignExprP()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(tokPunct, ",") {
+					if err := p.expect(tokPunct, ")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			x = &callExpr{exprBase{t.line}, x, args}
+		case p.accept(tokPunct, "."):
+			name := p.tok().text
+			p.advance()
+			x = &memberExpr{exprBase{t.line}, x, name, false}
+		case p.accept(tokPunct, "->"):
+			name := p.tok().text
+			p.advance()
+			x = &memberExpr{exprBase{t.line}, x, name, true}
+		case p.accept(tokPunct, "++"), p.accept(tokPunct, "--"):
+			x = &postfixExpr{exprBase{t.line}, t.text, x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExprP() (expr, error) {
+	t := p.tok()
+	switch t.kind {
+	case tokNumber, tokChar:
+		p.advance()
+		return &numExpr{exprBase{t.line}, t.num}, nil
+	case tokString:
+		p.advance()
+		s := t.text
+		// Adjacent string literals concatenate.
+		for p.tok().kind == tokString {
+			s += p.tok().text
+			p.advance()
+		}
+		return &strExpr{exprBase{t.line}, s}, nil
+	case tokIdent:
+		p.advance()
+		return &identExpr{exprBase{t.line}, t.text}, nil
+	case tokKeyword:
+		if t.text == "NULL" {
+			p.advance()
+			return &numExpr{exprBase{t.line}, 0}, nil
+		}
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			x, err := p.exprP()
+			if err != nil {
+				return nil, err
+			}
+			return x, p.expect(tokPunct, ")")
+		}
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}

@@ -1,0 +1,195 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parser-level unit tests (white box): grammar coverage and error paths.
+
+func mustParse(t *testing.T, src string) *unit {
+	t.Helper()
+	u, err := parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return u
+}
+
+func parseErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	if _, err := parse("test.c", src); err == nil {
+		t.Fatalf("expected parse error containing %q", wantSub)
+	} else if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error %q does not contain %q", err, wantSub)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	u := mustParse(t, `
+long a;
+unsigned long b = 7;
+char *s = "hi";
+int arr[4][8];
+struct pt { long x; long y; };
+struct pt origin;
+int (*handler)(int, char *);
+int (*table[3])(long);
+extern int imported(long a, char *b);
+static long hidden() { return 1; }
+typedef unsigned long word;
+word w;
+`)
+	if len(u.vars) != 8 {
+		t.Fatalf("vars = %d", len(u.vars))
+	}
+	if len(u.funcs) != 2 {
+		t.Fatalf("funcs = %d", len(u.funcs))
+	}
+	var arr, table, handler *varDecl
+	for _, v := range u.vars {
+		switch v.name {
+		case "arr":
+			arr = v
+		case "table":
+			table = v
+		case "handler":
+			handler = v
+		}
+	}
+	if arr == nil || arr.typ.kind != tArray || arr.typ.arrayLen != 4 ||
+		arr.typ.elem.kind != tArray || arr.typ.elem.arrayLen != 8 {
+		t.Fatalf("2D array type: %v", arr.typ)
+	}
+	if handler == nil || !handler.typ.isPtr() || handler.typ.elem.kind != tFunc {
+		t.Fatalf("function pointer type: %v", handler.typ)
+	}
+	if table == nil || table.typ.kind != tArray || table.typ.arrayLen != 3 ||
+		!table.typ.elem.isPtr() || table.typ.elem.elem.kind != tFunc {
+		t.Fatalf("function-pointer array type: %v", table.typ)
+	}
+}
+
+func TestParseStructRecursion(t *testing.T) {
+	u := mustParse(t, `
+struct node { long v; struct node *next; struct other *x; };
+struct other { struct node n; };
+`)
+	n := u.structs["node"]
+	if n == nil || len(n.fields) != 3 {
+		t.Fatalf("node fields: %+v", n)
+	}
+	if n.fields[1].typ.elem.sdef != n {
+		t.Fatal("self-referential struct pointer not tied")
+	}
+}
+
+func TestParseExpressionsPrecedence(t *testing.T) {
+	u := mustParse(t, `long f() { return 1 + 2 * 3 << 1 | 4 & 2; }`)
+	ret := u.funcs[0].body.list[0].(*returnStmt)
+	// (((1 + (2*3)) << 1) | (4 & 2))
+	top, ok := ret.x.(*binExpr)
+	if !ok || top.op != "|" {
+		t.Fatalf("top op: %v", ret.x)
+	}
+	l := top.l.(*binExpr)
+	if l.op != "<<" {
+		t.Fatalf("shift level: %v", l.op)
+	}
+	add := l.l.(*binExpr)
+	if add.op != "+" {
+		t.Fatalf("add level: %v", add.op)
+	}
+	if add.r.(*binExpr).op != "*" {
+		t.Fatal("mul should bind tighter than add")
+	}
+}
+
+func TestParseCharAndStringEscapes(t *testing.T) {
+	u := mustParse(t, `char nl = '\n'; char *s = "a\tb\x41\0z";`)
+	if u.vars[0].init.(*numExpr).val != '\n' {
+		t.Fatal("char escape")
+	}
+	if got := u.vars[1].init.(*strExpr).val; got != "a\tbA\x00z" {
+		t.Fatalf("string escapes: %q", got)
+	}
+}
+
+func TestParseAdjacentStringConcat(t *testing.T) {
+	u := mustParse(t, `char *s = "ab" "cd" "ef";`)
+	if got := u.vars[0].init.(*strExpr).val; got != "abcdef" {
+		t.Fatalf("concat: %q", got)
+	}
+}
+
+func TestParseCommentsAndPreprocessorLines(t *testing.T) {
+	mustParse(t, `
+#include <stdio.h>
+// line comment
+/* block
+   comment */
+int main() { return 0; } // trailing
+`)
+}
+
+func TestParseHexAndSuffixes(t *testing.T) {
+	u := mustParse(t, `unsigned long v = 0xFFul; long w = 42L;`)
+	if u.vars[0].init.(*numExpr).val != 255 {
+		t.Fatal("hex literal")
+	}
+	if u.vars[1].init.(*numExpr).val != 42 {
+		t.Fatal("suffixed literal")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	parseErr(t, `int f( { return 0; }`, "expected")
+	parseErr(t, `int f() { return 0 }`, `";"`)
+	parseErr(t, `int f() { if 1 { } }`, `"("`)
+	parseErr(t, `int f() { @ }`, "unexpected character")
+	parseErr(t, `char *s = "unterminated;`, "unterminated string")
+	parseErr(t, `int f() { switch (1) { case x: break; } }`, "constant")
+	parseErr(t, `unknowntype x;`, "unknown type")
+	parseErr(t, `/* unterminated`, "unterminated comment")
+}
+
+func TestParseForVariants(t *testing.T) {
+	mustParse(t, `
+int f() {
+	int i;
+	for (;;) break;
+	for (i = 0; ; i++) break;
+	for (; i < 3;) i++;
+	for (int j = 0; j < 2; j++) { }
+	return i;
+}`)
+}
+
+func TestTypeStringForms(t *testing.T) {
+	cases := map[*ctype]string{
+		typeChar:        "char",
+		typeULong:       "unsigned long",
+		typeIntPtr:      "intptr_t",
+		typeUIntPtr:     "uintptr_t",
+		ptrTo(typeChar): "char*",
+		{kind: tVoid}:   "void",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("String() = %q want %q", got, want)
+		}
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	g := &gen{ptrSize: 16, cheri: true}
+	u := mustParse(t, `long x = (4 + 4) * 2 - (1 << 3) / 4 | 32 & 48 ^ 1;`)
+	v, ok := g.constEval(u.vars[0].init)
+	if !ok {
+		t.Fatal("constEval failed")
+	}
+	want := int64((4+4)*2 - (1<<3)/4 | 32&48 ^ 1)
+	if v != want {
+		t.Fatalf("constEval = %d want %d", v, want)
+	}
+}

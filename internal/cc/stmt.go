@@ -1,0 +1,444 @@
+package cc
+
+import (
+	"fmt"
+
+	"cheriabi/internal/image"
+	"cheriabi/internal/isa"
+)
+
+// genFunc emits one function: prologue, parameter spill, body, epilogue.
+func (g *gen) genFunc(fn *funcDecl) error {
+	g.fn = fn
+	g.funcStart[fn.name] = len(g.code)
+	g.locals = nil
+	g.pushScope()
+	g.localOff = 0
+	g.retLabel = g.newLabel()
+	g.intLive = g.intLive[:0]
+	g.capLive = g.capLive[:0]
+
+	// Parameters become frame locals.
+	type paramSpill struct {
+		lv  localVar
+		reg uint8
+		cap bool
+	}
+	var spills []paramSpill
+	intIdx, ptrIdx := 0, 0
+	for i, ptyp := range fn.sig.params {
+		name := fn.params[i]
+		lv, err := g.defineLocal(name, ptyp, fn.ln)
+		if err != nil {
+			return err
+		}
+		if g.cheri && ptyp.isCapLike() {
+			if ptrIdx >= 8 {
+				return g.errf(fn.ln, "too many pointer parameters in %s", fn.name)
+			}
+			spills = append(spills, paramSpill{lv, uint8(isa.CA0 + ptrIdx), true})
+			ptrIdx++
+		} else {
+			idx := intIdx
+			if !g.cheri {
+				idx = i // legacy: all args in order
+			}
+			if idx >= 8 {
+				return g.errf(fn.ln, "too many parameters in %s", fn.name)
+			}
+			spills = append(spills, paramSpill{lv, uint8(isa.RA0 + idx), false})
+			intIdx++
+		}
+	}
+
+	// Two-pass sizing: emit the body once to learn the frame size, then
+	// re-emit with the final prologue. Instead, we reserve the body and
+	// patch the prologue immediates afterwards (single pass): the frame
+	// adjustment instructions use a placeholder fixed at function end.
+	prologueIdx := len(g.code)
+	if g.cheri {
+		g.emit(isa.Inst{Op: isa.CINCOFFI, Ra: isa.CSP, Rb: isa.CSP, Imm: 0}) // patched
+		g.emit(isa.Inst{Op: isa.CSC, Ra: isa.CRA, Rb: isa.CSP, Imm: frameRAOff})
+	} else {
+		g.emit(isa.Inst{Op: isa.ADDI, Ra: isa.RSP, Rb: isa.RSP, Imm: 0}) // patched
+		g.emit(isa.Inst{Op: isa.SD, Ra: isa.RRA, Rb: isa.RSP, Imm: frameRAOff})
+	}
+	for _, s := range spills {
+		if s.cap {
+			g.storeLocalCapSlot(g.localBase()+s.lv.off, s.reg)
+		} else {
+			g.storeLocalSlot(g.localBase()+s.lv.off, s.reg, g.sizeOf(s.lv.typ))
+		}
+	}
+	g.allLocals = g.allLocals[:0]
+
+	if err := g.genStmt(fn.body); err != nil {
+		return err
+	}
+
+	// Fall-off-the-end returns 0.
+	g.emit(isa.Inst{Op: isa.ADDI, Ra: isa.RV0, Rb: 0, Imm: 0})
+	g.bind(g.retLabel)
+	if g.opt.ASan {
+		for _, lv := range g.allLocals {
+			g.emitASanPoison(lv, false)
+		}
+	}
+	if g.cheri {
+		g.emit(isa.Inst{Op: isa.CLC, Ra: isa.CRA, Rb: isa.CSP, Imm: frameRAOff})
+		g.emit(isa.Inst{Op: isa.CINCOFFI, Ra: isa.CSP, Rb: isa.CSP, Imm: 0}) // patched
+		g.emit(isa.Inst{Op: isa.CJR, Ra: isa.CRA})
+	} else {
+		g.emit(isa.Inst{Op: isa.LD, Ra: isa.RRA, Rb: isa.RSP, Imm: frameRAOff})
+		g.emit(isa.Inst{Op: isa.ADDI, Ra: isa.RSP, Rb: isa.RSP, Imm: 0}) // patched
+		g.emit(isa.Inst{Op: isa.JR, Ra: isa.RRA})
+	}
+
+	// Patch the frame size.
+	frame := align64(g.localBase()+g.localOff, 16)
+	if frame > 8000 {
+		return g.errf(fn.ln, "frame of %s too large (%d bytes); use malloc for big buffers", fn.name, frame)
+	}
+	g.frameSize = frame
+	for i := prologueIdx; i < len(g.code); i++ {
+		in := &g.code[i]
+		if (in.Op == isa.CINCOFFI && in.Ra == isa.CSP && in.Rb == isa.CSP || in.Op == isa.ADDI && in.Ra == isa.RSP && in.Rb == isa.RSP) && in.Imm == 0 {
+			if i == prologueIdx {
+				in.Imm = int32(-frame)
+			} else {
+				in.Imm = int32(frame)
+			}
+		}
+	}
+
+	g.popScope()
+	return g.resolveBranches()
+}
+
+// genStmt emits one statement.
+func (g *gen) genStmt(s stmt) error {
+	switch st := s.(type) {
+	case *blockStmt:
+		g.pushScope()
+		for _, inner := range st.list {
+			if err := g.genStmt(inner); err != nil {
+				return err
+			}
+		}
+		g.popScope()
+		return nil
+
+	case *exprStmt:
+		v, err := g.genExpr(st.x)
+		if err != nil {
+			return err
+		}
+		g.release(v)
+		return nil
+
+	case *declStmt:
+		lv, err := g.defineLocal(st.name, st.typ, st.sline())
+		if err != nil {
+			return err
+		}
+		if g.opt.ASan {
+			g.emitASanPoison(lv, true)
+		}
+		if st.init == nil {
+			return nil
+		}
+		if braces, ok := st.init.(*callExpr); ok {
+			if id, ok2 := braces.fn.(*identExpr); ok2 && id.name == "$braces" {
+				return g.genLocalArrayInit(lv, braces.args)
+			}
+		}
+		return g.genAssignTo(lval{local: true, off: g.localBase() + lv.off, typ: st.typ}, st.init)
+
+	case *ifStmt:
+		elseL := g.newLabel()
+		endL := g.newLabel()
+		if err := g.genCondBranch(st.cond, elseL, false); err != nil {
+			return err
+		}
+		if err := g.genStmt(st.then); err != nil {
+			return err
+		}
+		if st.els != nil {
+			g.emitJump(endL)
+		}
+		g.bind(elseL)
+		if st.els != nil {
+			if err := g.genStmt(st.els); err != nil {
+				return err
+			}
+			g.bind(endL)
+		} else {
+			g.bind(endL)
+		}
+		return nil
+
+	case *whileStmt:
+		top := g.newLabel()
+		cond := g.newLabel()
+		end := g.newLabel()
+		g.breakLbl = append(g.breakLbl, end)
+		g.contLbl = append(g.contLbl, cond)
+		if !st.post {
+			g.emitJump(cond)
+		}
+		g.bind(top)
+		if err := g.genStmt(st.body); err != nil {
+			return err
+		}
+		g.bind(cond)
+		if err := g.genCondBranch(st.cond, top, true); err != nil {
+			return err
+		}
+		g.bind(end)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		return nil
+
+	case *forStmt:
+		if st.init != nil {
+			if err := g.genStmt(st.init); err != nil {
+				return err
+			}
+		}
+		top := g.newLabel()
+		step := g.newLabel()
+		end := g.newLabel()
+		g.breakLbl = append(g.breakLbl, end)
+		g.contLbl = append(g.contLbl, step)
+		g.bind(top)
+		if st.cond != nil {
+			if err := g.genCondBranch(st.cond, end, false); err != nil {
+				return err
+			}
+		}
+		if err := g.genStmt(st.body); err != nil {
+			return err
+		}
+		g.bind(step)
+		if st.step != nil {
+			v, err := g.genExpr(st.step)
+			if err != nil {
+				return err
+			}
+			g.release(v)
+		}
+		g.emitJump(top)
+		g.bind(end)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+		return nil
+
+	case *returnStmt:
+		if st.x != nil {
+			v, err := g.genExpr(st.x)
+			if err != nil {
+				return err
+			}
+			if v.isCap {
+				g.emit(isa.Inst{Op: isa.CMOVE, Ra: isa.CA0, Rb: v.reg})
+			} else {
+				g.emit(isa.Inst{Op: isa.OR, Ra: isa.RV0, Rb: v.reg, Rc: 0})
+			}
+			g.release(v)
+		}
+		g.emitJump(g.retLabel)
+		return nil
+
+	case *breakStmt:
+		if len(g.breakLbl) == 0 {
+			return g.errf(st.sline(), "break outside loop/switch")
+		}
+		g.emitJump(g.breakLbl[len(g.breakLbl)-1])
+		return nil
+
+	case *contStmt:
+		if len(g.contLbl) == 0 {
+			return g.errf(st.sline(), "continue outside loop")
+		}
+		g.emitJump(g.contLbl[len(g.contLbl)-1])
+		return nil
+
+	case *switchStmt:
+		v, err := g.genExpr(st.cond)
+		if err != nil {
+			return err
+		}
+		if v.isCap {
+			return g.errf(st.sline(), "switch on pointer")
+		}
+		end := g.newLabel()
+		g.breakLbl = append(g.breakLbl, end)
+		caseLabels := make([]int, len(st.cases))
+		defIdx := -1
+		scratch, err := g.allocInt(st.sline())
+		if err != nil {
+			return err
+		}
+		for i, c := range st.cases {
+			caseLabels[i] = g.newLabel()
+			if c.def {
+				defIdx = i
+				continue
+			}
+			g.emitConst(scratch, c.val)
+			g.emitBranch(isa.Inst{Op: isa.BEQ, Ra: v.reg, Rb: scratch}, caseLabels[i])
+		}
+		g.release(val{kind: vkTemp, reg: scratch})
+		g.release(v)
+		if defIdx >= 0 {
+			g.emitJump(caseLabels[defIdx])
+		} else {
+			g.emitJump(end)
+		}
+		for i, c := range st.cases {
+			g.bind(caseLabels[i])
+			for _, inner := range c.stmts {
+				if err := g.genStmt(inner); err != nil {
+					return err
+				}
+			}
+		}
+		g.bind(end)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		return nil
+	}
+	return fmt.Errorf("cc: unhandled statement %T", s)
+}
+
+// genLocalArrayInit initialises a local array from a brace list.
+func (g *gen) genLocalArrayInit(lv localVar, items []expr) error {
+	if !lv.typ.isArray() {
+		return g.errf(lv.line, "brace initialiser for non-array")
+	}
+	esz := g.sizeOf(lv.typ.elem)
+	for i, it := range items {
+		target := lval{local: true, off: g.localBase() + lv.off + int64(i)*esz, typ: lv.typ.elem}
+		if err := g.genAssignTo(target, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// genAssignTo evaluates an expression and stores it to an lvalue.
+func (g *gen) genAssignTo(dst lval, e expr) error {
+	v, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	v, err = g.coerce(v, dst.typ, e.line())
+	if err != nil {
+		return err
+	}
+	g.storeLval(dst, v)
+	g.release(v)
+	g.releaseLval(dst)
+	return nil
+}
+
+// genCondBranch branches to label when the condition is jumpTrue.
+func (g *gen) genCondBranch(e expr, label int, jumpTrue bool) error {
+	v, err := g.genExpr(e)
+	if err != nil {
+		return err
+	}
+	var r uint8
+	if v.isCap {
+		// Pointer truthiness compares the address against 0.
+		t, err := g.allocInt(e.line())
+		if err != nil {
+			return err
+		}
+		g.emit(isa.Inst{Op: isa.CGETADDR, Ra: t, Rb: v.reg})
+		g.release(val{kind: vkTemp, reg: t})
+		r = t
+	} else {
+		r = v.reg
+	}
+	op := isa.BEQ // jump when false (== 0)
+	if jumpTrue {
+		op = isa.BNE
+	}
+	g.emitBranch(isa.Inst{Op: op, Ra: r, Rb: 0}, label)
+	g.release(v)
+	return nil
+}
+
+// emitASanShadowRun writes value v into the shadow bytes covering n bytes
+// of stack memory starting at frame offset off.
+func (g *gen) emitASanShadowRun(off, n int64, v int64) {
+	if off < 0 || n <= 0 {
+		return
+	}
+	g.emit(isa.Inst{Op: isa.ADDI, Ra: isa.RAT, Rb: isa.RSP, Imm: int32(off)})
+	g.emit(isa.Inst{Op: isa.SRLI, Ra: isa.RAT, Rb: isa.RAT, Imm: ShadowScale})
+	g.emit(isa.Inst{Op: isa.LUI, Ra: isa.RK1, Imm: ShadowBase >> 14})
+	g.emit(isa.Inst{Op: isa.ADD, Ra: isa.RAT, Rb: isa.RAT, Rc: isa.RK1})
+	g.emit(isa.Inst{Op: isa.ADDI, Ra: isa.RK1, Rb: 0, Imm: int32(v)})
+	for b := int64(0); b < (n+7)/8; b++ {
+		g.emit(isa.Inst{Op: isa.SB, Ra: isa.RK1, Rb: isa.RAT, Imm: int32(b)})
+	}
+}
+
+// emitASanGlobalPoison arms the redzones around a global at startup. The
+// global's address is loaded from the GOT into RK0; RAT/RK1 are scratch.
+func (g *gen) emitASanGlobalPoison(name string) {
+	sym := g.symbols[name]
+	if sym == nil {
+		return
+	}
+	size := int64(sym.Size)
+	slot := g.gotEntryFor(name, image.GOTData)
+	g.emitGOTLoadWord(isa.RK0, g.slotByteOff(slot))
+	run := func(delta, n, v int64) {
+		if n <= 0 {
+			return
+		}
+		if delta >= -8192 && delta <= 8191 {
+			g.emit(isa.Inst{Op: isa.ADDI, Ra: isa.RAT, Rb: isa.RK0, Imm: int32(delta)})
+		} else {
+			g.emitConst(isa.RAT, delta)
+			g.emit(isa.Inst{Op: isa.ADD, Ra: isa.RAT, Rb: isa.RK0, Rc: isa.RAT})
+		}
+		g.emit(isa.Inst{Op: isa.SRLI, Ra: isa.RAT, Rb: isa.RAT, Imm: ShadowScale})
+		g.emit(isa.Inst{Op: isa.LUI, Ra: isa.RK1, Imm: ShadowBase >> 14})
+		g.emit(isa.Inst{Op: isa.ADD, Ra: isa.RAT, Rb: isa.RAT, Rc: isa.RK1})
+		g.emit(isa.Inst{Op: isa.ADDI, Ra: isa.RK1, Rb: 0, Imm: int32(v)})
+		for b := int64(0); b < (n+7)/8; b++ {
+			g.emit(isa.Inst{Op: isa.SB, Ra: isa.RK1, Rb: isa.RAT, Imm: int32(b)})
+		}
+	}
+	run(-asanRedzone, asanRedzone, 0xF9) // leading global redzone
+	run(size, asanRedzone, 0xF9)         // trailing
+	if rem := size % 8; rem != 0 {
+		run(size/8*8, 8, rem) // partial-granule marker for odd sizes
+	}
+}
+
+// emitASanPoison arms (or disarms) the redzones around one local: poison
+// before and after the object, unpoison the object's own bytes, with a
+// partial-granule marker for odd sizes.
+func (g *gen) emitASanPoison(lv localVar, poison bool) {
+	base := g.localBase() + lv.off
+	size := g.sizeOf(lv.typ)
+	lead, trail := int64(0xF1), int64(0xF3)
+	if !poison {
+		lead, trail = 0, 0
+	}
+	g.emitASanShadowRun(base-asanRedzone, asanRedzone, lead)
+	g.emitASanShadowRun(base+size, asanRedzone, trail)
+	if poison {
+		full := size / 8 * 8
+		g.emitASanShadowRun(base, full, 0)
+		if rem := size % 8; rem != 0 {
+			g.emitASanShadowRun(base+full, 8, rem)
+		}
+	} else {
+		g.emitASanShadowRun(base, size+7, 0)
+	}
+}

@@ -1,0 +1,94 @@
+package cc_test
+
+import (
+	"testing"
+
+	"cheriabi"
+)
+
+// subRun compiles with SubObjectBounds and runs under CheriABI.
+func subRun(t *testing.T, sub bool, src string) *cheriabi.RunResult {
+	t.Helper()
+	img, _, err := cheriabi.Compile(cheriabi.CompileOptions{
+		Name: "sub", ABI: cheriabi.ABICheri, SubObjectBounds: sub,
+	}, src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 64 << 20})
+	res, err := sys.RunImage(img)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+// TestSubObjectBoundsCatchIntraObjectOverflow: the §6 extension closes the
+// 12-case residue Table 3 leaves open — overflow from one struct field
+// into a sibling.
+func TestSubObjectBoundsCatchIntraObjectOverflow(t *testing.T) {
+	src := `
+struct box { char buf[16]; long tail; };
+int main() {
+	struct box *b = (struct box *)malloc(sizeof(struct box));
+	b->tail = 7;
+	char *p = b->buf;
+	p[16] = 99; // into tail: within the object, outside the member
+	return b->tail == 7 ? 0 : 1;
+}`
+	// Default CheriABI: capability covers the whole object; undetected.
+	res := subRun(t, false, src)
+	if res.Signal != 0 || res.ExitCode != 1 {
+		t.Fatalf("default: exit %d signal %d (expected silent corruption)", res.ExitCode, res.Signal)
+	}
+	// With sub-object bounds: the member capability is 16 bytes; caught.
+	res = subRun(t, true, src)
+	if res.Signal != 34 {
+		t.Fatalf("sub-object: expected SIGPROT, got exit %d signal %d", res.ExitCode, res.Signal)
+	}
+}
+
+// TestSubObjectBoundsBreakContainerOf: the compatibility cost the paper
+// predicts — recovering the containing object from a member pointer stops
+// working once member capabilities are narrowed.
+func TestSubObjectBoundsBreakContainerOf(t *testing.T) {
+	src := `
+struct node { long id; long payload; };
+long container_id(long *payload_ptr) {
+	// container_of: step back from the member to the struct.
+	struct node *n = (struct node *)((char *)payload_ptr - 8);
+	return n->id;
+}
+int main() {
+	struct node *n = (struct node *)malloc(sizeof(struct node));
+	n->id = 42;
+	n->payload = 1;
+	return container_id(&n->payload) == 42 ? 0 : 1;
+}`
+	res := subRun(t, false, src)
+	if res.ExitCode != 0 || res.Signal != 0 {
+		t.Fatalf("default: container_of should work, exit %d signal %d", res.ExitCode, res.Signal)
+	}
+	res = subRun(t, true, src)
+	if res.Signal != 34 {
+		t.Fatalf("sub-object: container_of should trap, exit %d signal %d", res.ExitCode, res.Signal)
+	}
+}
+
+// TestSubObjectBoundsPreserveNormalCode: ordinary member access is
+// unaffected.
+func TestSubObjectBoundsPreserveNormalCode(t *testing.T) {
+	src := `
+struct rec { long a; char name[24]; long b; };
+int main() {
+	struct rec *r = (struct rec *)malloc(sizeof(struct rec));
+	r->a = 1; r->b = 2;
+	strcpy(r->name, "within-bounds");
+	if (strlen(r->name) != 13) return 1;
+	return r->a + r->b == 3 ? 0 : 2;
+}`
+	res := subRun(t, true, src)
+	if res.ExitCode != 0 || res.Signal != 0 {
+		t.Fatalf("exit %d signal %d", res.ExitCode, res.Signal)
+	}
+}

@@ -1,0 +1,264 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind enumerates MiniC token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"unsigned": true, "signed": true, "struct": true, "union": false,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"return": true, "break": true, "continue": true, "switch": true,
+	"case": true, "default": true, "sizeof": true, "extern": true,
+	"static": true, "const": true, "typedef": true, "volatile": true,
+	"intptr_t": true, "uintptr_t": true, "size_t": true, "ssize_t": true,
+	"NULL": true,
+}
+
+var punct2 = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	file string
+	toks []token
+}
+
+// lex tokenises src, returning the token stream.
+func lex(file, src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, file: file}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", l.file, l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	src := l.src
+	for l.pos < len(src) {
+		c := src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(src) && src[l.pos+1] == '/':
+			for l.pos < len(src) && src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(src) && src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(src) && !(src[l.pos] == '*' && src[l.pos+1] == '/') {
+				if src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(src) {
+				return token{}, l.errf("unterminated comment")
+			}
+			l.pos += 2
+		case c == '#':
+			// Preprocessor lines are not supported; skip #include-style
+			// lines so corpus files can carry them for flavour.
+			for l.pos < len(src) && src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	c := src[l.pos]
+	start := l.pos
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(src) && isIdentPart(src[l.pos]) {
+			l.pos++
+		}
+		text := src[start:l.pos]
+		if keywords[text] {
+			return token{kind: tokKeyword, text: text, line: l.line}, nil
+		}
+		return token{kind: tokIdent, text: text, line: l.line}, nil
+
+	case c >= '0' && c <= '9':
+		base := int64(10)
+		if c == '0' && l.pos+1 < len(src) && (src[l.pos+1] == 'x' || src[l.pos+1] == 'X') {
+			base = 16
+			l.pos += 2
+		}
+		var v int64
+		for l.pos < len(src) {
+			d := src[l.pos]
+			var dv int64
+			switch {
+			case d >= '0' && d <= '9':
+				dv = int64(d - '0')
+			case base == 16 && d >= 'a' && d <= 'f':
+				dv = int64(d-'a') + 10
+			case base == 16 && d >= 'A' && d <= 'F':
+				dv = int64(d-'A') + 10
+			default:
+				goto numDone
+			}
+			v = v*base + dv
+			l.pos++
+		}
+	numDone:
+		// Swallow integer suffixes.
+		for l.pos < len(src) && strings.ContainsRune("uUlL", rune(src[l.pos])) {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: src[start:l.pos], num: v, line: l.line}, nil
+
+	case c == '"':
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(src) && src[l.pos] != '"' {
+			ch, err := l.escaped()
+			if err != nil {
+				return token{}, err
+			}
+			sb.WriteByte(ch)
+		}
+		if l.pos >= len(src) {
+			return token{}, l.errf("unterminated string")
+		}
+		l.pos++
+		return token{kind: tokString, text: sb.String(), line: l.line}, nil
+
+	case c == '\'':
+		l.pos++
+		if l.pos >= len(src) {
+			return token{}, l.errf("unterminated char literal")
+		}
+		ch, err := l.escaped()
+		if err != nil {
+			return token{}, err
+		}
+		if l.pos >= len(src) || src[l.pos] != '\'' {
+			return token{}, l.errf("unterminated char literal")
+		}
+		l.pos++
+		return token{kind: tokChar, text: string(ch), num: int64(ch), line: l.line}, nil
+
+	default:
+		for _, p := range punct2 {
+			if strings.HasPrefix(src[l.pos:], p) {
+				l.pos += len(p)
+				return token{kind: tokPunct, text: p, line: l.line}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%&|^~!<>=(){}[];,.?:", rune(c)) {
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+// escaped consumes one (possibly escaped) character inside a string or
+// char literal.
+func (l *lexer) escaped() (byte, error) {
+	c := l.src[l.pos]
+	if c == '\n' {
+		return 0, l.errf("newline in literal")
+	}
+	if c != '\\' {
+		l.pos++
+		return c, nil
+	}
+	l.pos++
+	if l.pos >= len(l.src) {
+		return 0, l.errf("bad escape")
+	}
+	e := l.src[l.pos]
+	l.pos++
+	switch e {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	case '"':
+		return '"', nil
+	case 'x':
+		v := byte(0)
+		for i := 0; i < 2 && l.pos < len(l.src); i++ {
+			d := l.src[l.pos]
+			switch {
+			case d >= '0' && d <= '9':
+				v = v*16 + d - '0'
+			case d >= 'a' && d <= 'f':
+				v = v*16 + d - 'a' + 10
+			case d >= 'A' && d <= 'F':
+				v = v*16 + d - 'A' + 10
+			default:
+				return v, nil
+			}
+			l.pos++
+		}
+		return v, nil
+	}
+	return 0, l.errf("unknown escape \\%c", e)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }

@@ -1,0 +1,38 @@
+package compat
+
+import (
+	"testing"
+
+	"cheriabi/internal/cc"
+)
+
+// TestMeasuredMatchesSeeded: the lints must recover exactly the idiom
+// counts seeded into the corpus — which are the paper's Table 2 numbers.
+func TestMeasuredMatchesSeeded(t *testing.T) {
+	for _, row := range PaperTable2 {
+		row := row
+		t.Run(row.Name, func(t *testing.T) {
+			got, err := Analyze(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for cat := cc.Category(0); cat < cc.NumCategories; cat++ {
+				want := row.Seeded[cat]
+				if got[cat] != want {
+					t.Errorf("%s: measured %d, seeded %d", cat, got[cat], want)
+				}
+			}
+		})
+	}
+}
+
+func TestTableRenders(t *testing.T) {
+	s, err := Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 {
+		t.Fatal("empty table")
+	}
+	t.Logf("\n%s", s)
+}

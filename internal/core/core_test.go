@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"cheriabi/internal/cap"
+)
+
+func TestPrincipalIDsUnique(t *testing.T) {
+	l := NewLedger()
+	k := l.NewPrincipal(KernelPrincipal, "kernel")
+	p1 := l.NewPrincipal(ProcessPrincipal, "proc1")
+	p2 := l.NewPrincipal(ProcessPrincipal, "proc2")
+	if k.ID == p1.ID || p1.ID == p2.ID {
+		t.Fatal("principal IDs must be unique")
+	}
+}
+
+func TestLegitimateDerivationChain(t *testing.T) {
+	l := NewLedger()
+	kern := l.NewPrincipal(KernelPrincipal, "kernel")
+	proc := l.NewPrincipal(ProcessPrincipal, "proc")
+
+	reset := l.Primordial(kern, cap.Root(0, 1<<40, cap.PermAll), OriginReset)
+	user, err := l.Derive(kern, reset, cap.Root(0x10000, 1<<30, cap.PermData|cap.PermCode|cap.PermVMMap), OriginKernelCarve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stackRegion, err := l.Derive(proc, user, cap.Root(0x20000, 1<<20, cap.PermData), OriginExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := l.Derive(proc, stackRegion, cap.Root(0x20100, 64, cap.PermData), OriginStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := l.Chain(frame.ID)
+	if len(chain) != 4 || chain[0] != reset || chain[3] != frame {
+		t.Fatalf("chain wrong: %v", chain)
+	}
+	if l.Root(frame.ID) != reset {
+		t.Fatal("root lookup wrong")
+	}
+	if len(l.Violations()) != 0 {
+		t.Fatalf("unexpected violations: %v", l.Violations())
+	}
+}
+
+func TestMonotonicityViolationDetected(t *testing.T) {
+	l := NewLedger()
+	kern := l.NewPrincipal(KernelPrincipal, "kernel")
+	root := l.Primordial(kern, cap.Root(0x1000, 0x1000, cap.PermRO), OriginKernelCarve)
+	// Child wider than parent.
+	if _, err := l.Derive(kern, root, cap.Root(0x1000, 0x2000, cap.PermRO), OriginDerive); err == nil {
+		t.Fatal("bounds growth not detected")
+	}
+	// Child with extra permissions.
+	if _, err := l.Derive(kern, root, cap.Root(0x1000, 0x100, cap.PermData), OriginDerive); err == nil {
+		t.Fatal("permission growth not detected")
+	}
+	if len(l.Violations()) != 2 {
+		t.Fatalf("violations = %v", l.Violations())
+	}
+}
+
+func TestPrincipalIsolation(t *testing.T) {
+	l := NewLedger()
+	p1 := l.NewPrincipal(ProcessPrincipal, "p1")
+	p2 := l.NewPrincipal(ProcessPrincipal, "p2")
+	r1 := l.Primordial(p1, cap.Root(0x10000, 0x1000, cap.PermData), OriginExec)
+	// A process-to-process derivation through an ordinary origin is a breach
+	// (this is what the debugger rules exist to prevent).
+	if _, err := l.Derive(p2, r1, cap.Root(0x10000, 0x100, cap.PermData), OriginDerive); err == nil {
+		t.Fatal("cross-principal leak not detected")
+	}
+	// Even a blessed origin cannot move rights between two *process*
+	// principals directly; only the kernel mediates.
+	if _, err := l.Derive(p2, r1, cap.Root(0x10000, 0x100, cap.PermData), OriginPtrace); err == nil {
+		t.Fatal("unmediated ptrace transfer not detected")
+	}
+}
+
+func TestKernelMediatedTransferAllowed(t *testing.T) {
+	l := NewLedger()
+	kern := l.NewPrincipal(KernelPrincipal, "kernel")
+	proc := l.NewPrincipal(ProcessPrincipal, "p")
+	kroot := l.Primordial(kern, cap.Root(0, 1<<40, cap.PermAll), OriginReset)
+	for _, o := range []Origin{OriginExec, OriginMmap, OriginSyscall, OriginSignal, OriginSwapRederive, OriginPtrace} {
+		if _, err := l.Derive(proc, kroot, cap.Root(0x1000, 0x100, cap.PermData), o); err != nil {
+			t.Fatalf("blessed origin %s rejected: %v", o, err)
+		}
+	}
+}
+
+func TestSwapRederivationMustStayUnderRoot(t *testing.T) {
+	l := NewLedger()
+	kern := l.NewPrincipal(KernelPrincipal, "kernel")
+	proc := l.NewPrincipal(ProcessPrincipal, "p")
+	kroot := l.Primordial(kern, cap.Root(0, 1<<40, cap.PermAll), OriginReset)
+	procRoot, _ := l.Derive(proc, kroot, cap.Root(0x100000, 1<<20, cap.PermData), OriginExec)
+	// Legitimate rederivation: within the process root.
+	if _, err := l.Derive(proc, procRoot, cap.Root(0x100100, 64, cap.PermData), OriginSwapRederive); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupted swap metadata: outside the root.
+	if _, err := l.Derive(proc, procRoot, cap.Root(0x900000, 64, cap.PermData), OriginSwapRederive); err == nil {
+		t.Fatal("out-of-root rederivation not detected")
+	}
+}
+
+func TestDisjointRoots(t *testing.T) {
+	l := NewLedger()
+	p1 := l.NewPrincipal(ProcessPrincipal, "p1")
+	p2 := l.NewPrincipal(ProcessPrincipal, "p2")
+	l.Primordial(p1, cap.Root(0x10000, 0x10000, cap.PermData), OriginExec)
+	l.Primordial(p2, cap.Root(0x30000, 0x10000, cap.PermData), OriginExec)
+	if v := l.CheckDisjointRoots(); len(v) != 0 {
+		t.Fatalf("disjoint roots flagged: %v", v)
+	}
+	p3 := l.NewPrincipal(ProcessPrincipal, "p3")
+	l.Primordial(p3, cap.Root(0x18000, 0x10000, cap.PermData), OriginExec) // overlaps p1
+	if v := l.CheckDisjointRoots(); len(v) == 0 {
+		t.Fatal("overlapping roots not flagged")
+	}
+}
+
+func TestByOriginAndForPrincipal(t *testing.T) {
+	l := NewLedger()
+	kern := l.NewPrincipal(KernelPrincipal, "kernel")
+	proc := l.NewPrincipal(ProcessPrincipal, "p")
+	kroot := l.Primordial(kern, cap.Root(0, 1<<40, cap.PermAll), OriginReset)
+	for i := 0; i < 5; i++ {
+		l.Derive(proc, kroot, cap.Root(uint64(0x1000*(i+1)), 0x100, cap.PermData), OriginMmap)
+	}
+	if got := len(l.ByOrigin(OriginMmap)); got != 5 {
+		t.Fatalf("ByOrigin = %d", got)
+	}
+	if got := len(l.ForPrincipal(proc.ID)); got != 5 {
+		t.Fatalf("ForPrincipal = %d", got)
+	}
+	mm := l.ByOrigin(OriginMmap)
+	for i := 1; i < len(mm); i++ {
+		if mm[i].ID < mm[i-1].ID {
+			t.Fatal("ByOrigin not in creation order")
+		}
+	}
+}
+
+func TestOriginStrings(t *testing.T) {
+	for o := OriginReset; o <= OriginDerive; o++ {
+		if o.String() == "" {
+			t.Fatalf("origin %d unnamed", int(o))
+		}
+	}
+}
+
+func TestCovers(t *testing.T) {
+	a := &AbstractCap{Base: 0x1000, Len: 0x100, Perms: cap.PermData}
+	if !a.Covers(0x1000, 0x100, cap.PermData) {
+		t.Fatal("exact cover failed")
+	}
+	if a.Covers(0x1000, 0x101, cap.PermData) {
+		t.Fatal("length overflow covered")
+	}
+	if a.Covers(0x1000, 0x10, cap.PermData|cap.PermExecute) {
+		t.Fatal("extra perm covered")
+	}
+}

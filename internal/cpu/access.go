@@ -1,0 +1,223 @@
+package cpu
+
+import (
+	"fmt"
+
+	"cheriabi/internal/cap"
+	"cheriabi/internal/isa"
+	"cheriabi/internal/vm"
+)
+
+// AlignmentError reports a misaligned access (CHERI traps on under-aligned
+// accesses; one of the paper's PostgreSQL test failures is exactly this).
+type AlignmentError struct {
+	VA   uint64
+	Size uint64
+}
+
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("misaligned access: va=0x%x size=%d", e.VA, e.Size)
+}
+
+// accessTrap converts an access error into a trap.
+func (c *CPU) accessTrap(in isa.Inst, err error) *Trap {
+	switch e := err.(type) {
+	case *cap.Fault:
+		return &Trap{Kind: TrapCapFault, PC: c.PC, Inst: in, Cap: e}
+	case *vm.PageFault:
+		return &Trap{Kind: TrapPageFault, PC: c.PC, Inst: in, Page: e}
+	case *AlignmentError:
+		return &Trap{Kind: TrapAlignment, PC: c.PC, Inst: in}
+	}
+	panic(fmt.Sprintf("cpu: unexpected access error %T: %v", err, err))
+}
+
+func opSize(op isa.Op) (size uint64, signed bool) {
+	switch op {
+	case isa.LB, isa.CLB:
+		return 1, true
+	case isa.LBU, isa.CLBU, isa.SB, isa.CSB:
+		return 1, false
+	case isa.LH, isa.CLH:
+		return 2, true
+	case isa.LHU, isa.CLHU, isa.SH, isa.CSH:
+		return 2, false
+	case isa.LW, isa.CLW:
+		return 4, true
+	case isa.LWU, isa.CLWU, isa.SW, isa.CSW:
+		return 4, false
+	case isa.LD, isa.CLD, isa.SD, isa.CSD:
+		return 8, false
+	}
+	panic(fmt.Sprintf("cpu: not a scalar memory op: %v", op))
+}
+
+func (c *CPU) loadInt(in isa.Inst, auth cap.Capability, ea uint64) (uint64, *Trap) {
+	size, signed := opSize(in.Op)
+	v, err := c.LoadVia(auth, ea, size)
+	if err != nil {
+		return 0, c.accessTrap(in, err)
+	}
+	c.Stats.Loads++
+	if signed {
+		switch size {
+		case 1:
+			v = uint64(int64(int8(v)))
+		case 2:
+			v = uint64(int64(int16(v)))
+		case 4:
+			v = uint64(int64(int32(v)))
+		}
+	}
+	return v, nil
+}
+
+func (c *CPU) storeInt(in isa.Inst, auth cap.Capability, ea uint64, v uint64) *Trap {
+	size, _ := opSize(in.Op)
+	if err := c.StoreVia(auth, ea, size, v); err != nil {
+		return c.accessTrap(in, err)
+	}
+	c.Stats.Stores++
+	return nil
+}
+
+// LoadVia performs a capability-authorized scalar load. The kernel uses
+// this with user-supplied capabilities to implement copyin ("Kernel code
+// dereferences user-provided capabilities when accessing user memory").
+func (c *CPU) LoadVia(auth cap.Capability, ea, size uint64) (uint64, error) {
+	if ea%size != 0 {
+		return 0, &AlignmentError{VA: ea, Size: size}
+	}
+	if err := auth.CheckDeref(ea, size, cap.PermLoad); err != nil {
+		return 0, err
+	}
+	pa, pf := c.translate(ea, tlbRead, vm.ProtRead)
+	if pf != nil {
+		return 0, pf
+	}
+	c.Stats.Cycles += c.Hier.Data(pa, size, false)
+	return c.Mem.Load(pa, size), nil
+}
+
+// StoreVia performs a capability-authorized scalar store.
+func (c *CPU) StoreVia(auth cap.Capability, ea, size, v uint64) error {
+	if ea%size != 0 {
+		return &AlignmentError{VA: ea, Size: size}
+	}
+	if err := auth.CheckDeref(ea, size, cap.PermStore); err != nil {
+		return err
+	}
+	pa, pf := c.translate(ea, tlbWrite, vm.ProtWrite)
+	if pf != nil {
+		return pf
+	}
+	c.Stats.Cycles += c.Hier.Data(pa, size, true)
+	c.Mem.Store(pa, size, v)
+	return nil
+}
+
+// LoadCapVia loads one capability. PermLoad authorizes the bytes; without
+// PermLoadCap the loaded value arrives with its tag stripped.
+func (c *CPU) LoadCapVia(auth cap.Capability, ea uint64) (cap.Capability, error) {
+	bytes := c.Fmt.Bytes
+	if ea%bytes != 0 {
+		return cap.Null(), &AlignmentError{VA: ea, Size: bytes}
+	}
+	if err := auth.CheckDeref(ea, bytes, cap.PermLoad); err != nil {
+		return cap.Null(), err
+	}
+	pa, pf := c.translate(ea, tlbRead, vm.ProtRead)
+	if pf != nil {
+		return cap.Null(), pf
+	}
+	c.Stats.Cycles += c.Hier.Data(pa, bytes, false)
+	buf := make([]byte, bytes)
+	tag := c.Mem.LoadCap(pa, buf)
+	if tag && !auth.HasPerm(cap.PermLoadCap) {
+		tag = false
+	}
+	return c.Fmt.Decode(buf, tag), nil
+}
+
+// StoreCapVia stores one capability. Storing a tagged value requires
+// PermStoreCap; storing a tagged non-global value additionally requires
+// PermStoreLocalCap.
+func (c *CPU) StoreCapVia(auth cap.Capability, ea uint64, v cap.Capability) error {
+	bytes := c.Fmt.Bytes
+	if ea%bytes != 0 {
+		return &AlignmentError{VA: ea, Size: bytes}
+	}
+	need := cap.PermStore
+	if v.Tag() {
+		need |= cap.PermStoreCap
+		if !v.HasPerm(cap.PermGlobal) {
+			need |= cap.PermStoreLocalCap
+		}
+	}
+	if err := auth.CheckDeref(ea, bytes, need); err != nil {
+		return err
+	}
+	pa, pf := c.translate(ea, tlbWrite, vm.ProtWrite)
+	if pf != nil {
+		return pf
+	}
+	c.Stats.Cycles += c.Hier.Data(pa, bytes, true)
+	buf := make([]byte, bytes)
+	c.Fmt.Encode(v, buf)
+	c.Mem.StoreCap(pa, buf, v.Tag())
+	return nil
+}
+
+// ReadBytesVia copies len(buf) bytes from guest memory at va into buf,
+// authorized by auth. Used by kernel copyin paths; tags never cross this
+// interface (copied capabilities arrive as bare bytes), implementing the
+// paper's default tag-stripping for user/kernel copies.
+func (c *CPU) ReadBytesVia(auth cap.Capability, va uint64, buf []byte) error {
+	n := uint64(len(buf))
+	if n == 0 {
+		return nil
+	}
+	if err := auth.CheckDeref(va, n, cap.PermLoad); err != nil {
+		return err
+	}
+	for done := uint64(0); done < n; {
+		pa, pf := c.AS.Translate(va+done, vm.ProtRead)
+		if pf != nil {
+			return pf
+		}
+		chunk := vm.PageSize - (va+done)%vm.PageSize
+		if chunk > n-done {
+			chunk = n - done
+		}
+		c.Stats.Cycles += c.Hier.Data(pa, chunk, false)
+		c.Mem.ReadBytes(pa, buf[done:done+chunk])
+		done += chunk
+	}
+	return nil
+}
+
+// WriteBytesVia copies buf into guest memory at va, authorized by auth.
+// The written granules lose any tags, as with any data store.
+func (c *CPU) WriteBytesVia(auth cap.Capability, va uint64, buf []byte) error {
+	n := uint64(len(buf))
+	if n == 0 {
+		return nil
+	}
+	if err := auth.CheckDeref(va, n, cap.PermStore); err != nil {
+		return err
+	}
+	for done := uint64(0); done < n; {
+		pa, pf := c.AS.Translate(va+done, vm.ProtWrite)
+		if pf != nil {
+			return pf
+		}
+		chunk := vm.PageSize - (va+done)%vm.PageSize
+		if chunk > n-done {
+			chunk = n - done
+		}
+		c.Stats.Cycles += c.Hier.Data(pa, chunk, true)
+		c.Mem.WriteBytes(pa, buf[done:done+chunk])
+		done += chunk
+	}
+	return nil
+}

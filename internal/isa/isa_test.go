@@ -1,0 +1,142 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeAllFormats(t *testing.T) {
+	cases := []Inst{
+		{Op: NOP},
+		{Op: ADD, Ra: 1, Rb: 2, Rc: 3},
+		{Op: SUB, Ra: 31, Rb: 30, Rc: 29},
+		{Op: ADDI, Ra: 5, Rb: 6, Imm: -8192},
+		{Op: ADDI, Ra: 5, Rb: 6, Imm: 8191},
+		{Op: LUI, Ra: 7, Imm: -262144},
+		{Op: LUI, Ra: 7, Imm: 262143},
+		{Op: BEQ, Ra: 1, Rb: 2, Imm: -100},
+		{Op: J, Imm: -8388608},
+		{Op: JAL, Imm: 8388607},
+		{Op: JR, Ra: 31},
+		{Op: JALR, Ra: 2, Rb: 25},
+		{Op: SYSCALL},
+		{Op: NCALL, Imm: 4242},
+		{Op: LD, Ra: 4, Rb: 29, Imm: 16},
+		{Op: SD, Ra: 4, Rb: 29, Imm: -16},
+		{Op: CLD, Ra: 4, Rb: 11, Imm: 24},
+		{Op: CSC, Ra: 3, Rb: 11, Imm: -256},
+		{Op: CSC, Ra: 3, Rb: 11, Imm: 240},
+		{Op: CLC, Ra: 3, Rb: 25, Imm: 128},
+		{Op: CLCB, Ra: 3, Rb: 25, Imm: 65536},
+		{Op: CSCB, Ra: 3, Rb: 25, Imm: -131072},
+		{Op: CINCOFFI, Ra: 3, Rb: 3, Imm: 48},
+		{Op: CSETBNDS, Ra: 3, Rb: 4, Rc: 5},
+		{Op: CGETPCC, Ra: 12},
+		{Op: CBTS, Ra: 9, Imm: 12},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		out := Decode(w)
+		if out != in {
+			t.Fatalf("round trip:\n in: %v\nout: %v", in, out)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: ADDI, Ra: 1, Rb: 2, Imm: 8192},
+		{Op: ADDI, Ra: 1, Rb: 2, Imm: -8193},
+		{Op: LUI, Ra: 1, Imm: 262144},
+		{Op: J, Imm: 8388608},
+		{Op: CLC, Ra: 1, Rb: 2, Imm: 256},     // beyond short range
+		{Op: CLC, Ra: 1, Rb: 2, Imm: 8},       // not granule-aligned
+		{Op: CLCB, Ra: 1, Rb: 2, Imm: 131088}, // beyond big range
+		{Op: Op(250)},                         // unknown opcode
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Fatalf("encode %v should fail", in)
+		}
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	i := Decode(0xFF)
+	if int(i.Op) < NumOps {
+		t.Fatalf("unknown opcode decoded as %v", i)
+	}
+}
+
+func TestEncodeDecodeFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for n := 0; n < 20000; n++ {
+		in := Inst{
+			Op: Op(rng.Intn(NumOps)),
+			Ra: uint8(rng.Intn(NumRegs)),
+			Rb: uint8(rng.Intn(NumRegs)),
+			Rc: uint8(rng.Intn(NumRegs)),
+		}
+		switch in.Op.Format() {
+		case Fmt0:
+			in.Ra, in.Rb, in.Rc = 0, 0, 0
+		case Fmt1R:
+			in.Rb, in.Rc = 0, 0
+		case Fmt2R:
+			in.Rc = 0
+		case Fmt1RI:
+			in.Rc, in.Rb = 0, 0
+			in.Imm = int32(rng.Intn(Imm19Max-Imm19Min+1) + Imm19Min)
+		case Fmt2RI:
+			in.Rc = 0
+			switch in.Op {
+			case CLC, CSC:
+				in.Imm = int32(rng.Intn(32)-16) * CapImmScale
+			case CLCB, CSCB:
+				in.Imm = int32(rng.Intn(16384)-8192) * CapImmScale
+			case ANDI, ORI, XORI:
+				in.Imm = int32(rng.Intn(0x4000)) // zero-extended
+			default:
+				in.Imm = int32(rng.Intn(Imm14Max-Imm14Min+1) + Imm14Min)
+			}
+		case FmtJ:
+			in.Ra, in.Rb, in.Rc = 0, 0, 0
+			in.Imm = int32(rng.Intn(Imm24Max-Imm24Min+1) + Imm24Min)
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		if out := Decode(w); out != in {
+			t.Fatalf("round trip:\n in: %v\nout: %v", in, out)
+		}
+	}
+}
+
+func TestStringsExist(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.Name() == "" {
+			t.Fatalf("opcode %d has no name", op)
+		}
+		i := Inst{Op: op, Ra: 1, Rb: 2, Rc: 3, Imm: 16}
+		if i.String() == "" {
+			t.Fatalf("opcode %d has no disassembly", op)
+		}
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	for _, op := range []Op{BEQ, BNE, BLT, BGE, BLTU, BGEU, CBTS, CBTU} {
+		if !op.IsBranch() {
+			t.Fatalf("%s should be a branch", op.Name())
+		}
+	}
+	for _, op := range []Op{J, JAL, JR, ADD, CLC} {
+		if op.IsBranch() {
+			t.Fatalf("%s should not be a branch", op.Name())
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"cheriabi/internal/cap"
+	"cheriabi/internal/image"
+	"cheriabi/internal/isa"
+)
+
+// Syscall argument conventions. A syscall's signature is a string of 'i'
+// (integer) and 'p' (pointer) characters. Under the legacy ABI all
+// arguments travel in integer registers r4..r11 in declaration order;
+// under CheriABI integers use r4.. and pointers use capability registers
+// c3.., each in declaration order ("integer and pointer arguments use
+// different register files").
+
+// argInt returns the idx-th argument (which must be an 'i' in spec).
+func argInt(f *Frame, abi image.ABI, spec string, idx int) uint64 {
+	if abi == image.ABILegacy {
+		return f.X[isa.RA0+idx]
+	}
+	n := 0
+	for i := 0; i < idx; i++ {
+		if spec[i] == 'i' {
+			n++
+		}
+	}
+	return f.X[isa.RA0+n]
+}
+
+// argPtrRaw returns the idx-th pointer argument exactly as presented: a
+// capability under CheriABI, an untagged address under legacy.
+func argPtrRaw(f *Frame, abi image.ABI, spec string, idx int) cap.Capability {
+	if abi == image.ABILegacy {
+		return cap.NullWithAddr(f.X[isa.RA0+idx])
+	}
+	n := 0
+	for i := 0; i < idx; i++ {
+		if spec[i] == 'p' {
+			n++
+		}
+	}
+	return f.C[isa.CA0+n]
+}
+
+// userPtr materialises the authorizing capability for the idx-th pointer
+// argument. This is where the two syscall paths diverge (§5.2):
+//
+//   - CheriABI: the user-presented capability *is* the authority; the
+//     kernel validates and uses it, and "non-capability versions of
+//     copyout and copyin return errors".
+//   - Legacy: the kernel must construct a capability from the integer
+//     address and its own record of the process address space — the
+//     expensive path, and the confused-deputy hazard the paper closes.
+func (k *Kernel) userPtr(t *Thread, spec string, idx int) cap.Capability {
+	p := t.Proc
+	raw := argPtrRaw(&t.Frame, p.ABI, spec, idx)
+	if p.ABI == image.ABICheri {
+		k.charge(CostCheriCapCheck)
+		return raw
+	}
+	k.charge(CostLegacyCapConstruct)
+	// The constructed capability carries the process's full data authority:
+	// the kernel will faithfully access whatever address the integer names.
+	return k.M.Fmt.SetAddr(p.Root.AndPerms(cap.PermData), raw.Addr())
+}
+
+// setRet writes the integer return value and errno.
+func setRet(f *Frame, v uint64, e Errno) {
+	f.X[isa.RV0] = v
+	f.X[isa.RV1] = uint64(e)
+}
+
+// setRetCap writes a capability return value (CheriABI) or its address
+// (legacy).
+func setRetCap(f *Frame, abi image.ABI, c cap.Capability, e Errno) {
+	if abi == image.ABICheri {
+		f.C[isa.CA0] = c
+	}
+	f.X[isa.RV0] = c.Addr()
+	f.X[isa.RV1] = uint64(e)
+}
+
+// copyIn copies n bytes from user memory at auth's cursor.
+func (k *Kernel) copyIn(auth cap.Capability, n uint64) ([]byte, Errno) {
+	buf := make([]byte, n)
+	if err := k.M.CPU.ReadBytesVia(auth, auth.Addr(), buf); err != nil {
+		return nil, EFAULT
+	}
+	return buf, OK
+}
+
+// copyOut copies data to user memory at auth's cursor.
+func (k *Kernel) copyOut(auth cap.Capability, data []byte) Errno {
+	if err := k.M.CPU.WriteBytesVia(auth, auth.Addr(), data); err != nil {
+		return EFAULT
+	}
+	return OK
+}
+
+// copyInStr reads a NUL-terminated string (bounded at 4 KiB).
+func (k *Kernel) copyInStr(auth cap.Capability) (string, Errno) {
+	var out []byte
+	va := auth.Addr()
+	for i := 0; i < 4096; i++ {
+		v, err := k.M.CPU.LoadVia(auth, va+uint64(i), 1)
+		if err != nil {
+			return "", EFAULT
+		}
+		if v == 0 {
+			return string(out), OK
+		}
+		out = append(out, byte(v))
+	}
+	return "", ERANGE
+}
+
+// copyInPtr reads one user pointer (capability or legacy word) from user
+// memory at va: used by interfaces whose *structures* contain pointers
+// (ioctl, kevent), the paper's "challenging" cases.
+func (k *Kernel) copyInPtr(t *Thread, auth cap.Capability, va uint64) (cap.Capability, Errno) {
+	if t.Proc.ABI == image.ABICheri {
+		c, err := k.M.CPU.LoadCapVia(auth, va)
+		if err != nil {
+			return cap.Null(), EFAULT
+		}
+		return c, OK
+	}
+	v, err := k.M.CPU.LoadVia(auth, va, 8)
+	if err != nil {
+		return cap.Null(), EFAULT
+	}
+	k.charge(CostLegacyCapConstruct)
+	return k.M.Fmt.SetAddr(t.Proc.Root.AndPerms(cap.PermData), v), OK
+}
+
+// ptrStride is the pointer stride for a process.
+func (k *Kernel) ptrStride(p *Proc) uint64 { return p.ABI.PtrSize(k.M.Fmt.Bytes) }
+
+// readUserWord loads a word-sized integer through auth.
+func (k *Kernel) readUserWord(auth cap.Capability, va uint64, size uint64) (uint64, Errno) {
+	v, err := k.M.CPU.LoadVia(auth, va, size)
+	if err != nil {
+		return 0, EFAULT
+	}
+	return v, OK
+}
+
+// writeUserWord stores a word-sized integer through auth.
+func (k *Kernel) writeUserWord(auth cap.Capability, va uint64, size, v uint64) Errno {
+	if err := k.M.CPU.StoreVia(auth, va, size, v); err != nil {
+		return EFAULT
+	}
+	return OK
+}
+
+// validUserRange reports whether [va, va+n) lies in user space (the legacy
+// kernel's only line of defence).
+func validUserRange(va, n uint64) bool {
+	return va >= UserBase && va+n <= UserTop && va+n >= va
+}

@@ -1,0 +1,57 @@
+package kernel
+
+// Kernel-path cycle costs. These model the fixed-function parts of the
+// paper's FPGA platform that the instruction-level simulator does not
+// execute (trap entry/exit microcode, page-table maintenance, the
+// capability construction the legacy syscall path performs). Guest-visible
+// work — copies, page faults, cache traffic — is charged through the real
+// cache model instead; only control-path overheads are constants.
+//
+// The asymmetries are the ones the paper measures in §5.2:
+//
+//   - Legacy syscalls pass pointers as integers, so the kernel must
+//     construct and validate an authorizing capability for every pointer
+//     argument ("we believe the latter is due to the cost of creating
+//     capabilities from four pointer arguments in the CHERI kernel");
+//     CheriABI passes capabilities that need only be checked.
+//   - CheriABI traps save and restore the capability register file
+//     (32 × 16 bytes + tags vs 32 × 8 bytes), and fork must duplicate it
+//     and re-derive the child's root, making fork slightly slower.
+const (
+	// CostTrap is charged on every kernel entry/exit pair (legacy ABI).
+	CostTrap = 160
+	// CostTrapCheriExtra is the additional capability-register save/restore
+	// cost for CheriABI processes.
+	CostTrapCheriExtra = 24
+	// CostSyscallBase is the dispatch cost common to every syscall.
+	CostSyscallBase = 120
+	// CostLegacyCapConstruct is charged per pointer argument on the legacy
+	// path: the kernel builds an authorizing capability from the integer.
+	CostLegacyCapConstruct = 55
+	// CostCheriCapCheck is charged per pointer argument on the CheriABI
+	// path: tag, seal, permission and bounds validation of the presented
+	// capability.
+	CostCheriCapCheck = 6
+	// CostContextSwitch is charged when the scheduler rotates threads.
+	CostContextSwitch = 350
+	// CostForkBase covers process-structure duplication.
+	CostForkBase = 2600
+	// CostForkPerPage covers per-page COW bookkeeping.
+	CostForkPerPage = 9
+	// CostForkCheriExtra covers capability register-file duplication
+	// (32 × 16 bytes + tags), per-mapping capability rederivation for the
+	// child, and the wider trap frame under CheriABI.
+	CostForkCheriExtra = 260
+	// CostExecBase covers image loading bookkeeping beyond the real copies.
+	CostExecBase = 9000
+	// CostSelectPerFD is the per-descriptor poll cost inside select.
+	CostSelectPerFD = 30
+	// CostSignalDeliver covers signal-frame construction bookkeeping.
+	CostSignalDeliver = 420
+	// CostPageZero approximates the non-modelled parts of demand-zero fill.
+	CostPageZero = 180
+	// CostCOWCopy approximates the non-modelled parts of a COW page copy.
+	CostCOWCopy = 300
+	// CostSwapIO approximates swap device latency per page.
+	CostSwapIO = 4000
+)

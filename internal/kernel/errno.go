@@ -1,0 +1,57 @@
+package kernel
+
+import "fmt"
+
+// Errno is a kernel error number (FreeBSD numbering for the ones we use).
+type Errno int
+
+// Error numbers.
+const (
+	OK      Errno = 0
+	EPERM   Errno = 1
+	ENOENT  Errno = 2
+	ESRCH   Errno = 3
+	EINTR   Errno = 4
+	EIO     Errno = 5
+	E2BIG   Errno = 7
+	ENOEXEC Errno = 8
+	EBADF   Errno = 9
+	ECHILD  Errno = 10
+	ENOMEM  Errno = 12
+	EACCES  Errno = 13
+	EFAULT  Errno = 14
+	EBUSY   Errno = 16
+	EEXIST  Errno = 17
+	ENOTDIR Errno = 20
+	EISDIR  Errno = 21
+	EINVAL  Errno = 22
+	ENFILE  Errno = 23
+	EMFILE  Errno = 24
+	ENOTTY  Errno = 25
+	ENOSPC  Errno = 28
+	EPIPE   Errno = 32
+	ERANGE  Errno = 34
+	ENOSYS  Errno = 78
+	// ECAPMODE mirrors CheriBSD's capability-violation errno for syscall
+	// argument checks.
+	ECAPMODE Errno = 94
+)
+
+var errnoNames = map[Errno]string{
+	OK: "OK", EPERM: "EPERM", ENOENT: "ENOENT", ESRCH: "ESRCH", EINTR: "EINTR",
+	EIO: "EIO", E2BIG: "E2BIG", ENOEXEC: "ENOEXEC", EBADF: "EBADF",
+	ECHILD: "ECHILD", ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT",
+	EBUSY: "EBUSY", EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR",
+	EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE", ENOTTY: "ENOTTY",
+	ENOSPC: "ENOSPC", EPIPE: "EPIPE", ERANGE: "ERANGE", ENOSYS: "ENOSYS",
+	ECAPMODE: "ECAPMODE",
+}
+
+func (e Errno) String() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+func (e Errno) Error() string { return e.String() }

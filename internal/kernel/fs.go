@@ -1,0 +1,212 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The in-memory VFS: enough of a filesystem for the userland the
+// evaluation needs (binaries and libraries under /bin and /lib, scratch
+// space under /tmp, /dev/null and a console device).
+
+type nodeKind int
+
+const (
+	nodeFile nodeKind = iota
+	nodeDir
+	nodeNull
+	nodeTTY
+)
+
+type fsNode struct {
+	name     string
+	kind     nodeKind
+	children map[string]*fsNode
+	data     []byte
+}
+
+// FS is the in-memory filesystem.
+type FS struct {
+	root *fsNode
+}
+
+// NewFS returns a filesystem with the standard hierarchy.
+func NewFS() *FS {
+	fs := &FS{root: &fsNode{name: "/", kind: nodeDir, children: map[string]*fsNode{}}}
+	for _, d := range []string{"/bin", "/lib", "/tmp", "/etc", "/dev", "/var"} {
+		fs.Mkdir(d)
+	}
+	fs.root.children["dev"].children["null"] = &fsNode{name: "null", kind: nodeNull}
+	fs.root.children["dev"].children["tty"] = &fsNode{name: "tty", kind: nodeTTY}
+	return fs
+}
+
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" && p != "." {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+func (fs *FS) lookup(path string) *fsNode {
+	n := fs.root
+	for _, p := range splitPath(path) {
+		if n.kind != nodeDir {
+			return nil
+		}
+		n = n.children[p]
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}
+
+// Mkdir creates a directory (and parents).
+func (fs *FS) Mkdir(path string) {
+	n := fs.root
+	for _, p := range splitPath(path) {
+		child := n.children[p]
+		if child == nil {
+			child = &fsNode{name: p, kind: nodeDir, children: map[string]*fsNode{}}
+			n.children[p] = child
+		}
+		n = child
+	}
+}
+
+// WriteFile creates or replaces a regular file.
+func (fs *FS) WriteFile(path string, data []byte) error {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return fmt.Errorf("fs: bad path %q", path)
+	}
+	dir := fs.root
+	for _, p := range parts[:len(parts)-1] {
+		next := dir.children[p]
+		if next == nil || next.kind != nodeDir {
+			return fmt.Errorf("fs: no directory %q in %q", p, path)
+		}
+		dir = next
+	}
+	name := parts[len(parts)-1]
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	dir.children[name] = &fsNode{name: name, kind: nodeFile, data: buf}
+	return nil
+}
+
+// ReadFile returns a copy of a file's contents.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	n := fs.lookup(path)
+	if n == nil {
+		return nil, fmt.Errorf("fs: %s: not found", path)
+	}
+	if n.kind != nodeFile {
+		return nil, fmt.Errorf("fs: %s: not a regular file", path)
+	}
+	out := make([]byte, len(n.data))
+	copy(out, n.data)
+	return out, nil
+}
+
+// Remove unlinks a file.
+func (fs *FS) Remove(path string) error {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return fmt.Errorf("fs: bad path")
+	}
+	dir := fs.root
+	for _, p := range parts[:len(parts)-1] {
+		dir = dir.children[p]
+		if dir == nil || dir.kind != nodeDir {
+			return fmt.Errorf("fs: %s: not found", path)
+		}
+	}
+	if _, ok := dir.children[parts[len(parts)-1]]; !ok {
+		return fmt.Errorf("fs: %s: not found", path)
+	}
+	delete(dir.children, parts[len(parts)-1])
+	return nil
+}
+
+// List returns sorted child names of a directory.
+func (fs *FS) List(path string) ([]string, error) {
+	n := fs.lookup(path)
+	if n == nil || n.kind != nodeDir {
+		return nil, fmt.Errorf("fs: %s: not a directory", path)
+	}
+	var names []string
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Open-file flags.
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreat  = 0x200
+	OTrunc  = 0x400
+	OAppend = 0x8
+)
+
+// pipe is a unidirectional byte channel.
+type pipe struct {
+	buf     []byte
+	readers int
+	writers int
+}
+
+const pipeCap = 64 << 10
+
+// FDesc is one open-file description; dup and fork share it.
+type FDesc struct {
+	node    *fsNode
+	pip     *pipe
+	pipeW   bool // this end writes
+	off     int64
+	flags   int
+	refs    int
+	kq      *kqueue
+	console *Proc // tty writes land in this process's Stdout
+}
+
+func (f *FDesc) incref() *FDesc { f.refs++; return f }
+
+func (f *FDesc) close() {
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	if f.pip != nil {
+		if f.pipeW {
+			f.pip.writers--
+		} else {
+			f.pip.readers--
+		}
+	}
+}
+
+// readable reports whether a read would not block.
+func (f *FDesc) readable() bool {
+	if f.pip != nil {
+		return len(f.pip.buf) > 0 || f.pip.writers == 0
+	}
+	return true
+}
+
+// writable reports whether a write would not block.
+func (f *FDesc) writable() bool {
+	if f.pip != nil {
+		return len(f.pip.buf) < pipeCap || f.pip.readers == 0
+	}
+	return true
+}

@@ -1,0 +1,154 @@
+package kernel
+
+import "testing"
+
+func TestFSWriteReadRoundTrip(t *testing.T) {
+	fs := NewFS()
+	if err := fs.WriteFile("/tmp/a.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile("/tmp/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "hello" {
+		t.Fatalf("read %q", b)
+	}
+	// The returned slice is a copy: mutating it must not affect the file.
+	b[0] = 'X'
+	b2, _ := fs.ReadFile("/tmp/a.txt")
+	if string(b2) != "hello" {
+		t.Fatal("ReadFile aliases file contents")
+	}
+}
+
+func TestFSHierarchy(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/var/db/pg")
+	if err := fs.WriteFile("/var/db/pg/cat.0", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.List("/var/db/pg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "cat.0" {
+		t.Fatalf("list: %v", names)
+	}
+	if _, err := fs.ReadFile("/var/db/missing"); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	if err := fs.WriteFile("/nodir/sub/file", nil); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}
+
+func TestFSRemove(t *testing.T) {
+	fs := NewFS()
+	fs.WriteFile("/tmp/x", []byte("1"))
+	if err := fs.Remove("/tmp/x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/tmp/x"); err == nil {
+		t.Fatal("file survives removal")
+	}
+	if err := fs.Remove("/tmp/x"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+func TestFSStandardLayout(t *testing.T) {
+	fs := NewFS()
+	for _, d := range []string{"/bin", "/lib", "/tmp", "/dev"} {
+		if n := fs.lookup(d); n == nil || n.kind != nodeDir {
+			t.Fatalf("missing standard directory %s", d)
+		}
+	}
+	if n := fs.lookup("/dev/null"); n == nil || n.kind != nodeNull {
+		t.Fatal("missing /dev/null")
+	}
+	if n := fs.lookup("/dev/tty"); n == nil || n.kind != nodeTTY {
+		t.Fatal("missing /dev/tty")
+	}
+}
+
+func TestFDescRefcountingClosesPipeEnds(t *testing.T) {
+	pip := &pipe{readers: 1, writers: 1}
+	w := &FDesc{pip: pip, pipeW: true, refs: 1}
+	dup := w.incref()
+	w.close()
+	if pip.writers != 1 {
+		t.Fatal("writer count dropped while a reference remains")
+	}
+	dup.close()
+	if pip.writers != 0 {
+		t.Fatal("writer count not dropped at last close")
+	}
+}
+
+func TestReadableWritable(t *testing.T) {
+	pip := &pipe{readers: 1, writers: 1}
+	r := &FDesc{pip: pip, refs: 1}
+	w := &FDesc{pip: pip, pipeW: true, refs: 1}
+	if r.readable() {
+		t.Fatal("empty pipe with live writer reported readable")
+	}
+	pip.buf = []byte("x")
+	if !r.readable() {
+		t.Fatal("non-empty pipe not readable")
+	}
+	if !w.writable() {
+		t.Fatal("pipe with space not writable")
+	}
+	pip.buf = make([]byte, pipeCap)
+	if w.writable() {
+		t.Fatal("full pipe reported writable")
+	}
+	pip.readers = 0
+	if !w.writable() {
+		t.Fatal("write to readerless pipe should not block (EPIPE path)")
+	}
+}
+
+func TestErrnoStrings(t *testing.T) {
+	for _, e := range []Errno{OK, EPERM, ENOENT, EBADF, EFAULT, EINVAL, ENOSYS, ECAPMODE, ERANGE} {
+		if e.String() == "" || e.Error() == "" {
+			t.Fatalf("errno %d unnamed", int(e))
+		}
+	}
+	if Errno(200).String() == "" {
+		t.Fatal("unknown errno unnamed")
+	}
+}
+
+func TestProcStatusHelpers(t *testing.T) {
+	p := &Proc{}
+	if p.Exited() {
+		t.Fatal("fresh proc exited")
+	}
+	p.State = ProcZombie
+	p.Status = 7 << 8
+	if p.ExitCode() != 7 || p.TermSignal() != 0 {
+		t.Fatalf("exit code %d signal %d", p.ExitCode(), p.TermSignal())
+	}
+	p.Status = SIGPROT
+	if p.ExitCode() != -1 || p.TermSignal() != SIGPROT {
+		t.Fatalf("signal status: code %d signal %d", p.ExitCode(), p.TermSignal())
+	}
+}
+
+func TestAllocFDReusesLowestSlot(t *testing.T) {
+	p := &Proc{}
+	a := p.allocFD(&FDesc{refs: 1})
+	b := p.allocFD(&FDesc{refs: 1})
+	if a != 0 || b != 1 {
+		t.Fatalf("fds %d %d", a, b)
+	}
+	p.FDs[0] = nil
+	if got := p.allocFD(&FDesc{refs: 1}); got != 0 {
+		t.Fatalf("lowest free slot not reused: %d", got)
+	}
+	if p.fd(99) != nil || p.fd(-1) != nil {
+		t.Fatal("out-of-range fd lookup not nil")
+	}
+}

@@ -1,0 +1,154 @@
+package kernel
+
+import (
+	"encoding/binary"
+
+	"cheriabi/internal/image"
+)
+
+// ioctl commands. GIFCONF is the pointer-carrying command modelled on the
+// SIOCGIFCONF interface behind the paper's FreeBSD DHCP-client bug ("an
+// out-of-bounds read by the kernel in the FreeBSD DHCP client due to
+// underallocation of the data argument to an ioctl call").
+const (
+	IoctlTIOCGWINSZ = 0x40087468
+	IoctlFIONREAD   = 0x4004667F
+	IoctlGIFCONF    = 0xC0106924
+)
+
+// sysIoctl: ioctl(fd, cmd, argp). For struct arguments containing
+// pointers, the nested pointer is read as a capability under CheriABI
+// ("Where we have found them necessary, ioctl and sysctl interfaces
+// involving structs containing pointers have been translated").
+func (k *Kernel) sysIoctl(t *Thread) {
+	p := t.Proc
+	const spec = "iip"
+	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
+	cmd := argInt(&t.Frame, p.ABI, spec, 1)
+	argp := k.userPtr(t, spec, 2)
+
+	f := p.fd(fd)
+	if f == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return
+	}
+	switch cmd {
+	case IoctlTIOCGWINSZ:
+		if f.node == nil || f.node.kind != nodeTTY {
+			setRet(&t.Frame, ^uint64(0), ENOTTY)
+			return
+		}
+		var ws [8]byte
+		binary.LittleEndian.PutUint16(ws[0:], 24)
+		binary.LittleEndian.PutUint16(ws[2:], 80)
+		if e := k.copyOut(argp, ws[:]); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		setRet(&t.Frame, 0, OK)
+
+	case IoctlFIONREAD:
+		var n uint64
+		if f.pip != nil {
+			n = uint64(len(f.pip.buf))
+		} else if f.node != nil && f.node.kind == nodeFile {
+			n = uint64(int64(len(f.node.data)) - f.off)
+		}
+		if e := k.writeUserWord(argp, argp.Addr(), 4, n); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		setRet(&t.Frame, 0, OK)
+
+	case IoctlGIFCONF:
+		// struct ifconf { i64 len; ptr buf }: the kernel writes interface
+		// records into *buf. The caller-claimed len drives the legacy
+		// path; the capability's bounds drive the CheriABI path.
+		claimed, e := k.readUserWord(argp, argp.Addr(), 8)
+		if e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		bufPtr, e := k.copyInPtr(t, argp, argp.Addr()+8)
+		if e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		records := []byte("em0\x00inet 10.0.0.2\x00\x00lo0\x00inet 127.0.0.1\x00\x00bge0\x00inet 192.168.1.9\x00\x00")
+		n := uint64(len(records))
+		if n > claimed {
+			n = claimed
+		}
+		// The confused-deputy moment: the legacy kernel trusts `claimed`
+		// and writes through its own authority; CheriABI dereferences the
+		// user capability and faults on underallocation.
+		if e := k.copyOut(bufPtr, records[:n]); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		if e := k.writeUserWord(argp, argp.Addr(), 8, n); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		setRet(&t.Frame, 0, OK)
+
+	default:
+		setRet(&t.Frame, ^uint64(0), ENOTTY)
+	}
+}
+
+// sysctl ids.
+const (
+	SysctlOSType   = 1
+	SysctlPageSize = 2
+	SysctlKernPtr  = 3 // the management-interface pointer-leak example
+)
+
+// sysSysctl: sysctl(id, oldp, oldlenp, newp).
+func (k *Kernel) sysSysctl(t *Thread) {
+	p := t.Proc
+	const spec = "ippp"
+	id := int(argInt(&t.Frame, p.ABI, spec, 0))
+	oldp := k.userPtr(t, spec, 1)
+	oldlenp := k.userPtr(t, spec, 2)
+
+	writeOut := func(data []byte) {
+		if oldp.Addr() != 0 {
+			if e := k.copyOut(oldp, data); e != OK {
+				setRet(&t.Frame, ^uint64(0), e)
+				return
+			}
+		}
+		if oldlenp.Addr() != 0 {
+			if e := k.writeUserWord(oldlenp, oldlenp.Addr(), 8, uint64(len(data))); e != OK {
+				setRet(&t.Frame, ^uint64(0), e)
+				return
+			}
+		}
+		setRet(&t.Frame, 0, OK)
+	}
+
+	switch id {
+	case SysctlOSType:
+		writeOut(append([]byte("CheriBSD-sim"), 0))
+	case SysctlPageSize:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], 4096)
+		writeOut(b[:])
+	case SysctlKernPtr:
+		// "Some management interfaces export kernel pointers. Where we
+		// have encountered them, we have altered them to expose virtual
+		// addresses rather than kernel capabilities." The legacy interface
+		// leaks a raw kernel address; the CheriABI one exports an opaque
+		// identifier.
+		var b [8]byte
+		if p.ABI == image.ABILegacy {
+			binary.LittleEndian.PutUint64(b[:], 0xFFFFFFFF80201234)
+		} else {
+			binary.LittleEndian.PutUint64(b[:], uint64(p.PID)<<16|0x42)
+		}
+		writeOut(b[:])
+	default:
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+	}
+}

@@ -1,0 +1,410 @@
+// Package kernel implements the simulated operating system: a
+// CheriBSD-flavoured kernel supporting two process ABIs side by side — the
+// legacy mips64 SysV ABI (pointers are integers, checked against DDC) and
+// CheriABI (all pointers are capabilities, DDC is NULL, and "all kernel
+// manipulations of process memory are via explicitly delegated
+// capabilities").
+//
+// The kernel is "para-virtualised": trap handlers are Go code, but every
+// access to user memory goes through the same capability-checked accessors
+// guest code uses, so the kernel observes the abstract-capability
+// discipline of §3 (Figure 3). Kernel-internal state is Go data — the
+// paper's hybrid kernel likewise leaves most kernel pointers unprotected.
+package kernel
+
+import (
+	"fmt"
+	"io"
+
+	"cheriabi/internal/cache"
+	"cheriabi/internal/cap"
+	"cheriabi/internal/core"
+	"cheriabi/internal/cpu"
+	"cheriabi/internal/image"
+	"cheriabi/internal/isa"
+	"cheriabi/internal/mem"
+	"cheriabi/internal/vm"
+)
+
+// Config describes a machine to boot.
+type Config struct {
+	// MemBytes is physical memory size (default 256 MiB).
+	MemBytes uint64
+	// Format is the capability encoding (default Format128).
+	Format cap.Format
+	// Features are optional ISA extensions.
+	Features isa.Features
+	// Seed perturbs load addresses and stack placement across boots, the
+	// way ASLR and environment differences perturb the paper's runs.
+	Seed int64
+	// Console receives all process stdout/stderr when non-nil.
+	Console io.Writer
+	// Tracer observes user-code capability derivations (Figure 5).
+	Tracer cpu.CapTracer
+}
+
+// Machine is the simulated hardware plus its kernel.
+type Machine struct {
+	Mem  *mem.Physical
+	VM   *vm.System
+	Hier *cache.Hierarchy
+	CPU  *cpu.CPU
+	Fmt  cap.Format
+	Feat isa.Features
+	Kern *Kernel
+}
+
+// NativeFunc is a fast-model run-time routine (package libc registers
+// these): it behaves as user-level library code, operating on guest state
+// through capability-checked accessors.
+type NativeFunc func(k *Kernel, t *Thread) Errno
+
+// CapCreateFunc observes kernel- and linker-created capabilities by label
+// (exec, mmap, syscall, kern, glob relocs, ...) for the Figure 5 analysis.
+type CapCreateFunc func(label string, c cap.Capability)
+
+// Kernel is the operating system state.
+type Kernel struct {
+	M  *Machine
+	FS *FS
+
+	Ledger   *core.Ledger
+	KernPrin *core.Principal
+	resetAbs *core.AbstractCap
+
+	// kernRoot is the kernel's master capability over all memory, carved
+	// at boot from the reset capability.
+	kernRoot cap.Capability
+
+	procs   map[int]*Proc
+	runq    []*Thread
+	nextPID int
+	nextTID int
+	seed    int64
+
+	Natives     map[int]NativeFunc
+	OnCapCreate CapCreateFunc
+	Console     io.Writer
+
+	shmSegs   map[int]*shmSeg
+	nextShmID int
+
+	// Stats
+	ContextSwitches uint64
+	SyscallCount    map[int]uint64
+}
+
+// NewMachine boots a machine: memory, caches, CPU, kernel, VFS, and the
+// boot-time capability carve (reset → kernel root → per-process roots).
+func NewMachine(cfg Config) *Machine {
+	if cfg.MemBytes == 0 {
+		cfg.MemBytes = 256 << 20
+	}
+	if cfg.Format.Bytes == 0 {
+		cfg.Format = cap.Format128
+	}
+	m := &Machine{
+		Mem:  mem.New(cfg.MemBytes, cfg.Format.Bytes),
+		Hier: cache.DefaultHierarchy(),
+		Fmt:  cfg.Format,
+		Feat: cfg.Features,
+	}
+	m.VM = vm.NewSystem(m.Mem, 1<<20) // boot-reserved low MiB
+	// Layout perturbation: retire a seed-dependent number of frames at
+	// boot so physical placement (and therefore cache behaviour) varies
+	// across runs, as environment differences do on real hardware.
+	if n := int(cfg.Seed % 61); n > 0 {
+		m.VM.AllocFrames(n)
+	}
+	m.CPU = cpu.New(m.Mem, m.Hier, m.Fmt)
+	m.CPU.Tracer = cfg.Tracer
+
+	k := &Kernel{
+		M:            m,
+		FS:           NewFS(),
+		Ledger:       core.NewLedger(),
+		procs:        map[int]*Proc{},
+		Natives:      map[int]NativeFunc{},
+		shmSegs:      map[int]*shmSeg{},
+		seed:         cfg.Seed,
+		Console:      cfg.Console,
+		SyscallCount: map[int]uint64{},
+	}
+	// CPU reset: a maximally permissive capability; kernel startup narrows
+	// it ("The kernel deliberately narrows these boot capabilities").
+	k.KernPrin = k.Ledger.NewPrincipal(core.KernelPrincipal, "kernel")
+	reset := cap.Root(0, 1<<48, cap.PermAll)
+	k.resetAbs = k.Ledger.Primordial(k.KernPrin, reset, core.OriginReset)
+	k.kernRoot = reset.ClearPerms(cap.PermSystemRegs | cap.PermSeal | cap.PermUnseal)
+	k.Ledger.Derive(k.KernPrin, k.resetAbs, k.kernRoot, core.OriginKernelCarve)
+	m.Kern = k
+	return m
+}
+
+// Now returns simulated time in cycles.
+func (k *Kernel) Now() uint64 { return k.M.CPU.Stats.Cycles }
+
+func (k *Kernel) charge(cycles uint64) { k.M.CPU.Stats.Cycles += cycles }
+
+func (k *Kernel) capCreated(label string, c cap.Capability) {
+	if k.OnCapCreate != nil {
+		k.OnCapCreate(label, c)
+	}
+}
+
+// Proc returns a process by pid.
+func (k *Kernel) Proc(pid int) *Proc { return k.procs[pid] }
+
+// PostSignal marks sig pending on p; it is delivered at the next return to
+// user mode.
+func (k *Kernel) PostSignal(p *Proc, sig int) {
+	if sig > 0 && sig < NSig {
+		p.SigPending |= 1 << uint(sig)
+	}
+}
+
+// OnMallocTrace reports an allocator-derived capability to the Figure 5
+// tracer.
+func (k *Kernel) OnMallocTrace(c cap.Capability) { k.capCreated("malloc", c) }
+
+// newProc allocates a process shell (no address space yet; execve builds it).
+func (k *Kernel) newProc(parent *Proc) *Proc {
+	k.nextPID++
+	p := &Proc{
+		PID:      k.nextPID,
+		Parent:   parent,
+		Children: map[int]*Proc{},
+		CWD:      "/",
+		kqs:      map[int]*kqueue{},
+	}
+	if parent != nil {
+		parent.Children[p.PID] = p
+	}
+	k.procs[p.PID] = p
+	return p
+}
+
+func (k *Kernel) newThread(p *Proc) *Thread {
+	k.nextTID++
+	t := &Thread{TID: k.nextTID, Proc: p, State: ThreadRunnable}
+	p.Threads = append(p.Threads, t)
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// switchTo loads t's state onto the CPU.
+func (k *Kernel) switchTo(t *Thread) {
+	c := k.M.CPU
+	c.X = t.Frame.X
+	c.C = t.Frame.C
+	c.PC = t.Frame.PC
+	c.PCC = t.Frame.PCC
+	c.DDC = t.Frame.DDC
+	c.AS = t.Proc.AS
+}
+
+// saveFrom stores the CPU state back into t.
+func (k *Kernel) saveFrom(t *Thread) {
+	c := k.M.CPU
+	t.Frame.X = c.X
+	t.Frame.C = c.C
+	t.Frame.PC = c.PC
+	t.Frame.PCC = c.PCC
+	t.Frame.DDC = c.DDC
+}
+
+// pickRunnable polls blocked threads and returns the next runnable thread
+// in round-robin order, or nil.
+func (k *Kernel) pickRunnable() *Thread {
+	for _, t := range k.runq {
+		if t.State != ThreadBlocked {
+			continue
+		}
+		// Wake on satisfied wait conditions or deliverable signals (the
+		// blocked syscall restarts after the handler, or termination).
+		if t.poll != nil && t.poll() || t.Proc.SigPending&^t.Proc.SigMask != 0 {
+			t.State = ThreadRunnable
+			t.poll = nil
+		}
+	}
+	for i, t := range k.runq {
+		if t.State == ThreadRunnable && !t.Proc.Suspended {
+			// Rotate for round-robin fairness.
+			k.runq = append(append(append([]*Thread{}, k.runq[i+1:]...), k.runq[:i]...), t)
+			return t
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) removeThread(t *Thread) {
+	for i, q := range k.runq {
+		if q == t {
+			k.runq = append(k.runq[:i], k.runq[i+1:]...)
+			return
+		}
+	}
+}
+
+// Quantum is the scheduler time slice in instructions.
+const Quantum = 50_000
+
+// ErrDeadlock is returned when every thread is blocked.
+var ErrDeadlock = fmt.Errorf("kernel: all threads blocked (deadlock)")
+
+// ErrBudget is returned when the instruction budget is exhausted.
+var ErrBudget = fmt.Errorf("kernel: instruction budget exhausted")
+
+// Run schedules threads until no runnable or blocked threads remain, the
+// instruction budget is exhausted (0 = 2e9), or stop returns true.
+func (k *Kernel) Run(budget uint64, stop func() bool) error {
+	if budget == 0 {
+		budget = 2_000_000_000
+	}
+	start := k.M.CPU.Stats.Instructions
+	for {
+		if stop != nil && stop() {
+			return nil
+		}
+		if k.M.CPU.Stats.Instructions-start > budget {
+			return ErrBudget
+		}
+		t := k.pickRunnable()
+		if t == nil {
+			for _, q := range k.runq {
+				if q.State == ThreadBlocked && !q.Proc.Suspended {
+					return ErrDeadlock
+				}
+			}
+			return nil
+		}
+		k.ContextSwitches++
+		k.charge(CostContextSwitch)
+		k.switchTo(t)
+		// Deliver pending signals at kernel->user transition.
+		if k.deliverPending(t) {
+			continue // delivery may have killed the thread
+		}
+		tr := k.M.CPU.Run(Quantum)
+		k.saveFrom(t)
+		if tr == nil {
+			continue // quantum expired; rotate
+		}
+		k.handleTrap(t, tr)
+	}
+}
+
+// RunUntilExit drives the system until p terminates.
+func (k *Kernel) RunUntilExit(p *Proc, budget uint64) error {
+	err := k.Run(budget, func() bool { return p.Exited() })
+	if err == nil && !p.Exited() {
+		return fmt.Errorf("kernel: system idle but pid %d has not exited", p.PID)
+	}
+	return err
+}
+
+func (k *Kernel) handleTrap(t *Thread, tr *cpu.Trap) {
+	p := t.Proc
+	k.charge(CostTrap)
+	if p.ABI == image.ABICheri {
+		k.charge(CostTrapCheriExtra)
+	}
+	switch tr.Kind {
+	case cpu.TrapSyscall:
+		k.syscall(t)
+	case cpu.TrapNCall:
+		if fn := k.Natives[tr.NCall]; fn != nil {
+			if errno := fn(k, t); errno != OK {
+				t.Frame.X[isa.RV1] = uint64(errno)
+			}
+			t.Frame.PC += isa.InstSize
+		} else {
+			k.deliverOrKill(t, SIGSYS)
+		}
+	case cpu.TrapBreak:
+		k.deliverOrKill(t, SIGTRAP)
+	case cpu.TrapCapFault:
+		k.deliverOrKill(t, SIGPROT)
+	case cpu.TrapPageFault:
+		k.deliverOrKill(t, SIGSEGV)
+	case cpu.TrapAlignment:
+		k.deliverOrKill(t, SIGBUS)
+	case cpu.TrapReserved:
+		k.deliverOrKill(t, SIGILL)
+	default:
+		k.deliverOrKill(t, SIGILL)
+	}
+}
+
+// exitProc terminates a process with the given wait status.
+func (k *Kernel) exitProc(p *Proc, status int) {
+	if p.State == ProcZombie {
+		return
+	}
+	p.State = ProcZombie
+	p.Status = status
+	for _, t := range p.Threads {
+		t.State = ThreadExited
+		k.removeThread(t)
+	}
+	for _, f := range p.FDs {
+		if f != nil {
+			f.close()
+		}
+	}
+	p.FDs = nil
+	if p.AS != nil {
+		p.AS.Release()
+	}
+	// Reparent children to nobody; they self-reap on exit.
+	for _, c := range p.Children {
+		c.Parent = nil
+	}
+	if p.Parent != nil {
+		p.Parent.SigPending |= 1 << SIGCHLD
+	}
+}
+
+// Reap removes a zombie from the process table.
+func (k *Kernel) Reap(p *Proc) {
+	if p.Parent != nil {
+		delete(p.Parent.Children, p.PID)
+	}
+	delete(k.procs, p.PID)
+}
+
+// installRederive arms the swap-in rederivation hook for a process: a
+// restored capability keeps its tag only if it is a subset of the
+// process's root ("the swap-in code derives a new architectural capability
+// from the saved values and an appropriate root capability").
+func (k *Kernel) installRederive(p *Proc) {
+	fmtc := k.M.Fmt
+	p.AS.Rederive = func(pa uint64) bool {
+		buf := make([]byte, fmtc.Bytes)
+		k.M.Mem.LoadCap(pa, buf)
+		c := fmtc.Decode(buf, true)
+		root := p.Root
+		ok := c.Base() >= root.Base() && c.Top() <= root.Top() && c.Perms()&^root.Perms() == 0
+		if ok && k.Ledger != nil && p.AbsRoot != nil {
+			k.Ledger.Derive(p.Prin, p.AbsRoot, c, core.OriginSwapRederive)
+		}
+		return ok
+	}
+}
+
+// SwapOutProc evicts every resident page of p (the experiment hook that
+// exercises tag-stripping swap and rederivation).
+func (k *Kernel) SwapOutProc(p *Proc) int {
+	n := 0
+	for _, r := range p.AS.Regions() {
+		for va := r.Start; va < r.End; va += vm.PageSize {
+			if p.AS.Resident(va) {
+				if err := p.AS.SwapOut(va); err == nil {
+					k.charge(CostSwapIO)
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

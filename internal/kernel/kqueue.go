@@ -1,0 +1,137 @@
+package kernel
+
+import (
+	"cheriabi/internal/cap"
+	"cheriabi/internal/image"
+)
+
+// kevent filters and flags.
+const (
+	EvfiltRead  = -1
+	EvfiltWrite = -2
+	EvAdd       = 1
+	EvDelete    = 2
+)
+
+// knote is one registered event. The user-supplied udata pointer is a
+// capability for CheriABI processes — one of the paper's "system calls
+// [that] take pointers and store them in kernel data structures for later
+// return": "we have modified the kernel structures to store capabilities".
+type knote struct {
+	ident  uint64 // fd
+	filter int16
+	udata  cap.Capability
+}
+
+type kqueue struct {
+	notes []knote
+}
+
+// keventLayout: the on-disk/user-memory struct kevent layout:
+//
+//	0  ident  u64
+//	8  filter i64 (sign-extended i16)
+//	16 udata  pointer (capability or 8-byte address)
+//
+// Total: 16 + ptrsize, capability-aligned for CheriABI.
+func keventSize(abi image.ABI, capBytes uint64) uint64 {
+	if abi == image.ABICheri {
+		return 16 + capBytes
+	}
+	return 24
+}
+
+func (k *Kernel) sysKqueue(t *Thread) {
+	p := t.Proc
+	kq := &kqueue{}
+	fd := p.allocFD(&FDesc{kq: kq, refs: 1})
+	p.kqs[fd] = kq
+	setRet(&t.Frame, uint64(fd), OK)
+}
+
+func (k *Kernel) sysKevent(t *Thread) {
+	p := t.Proc
+	const spec = "ipipi"
+	kqfd := int(argInt(&t.Frame, p.ABI, spec, 0))
+	changes := k.userPtr(t, spec, 1)
+	nchanges := argInt(&t.Frame, p.ABI, spec, 2)
+	events := k.userPtr(t, spec, 3)
+	nevents := argInt(&t.Frame, p.ABI, spec, 4)
+
+	kq := p.kqs[kqfd]
+	if kq == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return
+	}
+	size := keventSize(p.ABI, k.M.Fmt.Bytes)
+
+	// Apply the changelist.
+	for i := uint64(0); i < nchanges; i++ {
+		base := changes.Addr() + i*size
+		ident, e1 := k.readUserWord(changes, base, 8)
+		filt, e2 := k.readUserWord(changes, base+8, 8)
+		if e1 != OK || e2 != OK {
+			setRet(&t.Frame, ^uint64(0), EFAULT)
+			return
+		}
+		filter := int16(int64(filt))
+		flags := int16(int64(filt) >> 32) // flags packed in the high word
+		udata, e := k.copyInPtr(t, changes, base+16)
+		if e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		if flags&EvDelete != 0 {
+			for j, n := range kq.notes {
+				if n.ident == ident && n.filter == filter {
+					kq.notes = append(kq.notes[:j], kq.notes[j+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		kq.notes = append(kq.notes, knote{ident: ident, filter: filter, udata: udata})
+	}
+
+	if nevents == 0 {
+		setRet(&t.Frame, 0, OK)
+		return
+	}
+
+	// Collect ready events; the stored udata capability is returned to the
+	// process intact.
+	count := uint64(0)
+	for _, n := range kq.notes {
+		if count >= nevents {
+			break
+		}
+		f := p.fd(int(n.ident))
+		if f == nil {
+			continue
+		}
+		ready := (n.filter == EvfiltRead && f.readable()) || (n.filter == EvfiltWrite && f.writable())
+		if !ready {
+			continue
+		}
+		base := events.Addr() + count*size
+		if e := k.writeUserWord(events, base, 8, n.ident); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		if e := k.writeUserWord(events, base+8, 8, uint64(int64(n.filter))); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		if p.ABI == image.ABICheri {
+			if err := k.M.CPU.StoreCapVia(events, base+16, n.udata); err != nil {
+				setRet(&t.Frame, ^uint64(0), EFAULT)
+				return
+			}
+		} else if e := k.writeUserWord(events, base+16, 8, n.udata.Addr()); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		count++
+	}
+	setRet(&t.Frame, count, OK)
+}

@@ -1,0 +1,147 @@
+package kernel
+
+import (
+	"fmt"
+
+	"cheriabi/internal/cap"
+	"cheriabi/internal/core"
+	"cheriabi/internal/cpu"
+	"cheriabi/internal/image"
+	"cheriabi/internal/isa"
+	"cheriabi/internal/vm"
+)
+
+// AsanShadowBase is where execve maps the shadow region for
+// AddressSanitizer-instrumented binaries (shadow byte of address a is at
+// AsanShadowBase + a>>3).
+const AsanShadowBase = 0x6000_0000
+
+// Support for fast-model run-time natives (package libc): argument access
+// with the ABI conventions, return-value plumbing, guest-memory mapping on
+// behalf of a process, and synchronous calls back into guest code.
+
+// NativeArgInt returns the idx-th argument of the in-flight native call.
+func (k *Kernel) NativeArgInt(t *Thread, spec string, idx int) uint64 {
+	return argInt(&t.Frame, t.Proc.ABI, spec, idx)
+}
+
+// NativeArgPtr returns the idx-th pointer argument. Natives behave as
+// user-level library code: under CheriABI they use the caller's capability
+// unchanged; under the legacy ABI they access memory with DDC-equivalent
+// authority, exactly as compiled library code would.
+func (k *Kernel) NativeArgPtr(t *Thread, spec string, idx int) cap.Capability {
+	raw := argPtrRaw(&t.Frame, t.Proc.ABI, spec, idx)
+	if t.Proc.ABI == image.ABICheri {
+		return raw
+	}
+	return k.M.Fmt.SetAddr(t.Proc.Root.AndPerms(cap.PermData), raw.Addr())
+}
+
+// NativeRet sets the integer return value.
+func (k *Kernel) NativeRet(t *Thread, v uint64) {
+	t.Frame.X[isa.RV0] = v
+	t.Frame.X[isa.RV1] = 0
+}
+
+// NativeRetCap sets a pointer return value.
+func (k *Kernel) NativeRetCap(t *Thread, c cap.Capability) {
+	if t.Proc.ABI == image.ABICheri {
+		t.Frame.C[isa.CA0] = c
+	}
+	t.Frame.X[isa.RV0] = c.Addr()
+	t.Frame.X[isa.RV1] = 0
+}
+
+// MapAnon maps anonymous memory for a process and returns the region
+// capability (page- and representability-rounded). The allocator uses this
+// to grow its arena; the returned capability is the provenance root for
+// the allocations carved from it.
+func (k *Kernel) MapAnon(p *Proc, length uint64, prot vm.Prot) (cap.Capability, Errno) {
+	rlen := k.M.Fmt.RepresentableLength((length + vm.PageSize - 1) &^ (vm.PageSize - 1))
+	va := p.AS.FindFree(p.MmapHint, rlen)
+	if !validUserRange(va, rlen) {
+		return cap.Null(), ENOMEM
+	}
+	if err := p.AS.Map(va, rlen, prot, false); err != nil {
+		return cap.Null(), ENOMEM
+	}
+	p.MmapHint = va + rlen + vm.PageSize // guard gap between regions
+	c, err := k.M.Fmt.SetBounds(p.Root, va, rlen)
+	if err != nil {
+		return cap.Null(), ENOMEM
+	}
+	perms := cap.PermVMMap | cap.PermGlobal | cap.PermLoad | cap.PermLoadCap
+	if prot&vm.ProtWrite != 0 {
+		perms |= cap.PermStore | cap.PermStoreCap | cap.PermStoreLocalCap
+	}
+	c = c.AndPerms(perms)
+	k.capCreated("syscall", c)
+	k.Ledger.Derive(p.Prin, p.AbsRoot, c, core.OriginMmap)
+	return c, OK
+}
+
+// CallGuest synchronously invokes a guest function from a native (used by
+// qsort's comparator callbacks). fn is a function-pointer value: a
+// descriptor pointer. Integer arguments go in r4.., capability arguments
+// in c3.. (CheriABI). Returns the callee's integer result.
+func (k *Kernel) CallGuest(t *Thread, fn cap.Capability, intArgs []uint64, capArgs []cap.Capability) (uint64, error) {
+	p := t.Proc
+	c := k.M.CPU
+	cheri := p.ABI == image.ABICheri
+
+	// Resolve the descriptor [code, got].
+	var code, got cap.Capability
+	var err error
+	if cheri {
+		code, err = c.LoadCapVia(fn, fn.Addr())
+		if err == nil {
+			got, err = c.LoadCapVia(fn, fn.Addr()+k.M.Fmt.Bytes)
+		}
+	} else {
+		auth := k.M.Fmt.SetAddr(p.Root.AndPerms(cap.PermData), fn.Addr())
+		var a, g uint64
+		a, err = c.LoadVia(auth, fn.Addr(), 8)
+		if err == nil {
+			g, err = c.LoadVia(auth, fn.Addr()+8, 8)
+		}
+		code = cap.NullWithAddr(a)
+		got = cap.NullWithAddr(g)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("kernel: bad function descriptor: %w", err)
+	}
+
+	// Build a scratch activation below the thread's stack pointer.
+	save := t.Frame
+	k.switchTo(t)
+	for i, v := range intArgs {
+		c.X[isa.RA0+i] = v
+	}
+	for i, v := range capArgs {
+		c.C[isa.CA0+i] = v
+	}
+	retPC := uint64(TrampVA + NativeRetOff)
+	if cheri {
+		c.C[isa.CSP] = k.M.Fmt.IncAddr(c.C[isa.CSP], -256)
+		c.C[isa.CGP] = got
+		c.C[isa.CRA] = k.M.Fmt.SetAddr(p.sigTrampCap(k), retPC)
+		c.PCC = code
+		c.PC = code.Addr()
+	} else {
+		c.X[isa.RSP] -= 256
+		c.X[isa.RGP] = got.Addr()
+		c.X[isa.RRA] = retPC
+		c.PC = code.Addr()
+	}
+	tr := c.Run(10_000_000)
+	result := c.X[isa.RV0]
+	t.Frame = save
+	k.switchTo(t)
+	if tr == nil || tr.Kind != cpu.TrapBreak || tr.PC != retPC {
+		return 0, fmt.Errorf("kernel: guest callback misbehaved: %v", tr)
+	}
+	return result, nil
+}
+
+// sigTrampCap needs the trampoline length including the callback slot; it
+// already covers len(sigTrampoline) instructions.

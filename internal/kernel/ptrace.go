@@ -1,0 +1,188 @@
+package kernel
+
+import (
+	"cheriabi/internal/cap"
+	"cheriabi/internal/core"
+	"cheriabi/internal/isa"
+)
+
+// ptrace requests.
+const (
+	PtAttach    = 10
+	PtDetach    = 11
+	PtRead      = 1
+	PtWrite     = 2
+	PtGetReg    = 3
+	PtGetCapReg = 4
+	PtSetCapReg = 5
+	PtWriteCap  = 6
+)
+
+// sysPtrace implements debugging. "Two processes are involved ... and
+// hence two different principal IDs. Abstract capabilities belong to one
+// or the other, and must not be propagated between them": the debugger
+// never hands its own capabilities to the target; every injected
+// capability is *rederived* from the target's root.
+//
+// ptrace(req, pid, addrp, data): addrp is a pointer into the *tracer* for
+// transfer buffers; addresses inside the target are plain integers in
+// data/aux words, exactly as in the flat ptrace API the paper extends.
+func (k *Kernel) sysPtrace(t *Thread) {
+	p := t.Proc
+	const spec = "iipi"
+	req := int(argInt(&t.Frame, p.ABI, spec, 0))
+	pid := int(argInt(&t.Frame, p.ABI, spec, 1))
+	addrp := k.userPtr(t, spec, 2)
+	data := argInt(&t.Frame, p.ABI, spec, 3)
+
+	target := k.procs[pid]
+	if target == nil || target == p {
+		setRet(&t.Frame, ^uint64(0), ESRCH)
+		return
+	}
+
+	switch req {
+	case PtAttach:
+		target.Suspended = true
+		setRet(&t.Frame, 0, OK)
+		return
+	case PtDetach:
+		target.Suspended = false
+		setRet(&t.Frame, 0, OK)
+		return
+	}
+	if !target.Suspended {
+		setRet(&t.Frame, ^uint64(0), EBUSY)
+		return
+	}
+	tt := target.mainThread()
+	if tt == nil {
+		setRet(&t.Frame, ^uint64(0), ESRCH)
+		return
+	}
+
+	// Access to target memory is authorized by the *target's* root
+	// capability at the requested address, never by tracer capabilities.
+	targetMem := func(va uint64) cap.Capability {
+		return k.M.Fmt.SetAddr(target.Root.AndPerms(cap.PermData), va)
+	}
+	// Kernel accesses to the target run under the target's address space.
+	cur := k.M.CPU.AS
+	k.M.CPU.AS = target.AS
+	defer func() { k.M.CPU.AS = cur }()
+
+	switch req {
+	case PtRead: // data = target va; returns the word
+		v, err := k.M.CPU.LoadVia(targetMem(data), data, 8)
+		if err != nil {
+			setRet(&t.Frame, ^uint64(0), EFAULT)
+			return
+		}
+		setRet(&t.Frame, v, OK)
+
+	case PtWrite: // addrp = tracer buffer holding the word; data = target va
+		k.M.CPU.AS = p.AS
+		v, e := k.readUserWord(addrp, addrp.Addr(), 8)
+		k.M.CPU.AS = target.AS
+		if e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return
+		}
+		if err := k.M.CPU.StoreVia(targetMem(data), data, 8, v); err != nil {
+			setRet(&t.Frame, ^uint64(0), EFAULT)
+			return
+		}
+		setRet(&t.Frame, 0, OK)
+
+	case PtGetReg: // data = register index
+		if data >= isa.NumRegs {
+			setRet(&t.Frame, ^uint64(0), EINVAL)
+			return
+		}
+		setRet(&t.Frame, tt.Frame.X[data], OK)
+
+	case PtGetCapReg:
+		// Extends ptrace "to permit reading the values of capability
+		// registers": writes {tag, base, len, addr, perms} into the tracer
+		// buffer.
+		if data >= isa.NumRegs {
+			setRet(&t.Frame, ^uint64(0), EINVAL)
+			return
+		}
+		c := tt.Frame.C[data]
+		k.M.CPU.AS = p.AS
+		vals := []uint64{0, c.Base(), c.Len(), c.Addr(), uint64(c.Perms())}
+		if c.Tag() {
+			vals[0] = 1
+		}
+		for i, v := range vals {
+			if e := k.writeUserWord(addrp, addrp.Addr()+uint64(i)*8, 8, v); e != OK {
+				setRet(&t.Frame, ^uint64(0), e)
+				return
+			}
+		}
+		setRet(&t.Frame, 0, OK)
+
+	case PtSetCapReg:
+		// Injection: the tracer supplies {base, len, addr, perms}; the
+		// kernel derives the capability from the target's root — "these
+		// capabilities are derived from an appropriate extant target or
+		// root architectural capability".
+		if data >= isa.NumRegs {
+			setRet(&t.Frame, ^uint64(0), EINVAL)
+			return
+		}
+		k.M.CPU.AS = p.AS
+		var vals [4]uint64
+		for i := range vals {
+			v, e := k.readUserWord(addrp, addrp.Addr()+uint64(i)*8, 8)
+			if e != OK {
+				setRet(&t.Frame, ^uint64(0), e)
+				return
+			}
+			vals[i] = v
+		}
+		nc, err := k.M.Fmt.SetBounds(target.Root, vals[0], vals[1])
+		if err != nil {
+			setRet(&t.Frame, ^uint64(0), EACCES)
+			return
+		}
+		nc = nc.AndPerms(cap.Perm(vals[3]) & target.Root.Perms())
+		nc = k.M.Fmt.SetAddr(nc, vals[2])
+		tt.Frame.C[data] = nc
+		k.capCreated("ptrace", nc)
+		k.Ledger.Derive(target.Prin, target.AbsRoot, nc, core.OriginPtrace)
+		setRet(&t.Frame, 0, OK)
+
+	case PtWriteCap:
+		// Inject a rederived capability into target *memory* at data.
+		k.M.CPU.AS = p.AS
+		var vals [4]uint64
+		for i := range vals {
+			v, e := k.readUserWord(addrp, addrp.Addr()+uint64(i)*8, 8)
+			if e != OK {
+				setRet(&t.Frame, ^uint64(0), e)
+				return
+			}
+			vals[i] = v
+		}
+		nc, err := k.M.Fmt.SetBounds(target.Root, vals[0], vals[1])
+		if err != nil {
+			setRet(&t.Frame, ^uint64(0), EACCES)
+			return
+		}
+		nc = nc.AndPerms(cap.Perm(vals[3]) & target.Root.Perms())
+		nc = k.M.Fmt.SetAddr(nc, vals[2])
+		k.M.CPU.AS = target.AS
+		if err := k.M.CPU.StoreCapVia(targetMem(data), data, nc); err != nil {
+			setRet(&t.Frame, ^uint64(0), EFAULT)
+			return
+		}
+		k.capCreated("ptrace", nc)
+		k.Ledger.Derive(target.Prin, target.AbsRoot, nc, core.OriginPtrace)
+		setRet(&t.Frame, 0, OK)
+
+	default:
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+	}
+}

@@ -1,0 +1,115 @@
+package kernel
+
+import (
+	"cheriabi/internal/cap"
+	"cheriabi/internal/core"
+	"cheriabi/internal/image"
+	"cheriabi/internal/vm"
+)
+
+// shmSeg is one System-V shared-memory segment: frames shared across
+// address spaces.
+type shmSeg struct {
+	id     int
+	size   uint64
+	frames []uint64
+}
+
+// sysShmget: shmget(key, size) — key 0 always creates.
+func (k *Kernel) sysShmget(t *Thread) {
+	p := t.Proc
+	const spec = "ii"
+	size := argInt(&t.Frame, p.ABI, spec, 1)
+	if size == 0 || size > 64<<20 {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return
+	}
+	rlen := k.M.Fmt.RepresentableLength((size + vm.PageSize - 1) &^ (vm.PageSize - 1))
+	k.nextShmID++
+	seg := &shmSeg{
+		id:     k.nextShmID,
+		size:   rlen,
+		frames: k.M.VM.AllocFrames(int(rlen / vm.PageSize)),
+	}
+	k.shmSegs[seg.id] = seg
+	setRet(&t.Frame, uint64(seg.id), OK)
+}
+
+// sysShmat: shmat(id, addr) maps the segment, honouring the paper's rule:
+// a fixed address is accepted only as a valid capability carrying the
+// vmmap permission.
+func (k *Kernel) sysShmat(t *Thread) {
+	p := t.Proc
+	const spec = "ip"
+	id := int(argInt(&t.Frame, p.ABI, spec, 0))
+	hint := argPtrRaw(&t.Frame, p.ABI, spec, 1)
+	seg := k.shmSegs[id]
+	if seg == nil {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return
+	}
+	var va uint64
+	if hint.Addr() != 0 {
+		if p.ABI == image.ABICheri {
+			k.charge(CostCheriCapCheck)
+			if !hint.Tag() || !hint.HasPerm(cap.PermVMMap) {
+				setRetCap(&t.Frame, p.ABI, cap.Null(), EACCES)
+				return
+			}
+		}
+		va = hint.Addr() &^ (vm.PageSize - 1)
+	} else {
+		va = p.AS.FindFree(p.MmapHint, seg.size)
+		p.MmapHint = va + seg.size
+	}
+	if !validUserRange(va, seg.size) {
+		setRetCap(&t.Frame, p.ABI, cap.Null(), EINVAL)
+		return
+	}
+	if err := p.AS.MapFrames(va, seg.frames, vm.ProtRead|vm.ProtWrite); err != nil {
+		setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
+		return
+	}
+	if p.ABI != image.ABICheri {
+		setRet(&t.Frame, va, OK)
+		return
+	}
+	ret, err := k.M.Fmt.SetBounds(p.Root, va, seg.size)
+	if err != nil {
+		setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
+		return
+	}
+	ret = ret.AndPerms(cap.PermData | cap.PermVMMap)
+	k.capCreated("syscall", ret)
+	k.Ledger.Derive(p.Prin, p.AbsRoot, ret, core.OriginSyscall)
+	setRetCap(&t.Frame, p.ABI, ret, OK)
+}
+
+// sysShmdt: shmdt(addr) requires the vmmap permission on the presented
+// capability, like munmap.
+func (k *Kernel) sysShmdt(t *Thread) {
+	p := t.Proc
+	c := argPtrRaw(&t.Frame, p.ABI, "p", 0)
+	va := c.Addr() &^ (vm.PageSize - 1)
+	// Find the attached segment by matching frames at va.
+	var seg *shmSeg
+	for _, s := range k.shmSegs {
+		if pa, pf := p.AS.Translate(va, vm.ProtRead); pf == nil && len(s.frames) > 0 && pa&^(vm.PageSize-1) == s.frames[0] {
+			seg = s
+			break
+		}
+	}
+	if seg == nil {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return
+	}
+	if e := k.checkVMAuth(p, c, va, seg.size); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	if err := p.AS.Unmap(va, seg.size); err != nil {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return
+	}
+	setRet(&t.Frame, 0, OK)
+}

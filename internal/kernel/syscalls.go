@@ -1,0 +1,920 @@
+package kernel
+
+import (
+	"cheriabi/internal/cap"
+	"cheriabi/internal/core"
+	"cheriabi/internal/image"
+	"cheriabi/internal/isa"
+	"cheriabi/internal/vm"
+)
+
+// Syscall numbers.
+const (
+	SysExit = iota + 1
+	SysFork
+	SysRead
+	SysWrite
+	SysOpen
+	SysClose
+	SysWait4
+	SysPipe
+	SysDup
+	SysGetpid
+	SysExecve
+	SysMmap
+	SysMunmap
+	SysMprotect
+	SysSbrk
+	SysSelect
+	SysKqueue
+	SysKevent
+	SysSigaction
+	SysSigreturn
+	SysKill
+	SysIoctl
+	SysSysctl
+	SysPtrace
+	SysGetcwd
+	SysChdir
+	SysLseek
+	SysFstat
+	SysShmget
+	SysShmat
+	SysShmdt
+	SysYield
+	SysSigprocmask
+	SysGetTime
+	SysUnlink
+	SysSwapSelf // simulator-specific: force the process's pages to swap
+)
+
+// mmap prot/flags.
+const (
+	ProtReadFlag  = 1
+	ProtWriteFlag = 2
+	ProtExecFlag  = 4
+	MapFixed      = 0x10
+)
+
+// syscall dispatches the trapped syscall. Handlers return with advance
+// true unless they blocked the thread (the syscall instruction restarts)
+// or replaced the frame (sigreturn, execve).
+func (k *Kernel) syscall(t *Thread) {
+	p := t.Proc
+	num := int(t.Frame.X[isa.RV0])
+	k.SyscallCount[num]++
+	k.charge(CostSyscallBase)
+	advance := true
+	switch num {
+	case SysExit:
+		k.exitProc(p, int(argInt(&t.Frame, p.ABI, "i", 0))<<8)
+	case SysFork:
+		k.sysFork(t)
+	case SysRead:
+		advance = k.sysRead(t)
+	case SysWrite:
+		advance = k.sysWrite(t)
+	case SysOpen:
+		k.sysOpen(t)
+	case SysClose:
+		k.sysClose(t)
+	case SysWait4:
+		advance = k.sysWait4(t)
+	case SysPipe:
+		k.sysPipe(t)
+	case SysDup:
+		k.sysDup(t)
+	case SysGetpid:
+		setRet(&t.Frame, uint64(p.PID), OK)
+	case SysExecve:
+		advance = k.sysExecve(t)
+	case SysMmap:
+		k.sysMmap(t)
+	case SysMunmap:
+		k.sysMunmap(t)
+	case SysMprotect:
+		k.sysMprotect(t)
+	case SysSbrk:
+		k.sysSbrk(t)
+	case SysSelect:
+		advance = k.sysSelect(t)
+	case SysKqueue:
+		k.sysKqueue(t)
+	case SysKevent:
+		k.sysKevent(t)
+	case SysSigaction:
+		k.sysSigaction(t)
+	case SysSigreturn:
+		k.sigreturn(t)
+		advance = false
+	case SysKill:
+		spec := "ii"
+		if e := k.Kill(int(argInt(&t.Frame, p.ABI, spec, 0)), int(argInt(&t.Frame, p.ABI, spec, 1))); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+		} else {
+			setRet(&t.Frame, 0, OK)
+		}
+	case SysIoctl:
+		k.sysIoctl(t)
+	case SysSysctl:
+		k.sysSysctl(t)
+	case SysPtrace:
+		k.sysPtrace(t)
+	case SysGetcwd:
+		k.sysGetcwd(t)
+	case SysChdir:
+		k.sysChdir(t)
+	case SysLseek:
+		k.sysLseek(t)
+	case SysFstat:
+		k.sysFstat(t)
+	case SysShmget:
+		k.sysShmget(t)
+	case SysShmat:
+		k.sysShmat(t)
+	case SysShmdt:
+		k.sysShmdt(t)
+	case SysYield:
+		setRet(&t.Frame, 0, OK)
+	case SysSigprocmask:
+		k.sysSigprocmask(t)
+	case SysGetTime:
+		setRet(&t.Frame, k.Now(), OK)
+	case SysUnlink:
+		k.sysUnlink(t)
+	case SysSwapSelf:
+		n := k.SwapOutProc(p)
+		setRet(&t.Frame, uint64(n), OK)
+	default:
+		setRet(&t.Frame, ^uint64(0), ENOSYS)
+	}
+	if advance && t.State != ThreadExited && p.State != ProcZombie {
+		t.Frame.PC += isa.InstSize
+	}
+}
+
+func (k *Kernel) sysFork(t *Thread) {
+	p := t.Proc
+	pages := 0
+	for _, r := range p.AS.Regions() {
+		pages += int((r.End - r.Start) / vm.PageSize)
+	}
+	k.charge(CostForkBase + uint64(pages)*CostForkPerPage)
+	if p.ABI == image.ABICheri {
+		k.charge(CostForkCheriExtra)
+	}
+
+	child := k.newProc(p)
+	child.Name = p.Name
+	child.ABI = p.ABI
+	child.AS = p.AS.Fork()
+	child.Root = p.Root
+	child.Prin = k.Ledger.NewPrincipal(core.ProcessPrincipal, child.Name)
+	child.AbsRoot, _ = k.Ledger.Derive(child.Prin, k.resetAbs, child.Root, core.OriginExec)
+	k.installRederive(child)
+	child.CWD = p.CWD
+	child.Sig = p.Sig
+	child.SigMask = p.SigMask
+	child.MmapHint = p.MmapHint
+	child.Linked = p.Linked
+	child.brk = p.brk
+	child.FDs = make([]*FDesc, len(p.FDs))
+	for i, f := range p.FDs {
+		if f != nil {
+			child.FDs[i] = f.incref()
+		}
+	}
+	ct := k.newThread(child)
+	ct.Frame = t.Frame
+	setRet(&ct.Frame, 0, OK)    // child sees 0
+	ct.Frame.PC += isa.InstSize // child resumes after the syscall
+	setRet(&t.Frame, uint64(child.PID), OK)
+}
+
+func (k *Kernel) sysRead(t *Thread) bool {
+	p := t.Proc
+	const spec = "ipi"
+	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
+	buf := k.userPtr(t, spec, 1)
+	n := argInt(&t.Frame, p.ABI, spec, 2)
+	f := p.fd(fd)
+	if f == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	if f.pip != nil {
+		if f.pipeW {
+			setRet(&t.Frame, ^uint64(0), EBADF)
+			return true
+		}
+		if len(f.pip.buf) == 0 {
+			if f.pip.writers > 0 {
+				pip := f.pip
+				t.block(func() bool { return len(pip.buf) > 0 || pip.writers == 0 })
+				return false
+			}
+			setRet(&t.Frame, 0, OK) // EOF
+			return true
+		}
+		m := n
+		if m > uint64(len(f.pip.buf)) {
+			m = uint64(len(f.pip.buf))
+		}
+		if e := k.copyOut(buf, f.pip.buf[:m]); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
+		f.pip.buf = f.pip.buf[m:]
+		setRet(&t.Frame, m, OK)
+		return true
+	}
+	switch f.node.kind {
+	case nodeFile:
+		if f.off >= int64(len(f.node.data)) {
+			setRet(&t.Frame, 0, OK)
+			return true
+		}
+		m := int64(n)
+		if m > int64(len(f.node.data))-f.off {
+			m = int64(len(f.node.data)) - f.off
+		}
+		if e := k.copyOut(buf, f.node.data[f.off:f.off+m]); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
+		f.off += m
+		setRet(&t.Frame, uint64(m), OK)
+	case nodeNull, nodeTTY:
+		setRet(&t.Frame, 0, OK)
+	default:
+		setRet(&t.Frame, ^uint64(0), EISDIR)
+	}
+	return true
+}
+
+func (k *Kernel) sysWrite(t *Thread) bool {
+	p := t.Proc
+	const spec = "ipi"
+	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
+	buf := k.userPtr(t, spec, 1)
+	n := argInt(&t.Frame, p.ABI, spec, 2)
+	f := p.fd(fd)
+	if f == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	if f.pip != nil {
+		if !f.pipeW {
+			setRet(&t.Frame, ^uint64(0), EBADF)
+			return true
+		}
+		if f.pip.readers == 0 {
+			p.SigPending |= 1 << SIGPIPE
+			setRet(&t.Frame, ^uint64(0), EPIPE)
+			return true
+		}
+		if len(f.pip.buf) >= pipeCap {
+			pip := f.pip
+			t.block(func() bool { return len(pip.buf) < pipeCap || pip.readers == 0 })
+			return false
+		}
+		m := n
+		if space := uint64(pipeCap - len(f.pip.buf)); m > space {
+			m = space
+		}
+		data, e := k.copyIn(buf, m)
+		if e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
+		f.pip.buf = append(f.pip.buf, data...)
+		setRet(&t.Frame, m, OK)
+		return true
+	}
+	data, e := k.copyIn(buf, n)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	switch f.node.kind {
+	case nodeTTY:
+		target := f.console
+		if target == nil {
+			target = p
+		}
+		target.Stdout.Write(data)
+		if k.Console != nil {
+			k.Console.Write(data)
+		}
+	case nodeNull:
+	case nodeFile:
+		if f.flags&OAppend != 0 {
+			f.off = int64(len(f.node.data))
+		}
+		end := f.off + int64(len(data))
+		for int64(len(f.node.data)) < end {
+			f.node.data = append(f.node.data, 0)
+		}
+		copy(f.node.data[f.off:end], data)
+		f.off = end
+	default:
+		setRet(&t.Frame, ^uint64(0), EISDIR)
+		return true
+	}
+	setRet(&t.Frame, n, OK)
+	return true
+}
+
+func (k *Kernel) sysOpen(t *Thread) {
+	p := t.Proc
+	const spec = "pii"
+	pathCap := k.userPtr(t, spec, 0)
+	flags := int(argInt(&t.Frame, p.ABI, spec, 1))
+	path, e := k.copyInStr(pathCap)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	if len(path) == 0 {
+		setRet(&t.Frame, ^uint64(0), ENOENT)
+		return
+	}
+	if path[0] != '/' {
+		path = p.CWD + "/" + path
+	}
+	n := k.FS.lookup(path)
+	if n == nil {
+		if flags&OCreat == 0 {
+			setRet(&t.Frame, ^uint64(0), ENOENT)
+			return
+		}
+		if err := k.FS.WriteFile(path, nil); err != nil {
+			setRet(&t.Frame, ^uint64(0), ENOENT)
+			return
+		}
+		n = k.FS.lookup(path)
+	}
+	if n.kind == nodeDir && flags&(OWrOnly|ORdWr) != 0 {
+		setRet(&t.Frame, ^uint64(0), EISDIR)
+		return
+	}
+	if n.kind == nodeFile && flags&OTrunc != 0 {
+		n.data = nil
+	}
+	f := &FDesc{node: n, flags: flags, refs: 1}
+	if n.kind == nodeTTY {
+		f.console = p
+	}
+	setRet(&t.Frame, uint64(p.allocFD(f)), OK)
+}
+
+func (k *Kernel) sysClose(t *Thread) {
+	p := t.Proc
+	fd := int(argInt(&t.Frame, p.ABI, "i", 0))
+	f := p.fd(fd)
+	if f == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return
+	}
+	f.close()
+	p.FDs[fd] = nil
+	setRet(&t.Frame, 0, OK)
+}
+
+func (k *Kernel) sysWait4(t *Thread) bool {
+	p := t.Proc
+	const spec = "ipi"
+	pid := int(int64(argInt(&t.Frame, p.ABI, spec, 0)))
+	statusPtr := k.userPtr(t, spec, 1)
+	var zombie *Proc
+	candidates := 0
+	for _, c := range p.Children {
+		if pid > 0 && c.PID != pid {
+			continue
+		}
+		candidates++
+		if c.State == ProcZombie {
+			zombie = c
+			break
+		}
+	}
+	if zombie == nil {
+		if candidates == 0 {
+			setRet(&t.Frame, ^uint64(0), ECHILD)
+			return true
+		}
+		t.block(func() bool {
+			for _, c := range p.Children {
+				if (pid <= 0 || c.PID == pid) && c.State == ProcZombie {
+					return true
+				}
+			}
+			return false
+		})
+		return false
+	}
+	if statusPtr.Addr() != 0 {
+		if e := k.writeUserWord(statusPtr, statusPtr.Addr(), 4, uint64(zombie.Status)); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
+	}
+	setRet(&t.Frame, uint64(zombie.PID), OK)
+	k.Reap(zombie)
+	return true
+}
+
+func (k *Kernel) sysPipe(t *Thread) {
+	p := t.Proc
+	fdsPtr := k.userPtr(t, "p", 0)
+	pip := &pipe{readers: 1, writers: 1}
+	r := p.allocFD(&FDesc{pip: pip, refs: 1})
+	w := p.allocFD(&FDesc{pip: pip, pipeW: true, refs: 1})
+	// MiniC's int is 8 bytes, so the fds array uses 8-byte slots.
+	if e := k.writeUserWord(fdsPtr, fdsPtr.Addr(), 8, uint64(r)); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	if e := k.writeUserWord(fdsPtr, fdsPtr.Addr()+8, 8, uint64(w)); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	setRet(&t.Frame, 0, OK)
+}
+
+func (k *Kernel) sysDup(t *Thread) {
+	p := t.Proc
+	fd := int(argInt(&t.Frame, p.ABI, "i", 0))
+	f := p.fd(fd)
+	if f == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return
+	}
+	setRet(&t.Frame, uint64(p.allocFD(f.incref())), OK)
+}
+
+func (k *Kernel) sysExecve(t *Thread) bool {
+	p := t.Proc
+	const spec = "ppp"
+	pathCap := k.userPtr(t, spec, 0)
+	argvCap := k.userPtr(t, spec, 1)
+	envvCap := k.userPtr(t, spec, 2)
+	path, e := k.copyInStr(pathCap)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	readVec := func(vec cap.Capability) ([]string, Errno) {
+		var out []string
+		if vec.Addr() == 0 {
+			return nil, OK
+		}
+		stride := k.ptrStride(p)
+		for i := 0; i < 256; i++ {
+			pc, e := k.copyInPtr(t, vec, vec.Addr()+uint64(i)*stride)
+			if e != OK {
+				return nil, e
+			}
+			if pc.Addr() == 0 {
+				return out, OK
+			}
+			s, e := k.copyInStr(pc)
+			if e != OK {
+				return nil, e
+			}
+			out = append(out, s)
+		}
+		return nil, E2BIG
+	}
+	argv, e := readVec(argvCap)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	envv, e := readVec(envvCap)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	if path != "" && path[0] != '/' {
+		path = p.CWD + "/" + path
+	}
+	if err := k.exec(p, t, path, argv, envv); err != nil {
+		setRet(&t.Frame, ^uint64(0), ENOEXEC)
+		return true
+	}
+	k.switchTo(t)
+	return false // frame replaced: entry point, no PC advance
+}
+
+// sysMmap implements the paper's mmap rules (§4, "Virtual-address
+// management APIs").
+func (k *Kernel) sysMmap(t *Thread) {
+	p := t.Proc
+	const spec = "piii"
+	hint := argPtrRaw(&t.Frame, p.ABI, spec, 0)
+	length := argInt(&t.Frame, p.ABI, spec, 1)
+	prot := int(argInt(&t.Frame, p.ABI, spec, 2))
+	flags := int(argInt(&t.Frame, p.ABI, spec, 3))
+	if length == 0 {
+		setRetCap(&t.Frame, p.ABI, cap.Null(), EINVAL)
+		return
+	}
+	k.charge(CostCheriCapCheck)
+
+	rlen := k.M.Fmt.RepresentableLength((length + vm.PageSize - 1) &^ (vm.PageSize - 1))
+	var prot2 vm.Prot
+	if prot&ProtReadFlag != 0 {
+		prot2 |= vm.ProtRead
+	}
+	if prot&ProtWriteFlag != 0 {
+		prot2 |= vm.ProtWrite
+	}
+	if prot&ProtExecFlag != 0 {
+		prot2 |= vm.ProtExec
+	}
+
+	var va uint64
+	fixed := flags&MapFixed != 0
+	if fixed {
+		va = hint.Addr() &^ (vm.PageSize - 1)
+		if !validUserRange(va, rlen) {
+			setRetCap(&t.Frame, p.ABI, cap.Null(), EINVAL)
+			return
+		}
+		replacing := p.AS.Mapped(va, rlen)
+		if p.ABI == image.ABICheri {
+			// "If the fixed address is a valid capability, we require that
+			// it have the vmmap user-defined capability permission ...
+			// however, if the caller requests a fixed mapping [without
+			// one], we allow it only if it would not replace an existing
+			// mapping."
+			if hint.Tag() && !hint.HasPerm(cap.PermVMMap) && replacing {
+				setRetCap(&t.Frame, p.ABI, cap.Null(), EACCES)
+				return
+			}
+			if !hint.Tag() && replacing {
+				setRetCap(&t.Frame, p.ABI, cap.Null(), EACCES)
+				return
+			}
+		}
+		if err := p.AS.Map(va, rlen, prot2, true); err != nil {
+			setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
+			return
+		}
+	} else {
+		start := p.MmapHint
+		if hint.Addr() != 0 {
+			start = hint.Addr()
+		}
+		va = p.AS.FindFree(start, rlen)
+		if !validUserRange(va, rlen) {
+			setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
+			return
+		}
+		if err := p.AS.Map(va, rlen, prot2, false); err != nil {
+			setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
+			return
+		}
+		p.MmapHint = va + rlen + vm.PageSize // guard gap between regions
+	}
+
+	if p.ABI != image.ABICheri {
+		setRet(&t.Frame, va, OK)
+		return
+	}
+	// Derive the returned capability: from the hint if it is a valid
+	// capability (preserving provenance), else from the process root.
+	parent := p.Root
+	if hint.Tag() && hint.HasPerm(cap.PermVMMap) {
+		parent = hint
+	}
+	perms := cap.PermVMMap | cap.PermGlobal
+	if prot&ProtReadFlag != 0 {
+		perms |= cap.PermLoad | cap.PermLoadCap
+	}
+	if prot&ProtWriteFlag != 0 {
+		perms |= cap.PermStore | cap.PermStoreCap | cap.PermStoreLocalCap
+	}
+	if prot&ProtExecFlag != 0 {
+		perms |= cap.PermExecute
+	}
+	ret, err := k.M.Fmt.SetBounds(parent, va, rlen)
+	if err != nil {
+		setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
+		return
+	}
+	ret = ret.AndPerms(perms)
+	k.capCreated("syscall", ret)
+	k.Ledger.Derive(p.Prin, p.AbsRoot, ret, core.OriginMmap)
+	setRetCap(&t.Frame, p.ABI, ret, OK)
+}
+
+// checkVMAuth validates the capability presented to munmap/mprotect/shmdt:
+// it must be tagged, carry PermVMMap, and cover the range ("This prevents
+// the possibility of replacing the contents of arbitrary memory without a
+// valid capability").
+func (k *Kernel) checkVMAuth(p *Proc, c cap.Capability, va, length uint64) Errno {
+	if p.ABI != image.ABICheri {
+		return OK
+	}
+	k.charge(CostCheriCapCheck)
+	if !c.Tag() || !c.HasPerm(cap.PermVMMap) || !c.InBounds(va, length) {
+		return EACCES
+	}
+	return OK
+}
+
+func (k *Kernel) sysMunmap(t *Thread) {
+	p := t.Proc
+	const spec = "pi"
+	c := argPtrRaw(&t.Frame, p.ABI, spec, 0)
+	length := (argInt(&t.Frame, p.ABI, spec, 1) + vm.PageSize - 1) &^ (vm.PageSize - 1)
+	va := c.Addr() &^ (vm.PageSize - 1)
+	if e := k.checkVMAuth(p, c, va, length); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	if err := p.AS.Unmap(va, length); err != nil {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return
+	}
+	setRet(&t.Frame, 0, OK)
+}
+
+func (k *Kernel) sysMprotect(t *Thread) {
+	p := t.Proc
+	const spec = "pii"
+	c := argPtrRaw(&t.Frame, p.ABI, spec, 0)
+	length := (argInt(&t.Frame, p.ABI, spec, 1) + vm.PageSize - 1) &^ (vm.PageSize - 1)
+	prot := int(argInt(&t.Frame, p.ABI, spec, 2))
+	va := c.Addr() &^ (vm.PageSize - 1)
+	if e := k.checkVMAuth(p, c, va, length); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	var prot2 vm.Prot
+	if prot&ProtReadFlag != 0 {
+		prot2 |= vm.ProtRead
+	}
+	if prot&ProtWriteFlag != 0 {
+		prot2 |= vm.ProtWrite
+	}
+	if prot&ProtExecFlag != 0 {
+		prot2 |= vm.ProtExec
+	}
+	if err := p.AS.Protect(va, length, prot2); err != nil {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return
+	}
+	setRet(&t.Frame, 0, OK)
+}
+
+// sysSbrk: "we have excluded sbrk as a matter of principle" under
+// CheriABI; the legacy ABI keeps a minimal implementation.
+func (k *Kernel) sysSbrk(t *Thread) {
+	p := t.Proc
+	if p.ABI == image.ABICheri {
+		setRet(&t.Frame, ^uint64(0), ENOSYS)
+		return
+	}
+	incr := int64(argInt(&t.Frame, p.ABI, "i", 0))
+	const brkBase = 0x3000_0000
+	if p.brk == 0 {
+		p.brk = brkBase
+	}
+	old := p.brk
+	if incr > 0 {
+		grow := (uint64(incr) + vm.PageSize - 1) &^ (vm.PageSize - 1)
+		if err := p.AS.Map(old+(vm.PageSize-1)&^(vm.PageSize-1), grow, vm.ProtRead|vm.ProtWrite, true); err != nil {
+			setRet(&t.Frame, ^uint64(0), ENOMEM)
+			return
+		}
+		p.brk = old + uint64(incr)
+	}
+	setRet(&t.Frame, old, OK)
+}
+
+func (k *Kernel) sysSelect(t *Thread) bool {
+	p := t.Proc
+	const spec = "ipppp"
+	nfds := int(argInt(&t.Frame, p.ABI, spec, 0))
+	if nfds > 64 {
+		nfds = 64
+	}
+	ptrs := make([]cap.Capability, 4)
+	for i := range ptrs {
+		ptrs[i] = k.userPtr(t, spec, i+1)
+	}
+	k.charge(uint64(nfds) * CostSelectPerFD)
+
+	readMask := func(c cap.Capability) (uint64, Errno) {
+		if c.Addr() == 0 {
+			return 0, OK
+		}
+		return k.readUserWord(c, c.Addr(), 8)
+	}
+	rq, e1 := readMask(ptrs[0])
+	wq, e2 := readMask(ptrs[1])
+	if e1 != OK || e2 != OK {
+		setRet(&t.Frame, ^uint64(0), EFAULT)
+		return true
+	}
+	var rdy, wdy uint64
+	count := 0
+	for fd := 0; fd < nfds; fd++ {
+		f := p.fd(fd)
+		if f == nil {
+			continue
+		}
+		if rq&(1<<uint(fd)) != 0 && f.readable() {
+			rdy |= 1 << uint(fd)
+			count++
+		}
+		if wq&(1<<uint(fd)) != 0 && f.writable() {
+			wdy |= 1 << uint(fd)
+			count++
+		}
+	}
+	timeoutPtr := ptrs[3]
+	if count == 0 && timeoutPtr.Addr() == 0 && (rq|wq) != 0 {
+		t.block(func() bool {
+			for fd := 0; fd < nfds; fd++ {
+				f := p.fd(fd)
+				if f == nil {
+					continue
+				}
+				if rq&(1<<uint(fd)) != 0 && f.readable() {
+					return true
+				}
+				if wq&(1<<uint(fd)) != 0 && f.writable() {
+					return true
+				}
+			}
+			return false
+		})
+		return false
+	}
+	if ptrs[0].Addr() != 0 {
+		if e := k.writeUserWord(ptrs[0], ptrs[0].Addr(), 8, rdy); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
+	}
+	if ptrs[1].Addr() != 0 {
+		if e := k.writeUserWord(ptrs[1], ptrs[1].Addr(), 8, wdy); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
+	}
+	setRet(&t.Frame, uint64(count), OK)
+	return true
+}
+
+func (k *Kernel) sysSigaction(t *Thread) {
+	p := t.Proc
+	const spec = "ip"
+	sig := int(argInt(&t.Frame, p.ABI, spec, 0))
+	handler := argPtrRaw(&t.Frame, p.ABI, spec, 1)
+	if sig <= 0 || sig >= NSig {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return
+	}
+	if handler.Addr() == 0 && !handler.Tag() {
+		p.Sig[sig] = SigAction{}
+	} else {
+		// The handler descriptor pointer is stored in the kernel as a
+		// capability for CheriABI processes.
+		p.Sig[sig] = SigAction{Handler: handler, Set: true}
+	}
+	setRet(&t.Frame, 0, OK)
+}
+
+func (k *Kernel) sysSigprocmask(t *Thread) {
+	p := t.Proc
+	const spec = "iii"
+	how := int(argInt(&t.Frame, p.ABI, spec, 0))
+	mask := argInt(&t.Frame, p.ABI, spec, 1)
+	old := p.SigMask
+	switch how {
+	case 0:
+		p.SigMask = mask
+	case 1:
+		p.SigMask |= mask
+	case 2:
+		p.SigMask &^= mask
+	default:
+		setRet(&t.Frame, 0, EINVAL)
+		return
+	}
+	setRet(&t.Frame, old, OK)
+}
+
+func (k *Kernel) sysGetcwd(t *Thread) {
+	p := t.Proc
+	const spec = "pi"
+	buf := k.userPtr(t, spec, 0)
+	length := argInt(&t.Frame, p.ABI, spec, 1)
+	cwd := append([]byte(p.CWD), 0)
+	if uint64(len(cwd)) > length {
+		setRet(&t.Frame, ^uint64(0), ERANGE)
+		return
+	}
+	// The copy is authorized by the *capability*, not the length argument:
+	// an over-stated length cannot make the kernel overrun the buffer
+	// under CheriABI (the BOdiagsuite getcwd cases).
+	if e := k.copyOut(buf, cwd); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	setRet(&t.Frame, uint64(len(cwd)), OK)
+}
+
+func (k *Kernel) sysChdir(t *Thread) {
+	p := t.Proc
+	pathCap := k.userPtr(t, "p", 0)
+	path, e := k.copyInStr(pathCap)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	if path == "" || path[0] != '/' {
+		path = p.CWD + "/" + path
+	}
+	n := k.FS.lookup(path)
+	if n == nil || n.kind != nodeDir {
+		setRet(&t.Frame, ^uint64(0), ENOENT)
+		return
+	}
+	p.CWD = path
+	setRet(&t.Frame, 0, OK)
+}
+
+func (k *Kernel) sysLseek(t *Thread) {
+	p := t.Proc
+	const spec = "iii"
+	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
+	off := int64(argInt(&t.Frame, p.ABI, spec, 1))
+	whence := int(argInt(&t.Frame, p.ABI, spec, 2))
+	f := p.fd(fd)
+	if f == nil || f.node == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return
+	}
+	switch whence {
+	case 0:
+		f.off = off
+	case 1:
+		f.off += off
+	case 2:
+		f.off = int64(len(f.node.data)) + off
+	default:
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return
+	}
+	setRet(&t.Frame, uint64(f.off), OK)
+}
+
+func (k *Kernel) sysFstat(t *Thread) {
+	p := t.Proc
+	const spec = "ip"
+	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
+	buf := k.userPtr(t, spec, 1)
+	f := p.fd(fd)
+	if f == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return
+	}
+	var size, kind uint64
+	if f.node != nil {
+		size = uint64(len(f.node.data))
+		kind = uint64(f.node.kind)
+	}
+	if e := k.writeUserWord(buf, buf.Addr(), 8, size); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	if e := k.writeUserWord(buf, buf.Addr()+8, 8, kind); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	setRet(&t.Frame, 0, OK)
+}
+
+func (k *Kernel) sysUnlink(t *Thread) {
+	p := t.Proc
+	pathCap := k.userPtr(t, "p", 0)
+	path, e := k.copyInStr(pathCap)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return
+	}
+	if path == "" || path[0] != '/' {
+		path = p.CWD + "/" + path
+	}
+	if err := k.FS.Remove(path); err != nil {
+		setRet(&t.Frame, ^uint64(0), ENOENT)
+		return
+	}
+	setRet(&t.Frame, 0, OK)
+}

@@ -1,0 +1,170 @@
+// Package mem models tagged physical memory: a flat byte array plus one
+// out-of-band tag bit per capability-sized, capability-aligned granule.
+// The tag bit distinguishes data from capabilities and is cleared by any
+// data write that touches the granule, which is what enforces capability
+// integrity ("Violations of the architectural capability semantics,
+// including overwriting their representation with (integer) data, will
+// clear the tag").
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Physical is tagged physical memory. Addresses are physical; bounds and
+// permission checking happen above this layer (capabilities + MMU), so an
+// out-of-range physical access is a simulator bug and panics.
+type Physical struct {
+	data    []byte
+	tags    []bool
+	granule uint64 // capability size in bytes; one tag per granule
+}
+
+// New returns size bytes of zeroed physical memory with one tag per
+// granule bytes. size must be a multiple of granule.
+func New(size, granule uint64) *Physical {
+	if granule == 0 || size%granule != 0 {
+		panic(fmt.Sprintf("mem: size %d not a multiple of granule %d", size, granule))
+	}
+	return &Physical{
+		data:    make([]byte, size),
+		tags:    make([]bool, size/granule),
+		granule: granule,
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Physical) Size() uint64 { return uint64(len(m.data)) }
+
+// Granule returns the capability granule size in bytes.
+func (m *Physical) Granule() uint64 { return m.granule }
+
+func (m *Physical) check(pa, n uint64) {
+	if pa+n > uint64(len(m.data)) || pa+n < pa {
+		panic(fmt.Sprintf("mem: physical access out of range: pa=0x%x n=%d size=0x%x", pa, n, len(m.data)))
+	}
+}
+
+// clearTags clears the tags of every granule overlapping [pa, pa+n).
+func (m *Physical) clearTags(pa, n uint64) {
+	if n == 0 {
+		return
+	}
+	for g := pa / m.granule; g <= (pa+n-1)/m.granule; g++ {
+		m.tags[g] = false
+	}
+}
+
+// Load returns an n-byte little-endian integer at pa (n in 1,2,4,8).
+func (m *Physical) Load(pa, n uint64) uint64 {
+	m.check(pa, n)
+	switch n {
+	case 1:
+		return uint64(m.data[pa])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(m.data[pa:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(m.data[pa:]))
+	case 8:
+		return binary.LittleEndian.Uint64(m.data[pa:])
+	}
+	panic(fmt.Sprintf("mem: bad load size %d", n))
+}
+
+// Store writes an n-byte little-endian integer at pa and clears the
+// granule's tag: integer stores destroy capabilities.
+func (m *Physical) Store(pa, n, v uint64) {
+	m.check(pa, n)
+	switch n {
+	case 1:
+		m.data[pa] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.data[pa:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[pa:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(m.data[pa:], v)
+	default:
+		panic(fmt.Sprintf("mem: bad store size %d", n))
+	}
+	m.clearTags(pa, n)
+}
+
+// ReadBytes copies len(buf) bytes starting at pa into buf.
+func (m *Physical) ReadBytes(pa uint64, buf []byte) {
+	m.check(pa, uint64(len(buf)))
+	copy(buf, m.data[pa:])
+}
+
+// WriteBytes copies buf into memory at pa, clearing overlapped tags.
+func (m *Physical) WriteBytes(pa uint64, buf []byte) {
+	m.check(pa, uint64(len(buf)))
+	copy(m.data[pa:], buf)
+	m.clearTags(pa, uint64(len(buf)))
+}
+
+// Tag returns the tag bit of the granule containing pa.
+func (m *Physical) Tag(pa uint64) bool {
+	m.check(pa, 1)
+	return m.tags[pa/m.granule]
+}
+
+// LoadCap reads one capability-sized value at pa, returning the raw bytes
+// and the granule's tag. pa must be granule-aligned.
+func (m *Physical) LoadCap(pa uint64, buf []byte) bool {
+	if pa%m.granule != 0 {
+		panic(fmt.Sprintf("mem: unaligned capability load at 0x%x", pa))
+	}
+	m.check(pa, m.granule)
+	copy(buf, m.data[pa:pa+m.granule])
+	return m.tags[pa/m.granule]
+}
+
+// StoreCap writes one capability-sized value at pa with the given tag.
+// pa must be granule-aligned.
+func (m *Physical) StoreCap(pa uint64, buf []byte, tag bool) {
+	if pa%m.granule != 0 {
+		panic(fmt.Sprintf("mem: unaligned capability store at 0x%x", pa))
+	}
+	m.check(pa, m.granule)
+	copy(m.data[pa:pa+m.granule], buf[:m.granule])
+	m.tags[pa/m.granule] = tag
+}
+
+// CopyTagged copies n bytes from src to dst preserving tags where both
+// sides are granule-aligned granules (used by page copies: COW, fork).
+// n, src and dst must be granule-aligned.
+func (m *Physical) CopyTagged(dst, src, n uint64) {
+	if dst%m.granule != 0 || src%m.granule != 0 || n%m.granule != 0 {
+		panic("mem: CopyTagged requires granule alignment")
+	}
+	m.check(dst, n)
+	m.check(src, n)
+	copy(m.data[dst:dst+n], m.data[src:src+n])
+	for i := uint64(0); i < n/m.granule; i++ {
+		m.tags[dst/m.granule+i] = m.tags[src/m.granule+i]
+	}
+}
+
+// ExtractTags returns the tags of the n/granule granules in [pa, pa+n),
+// used by the swapper to preserve abstract capabilities across storage
+// that cannot hold tags.
+func (m *Physical) ExtractTags(pa, n uint64) []bool {
+	if pa%m.granule != 0 || n%m.granule != 0 {
+		panic("mem: ExtractTags requires granule alignment")
+	}
+	m.check(pa, n)
+	out := make([]bool, n/m.granule)
+	copy(out, m.tags[pa/m.granule:])
+	return out
+}
+
+// Zero clears [pa, pa+n) and the overlapped tags.
+func (m *Physical) Zero(pa, n uint64) {
+	m.check(pa, n)
+	for i := uint64(0); i < n; i++ {
+		m.data[pa+i] = 0
+	}
+	m.clearTags(pa, n)
+}

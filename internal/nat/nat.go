@@ -1,0 +1,54 @@
+// Package nat defines the native-call interface between compiled guest
+// code and the fast-model C runtime (package libc): stable call numbers
+// and argument signatures shared by the compiler and the runtime.
+//
+// Natives model the C library the way ISA-level "fast models" do: the
+// function body runs as host code, but every byte it touches moves through
+// the same capability- and MMU-checked accessors as guest instructions,
+// so bounds violations inside library calls (memcpy past the end of a
+// malloc allocation, say) fault exactly as they would with a compiled
+// libc.
+package nat
+
+// Native call numbers. The signature strings use 'i' for integers and 'p'
+// for pointers, in declaration order, with the same register conventions
+// as syscalls.
+const (
+	Malloc   = iota + 1 // p malloc(i size)
+	Free                // free(p)
+	Realloc             // p realloc(p, i)
+	Calloc              // p calloc(i, i)
+	Memcpy              // p memcpy(p dst, p src, i n)
+	Memmove             // p memmove(p, p, i)
+	Memset              // p memset(p, i c, i n)
+	Memcmp              // i memcmp(p, p, i)
+	Strlen              // i strlen(p)
+	Strcpy              // p strcpy(p, p)
+	Strncpy             // p strncpy(p, p, i)
+	Strcmp              // i strcmp(p, p)
+	Strncmp             // i strncmp(p, p, i)
+	Strcat              // p strcat(p, p)
+	Strchr              // p strchr(p, i)
+	Qsort               // qsort(p base, i n, i width, p cmpfn)
+	Printf              // i printf(p fmt, p args)  — variadics spilled to stack
+	Snprintf            // i snprintf(p buf, i n, p fmt, p args)
+	Puts                // i puts(p)
+	Putchar             // i putchar(i)
+	Atoi                // i atoi(p)
+	Rand                // i rand()
+	Srand               // srand(i)
+	Abort               // abort()
+	TLSGet              // p tls_get(i size) — thread-local block, bounded
+	Getenv              // p getenv(p) — always NULL in the simulator
+)
+
+// Sigs maps native ids to their argument signatures ('i'/'p' only; return
+// conventions follow the ABI).
+var Sigs = map[int]string{
+	Malloc: "i", Free: "p", Realloc: "pi", Calloc: "ii",
+	Memcpy: "ppi", Memmove: "ppi", Memset: "pii", Memcmp: "ppi",
+	Strlen: "p", Strcpy: "pp", Strncpy: "ppi", Strcmp: "pp", Strncmp: "ppi",
+	Strcat: "pp", Strchr: "pi",
+	Qsort: "piip", Printf: "pp", Snprintf: "pipp", Puts: "p", Putchar: "i",
+	Atoi: "p", Rand: "", Srand: "i", Abort: "", TLSGet: "i", Getenv: "p",
+}

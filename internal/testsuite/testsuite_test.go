@@ -1,0 +1,51 @@
+package testsuite
+
+import (
+	"testing"
+
+	"cheriabi"
+)
+
+// paper reference values for Table 1.
+var paper = map[string]map[string]Tally{
+	"FreeBSD":    {"MIPS": {Pass: 3501, Fail: 90, Skip: 244}, "CheriABI": {Pass: 3301, Fail: 122, Skip: 246}},
+	"PostgreSQL": {"MIPS": {Pass: 167, Fail: 0, Skip: 0}, "CheriABI": {Pass: 150, Fail: 16, Skip: 1}},
+	"libc++":     {"MIPS": {Pass: 5338, Fail: 29, Skip: 789}, "CheriABI": {Pass: 5333, Fail: 34, Skip: 789}},
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Render(rows))
+	for _, r := range rows {
+		want := paper[r.Suite][r.ABI]
+		if r.Pass != want.Pass || r.Fail != want.Fail || r.Skip != want.Skip {
+			t.Errorf("%s %s: got %d/%d/%d, paper %d/%d/%d",
+				r.Suite, r.ABI, r.Pass, r.Fail, r.Skip, want.Pass, want.Fail, want.Skip)
+		}
+	}
+}
+
+func TestCrashAccounting(t *testing.T) {
+	// The FreeBSD CheriABI run loses compat_test's tail to a crash.
+	fb := Suites[0]
+	cheri, err := RunSuite(fb, cheriabi.ABICheri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheri.Crashed != 1 {
+		t.Errorf("CheriABI crashed programs = %d, want 1", cheri.Crashed)
+	}
+	legacy, err := RunSuite(fb, cheriabi.ABILegacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Crashed != 0 {
+		t.Errorf("mips64 crashed programs = %d, want 0", legacy.Crashed)
+	}
+	if legacy.Total() <= cheri.Total() {
+		t.Errorf("crash should shrink the CheriABI total: %d vs %d", legacy.Total(), cheri.Total())
+	}
+}

@@ -1,0 +1,207 @@
+// Package trace implements the paper's §5.5 analysis: reconstructing the
+// abstract capabilities of a process from an execution trace and measuring
+// the granularity of the architectural capabilities created along the way
+// ("Because capabilities are explicitly manipulated, we can use an
+// instruction trace to track capability derivation and use").
+//
+// The collector observes capability creation from every source the paper's
+// Figure 5 distinguishes: compiler-derived stack references, allocator
+// returns, execve-time mappings, run-time-linker GOT entries, syscall
+// returns, and the kernel-installed roots.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"cheriabi/internal/cap"
+)
+
+// Source labels match Figure 5's legend.
+const (
+	SourceAll     = "all"
+	SourceStack   = "stack"
+	SourceMalloc  = "malloc"
+	SourceExec    = "exec"
+	SourceGOT     = "glob relocs"
+	SourceSyscall = "syscall"
+	SourceKern    = "kern"
+)
+
+// Event is one observed capability creation.
+type Event struct {
+	Source string
+	Len    uint64
+	Base   uint64
+	Perms  cap.Perm
+	PC     uint64 // creating instruction for CPU-derived events
+}
+
+// Collector gathers capability-creation events. It implements
+// cpu.CapTracer for compiler-generated derivations and plugs into the
+// kernel's OnCapCreate hook for runtime-created capabilities.
+type Collector struct {
+	Events []Event
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// DeriveStack implements cpu.CapTracer.
+func (c *Collector) DeriveStack(v cap.Capability, pc uint64) {
+	c.add(SourceStack, v, pc)
+}
+
+// DeriveOther implements cpu.CapTracer: generic user-code bounds-setting,
+// counted toward the aggregate only.
+func (c *Collector) DeriveOther(v cap.Capability, pc uint64) {
+	c.add("derive", v, pc)
+}
+
+// OnCapCreate receives kernel-, linker-, and allocator-created
+// capabilities (labels: exec, kern, glob relocs, cap relocs, syscall,
+// malloc, signal, ptrace).
+func (c *Collector) OnCapCreate(label string, v cap.Capability) {
+	switch label {
+	case "cap relocs":
+		label = SourceGOT // Figure 5 groups them with the linker's entries
+	case "signal", "ptrace":
+		label = SourceSyscall
+	}
+	c.add(label, v, 0)
+}
+
+func (c *Collector) add(source string, v cap.Capability, pc uint64) {
+	if !v.Tag() {
+		return
+	}
+	c.Events = append(c.Events, Event{
+		Source: source, Len: v.Len(), Base: v.Base(), Perms: v.Perms(), PC: pc,
+	})
+}
+
+// Count returns the number of recorded events.
+func (c *Collector) Count() int { return len(c.Events) }
+
+// CDF is a cumulative count of capabilities by bounds size for one source:
+// Counts[i] capabilities have length <= Sizes[i].
+type CDF struct {
+	Source string
+	Sizes  []uint64
+	Counts []int
+	Max    uint64 // largest bounds length observed
+	Total  int
+}
+
+// Figure5Sizes are the size buckets (powers of two, 2^2 .. 2^24),
+// matching the x-axis of the paper's plot.
+func Figure5Sizes() []uint64 {
+	var out []uint64
+	for e := uint(2); e <= 24; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}
+
+// CDFFor computes the cumulative distribution for one source ("all"
+// aggregates every event).
+func (c *Collector) CDFFor(source string) CDF {
+	sizes := Figure5Sizes()
+	out := CDF{Source: source, Sizes: sizes, Counts: make([]int, len(sizes))}
+	for _, e := range c.Events {
+		if source != SourceAll && e.Source != source {
+			continue
+		}
+		out.Total++
+		if e.Len > out.Max {
+			out.Max = e.Len
+		}
+		for i, s := range sizes {
+			if e.Len <= s {
+				out.Counts[i]++
+			}
+		}
+	}
+	return out
+}
+
+// FractionBelow reports the share of capabilities from source with length
+// at most n.
+func (c *Collector) FractionBelow(source string, n uint64) float64 {
+	total, below := 0, 0
+	for _, e := range c.Events {
+		if source != SourceAll && e.Source != source {
+			continue
+		}
+		total++
+		if e.Len <= n {
+			below++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(below) / float64(total)
+}
+
+// MaxLen returns the largest capability length observed for source.
+func (c *Collector) MaxLen(source string) uint64 {
+	var max uint64
+	for _, e := range c.Events {
+		if source != SourceAll && e.Source != source {
+			continue
+		}
+		if e.Len > max {
+			max = e.Len
+		}
+	}
+	return max
+}
+
+// Sources returns the distinct sources observed, sorted.
+func (c *Collector) Sources() []string {
+	set := map[string]bool{}
+	for _, e := range c.Events {
+		set[e.Source] = true
+	}
+	var out []string
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render formats the Figure 5 series as aligned text: one row per size
+// bucket, one column per source.
+func Render(c *Collector, sources []string) string {
+	sizes := Figure5Sizes()
+	cdfs := make([]CDF, len(sources))
+	for i, s := range sources {
+		cdfs[i] = c.CDFFor(s)
+	}
+	out := fmt.Sprintf("%-10s", "size<=")
+	for _, s := range sources {
+		out += fmt.Sprintf("%14s", s)
+	}
+	out += "\n"
+	for i, size := range sizes {
+		out += fmt.Sprintf("%-10s", human(size))
+		for j := range sources {
+			out += fmt.Sprintf("%14d", cdfs[j].Counts[i])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func human(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

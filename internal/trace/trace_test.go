@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cheriabi/internal/cap"
+)
+
+func mk(n uint64) cap.Capability { return cap.Root(0x1000, n, cap.PermData) }
+
+func TestCollectorClassification(t *testing.T) {
+	c := New()
+	c.DeriveStack(mk(64), 0x100)
+	c.DeriveOther(mk(128), 0x104)
+	c.OnCapCreate("malloc", mk(100))
+	c.OnCapCreate("exec", mk(4096))
+	c.OnCapCreate("glob relocs", mk(8))
+	c.OnCapCreate("cap relocs", mk(8)) // folded into glob relocs
+	c.OnCapCreate("syscall", mk(1<<20))
+	c.OnCapCreate("kern", mk(16))
+	c.OnCapCreate("signal", mk(816)) // folded into syscall
+	if c.Count() != 9 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	if got := c.CDFFor(SourceGOT).Total; got != 2 {
+		t.Fatalf("glob relocs total = %d", got)
+	}
+	if got := c.CDFFor(SourceSyscall).Total; got != 2 {
+		t.Fatalf("syscall total = %d", got)
+	}
+	if got := c.CDFFor(SourceAll).Total; got != 9 {
+		t.Fatalf("all total = %d", got)
+	}
+}
+
+func TestUntaggedIgnored(t *testing.T) {
+	c := New()
+	c.OnCapCreate("malloc", cap.Null())
+	if c.Count() != 0 {
+		t.Fatal("untagged capability recorded")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	c := New()
+	for _, n := range []uint64{1, 100, 5000, 1 << 22} {
+		c.OnCapCreate("malloc", mk(n))
+	}
+	cdf := c.CDFFor(SourceMalloc)
+	for i := 1; i < len(cdf.Counts); i++ {
+		if cdf.Counts[i] < cdf.Counts[i-1] {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if cdf.Counts[len(cdf.Counts)-1] != 4 {
+		t.Fatalf("final count = %d", cdf.Counts[len(cdf.Counts)-1])
+	}
+	if cdf.Max != 1<<22 {
+		t.Fatalf("max = %d", cdf.Max)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	c := New()
+	c.OnCapCreate("malloc", mk(10))
+	c.OnCapCreate("malloc", mk(10000))
+	if f := c.FractionBelow(SourceMalloc, 100); f != 0.5 {
+		t.Fatalf("fraction = %v", f)
+	}
+	if f := c.FractionBelow("empty", 100); f != 0 {
+		t.Fatalf("empty fraction = %v", f)
+	}
+}
+
+func TestSourcesSorted(t *testing.T) {
+	c := New()
+	c.OnCapCreate("kern", mk(1))
+	c.OnCapCreate("exec", mk(1))
+	s := c.Sources()
+	if len(s) != 2 || s[0] != "exec" || s[1] != "kern" {
+		t.Fatalf("sources = %v", s)
+	}
+}
+
+func TestRenderHasHeaderAndRows(t *testing.T) {
+	c := New()
+	c.OnCapCreate("malloc", mk(64))
+	out := Render(c, []string{SourceAll, SourceMalloc})
+	if !strings.Contains(out, "malloc") || !strings.Contains(out, "4B") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(Figure5Sizes())+1 {
+		t.Fatalf("render rows = %d", lines)
+	}
+}

@@ -1,0 +1,286 @@
+package vm
+
+import (
+	"testing"
+
+	"cheriabi/internal/mem"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	return NewSystem(mem.New(8<<20, 16), 1<<20)
+}
+
+func TestMapTranslateDemandZero(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	if err := as.Map(0x10000, 2*PageSize, ProtRead|ProtWrite, false); err != nil {
+		t.Fatal(err)
+	}
+	if as.Resident(0x10000) {
+		t.Fatal("demand-zero page resident before touch")
+	}
+	pa, f := as.Translate(0x10004, ProtRead)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if as.Stats.DemandZero != 1 {
+		t.Fatalf("demand-zero count %d", as.Stats.DemandZero)
+	}
+	if s.Mem.Load(pa, 4) != 0 {
+		t.Fatal("page not zeroed")
+	}
+	pa2, f := as.Translate(0x10004, ProtRead)
+	if f != nil || pa2 != pa {
+		t.Fatalf("second translate: pa=%x fault=%v", pa2, f)
+	}
+}
+
+func TestHardFaults(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	if _, f := as.Translate(0xdead000, ProtRead); f == nil || f.Kind != FaultNotMapped {
+		t.Fatalf("unmapped: %v", f)
+	}
+	if err := as.Map(0x10000, PageSize, ProtRead, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, f := as.Translate(0x10000, ProtWrite); f == nil || f.Kind != FaultProt {
+		t.Fatalf("write to read-only: %v", f)
+	}
+	if _, f := as.Translate(0x10000, ProtExec); f == nil || f.Kind != FaultProt {
+		t.Fatalf("exec of non-exec: %v", f)
+	}
+}
+
+func TestOverlapRejectedUnlessReplace(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	if err := as.Map(0x10000, PageSize, ProtRead, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(0x10000, PageSize, ProtRead, false); err == nil {
+		t.Fatal("overlapping map succeeded")
+	}
+	if err := as.Map(0x10000, PageSize, ProtRead|ProtWrite, true); err != nil {
+		t.Fatalf("replace failed: %v", err)
+	}
+	if _, f := as.Translate(0x10000, ProtWrite); f != nil {
+		t.Fatalf("replaced mapping not writable: %v", f)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	if err := as.Map(0x10000, 2*PageSize, ProtRead|ProtWrite, false); err != nil {
+		t.Fatal(err)
+	}
+	as.Translate(0x10000, ProtWrite)
+	free := s.Frames.Free()
+	if err := as.Unmap(0x10000, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if s.Frames.Free() != free+1 {
+		t.Fatalf("frame not freed: %d -> %d", free, s.Frames.Free())
+	}
+	if _, f := as.Translate(0x10000, ProtRead); f == nil {
+		t.Fatal("unmapped page still translates")
+	}
+}
+
+func TestCopyOnWriteFork(t *testing.T) {
+	s := newSys(t)
+	parent := s.NewAddressSpace()
+	if err := parent.Map(0x20000, PageSize, ProtRead|ProtWrite, false); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := parent.Translate(0x20000, ProtWrite)
+	s.Mem.Store(pa, 8, 0xABCD)
+
+	child := parent.Fork()
+	cpa, f := child.Translate(0x20000, ProtRead)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if cpa != pa {
+		t.Fatal("COW read should share the frame")
+	}
+	if s.Mem.Load(cpa, 8) != 0xABCD {
+		t.Fatal("child does not see parent data")
+	}
+
+	// Child write triggers the copy.
+	wpa, f := child.Translate(0x20000, ProtWrite)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if wpa == pa {
+		t.Fatal("COW write did not copy")
+	}
+	if child.Stats.COWCopies != 1 {
+		t.Fatalf("cow copies = %d", child.Stats.COWCopies)
+	}
+	s.Mem.Store(wpa, 8, 0x1111)
+	if s.Mem.Load(pa, 8) != 0xABCD {
+		t.Fatal("child write leaked into parent")
+	}
+
+	// Parent's next write finds itself sole owner: no second copy needed.
+	ppa, _ := parent.Translate(0x20000, ProtWrite)
+	if ppa != pa {
+		t.Fatal("parent should keep its frame after child copied")
+	}
+}
+
+func TestCOWPreservesTags(t *testing.T) {
+	s := newSys(t)
+	parent := s.NewAddressSpace()
+	parent.Map(0x20000, PageSize, ProtRead|ProtWrite, false)
+	pa, _ := parent.Translate(0x20000, ProtWrite)
+	s.Mem.StoreCap(pa, make([]byte, 16), true)
+
+	child := parent.Fork()
+	wpa, _ := child.Translate(0x20000, ProtWrite)
+	if !s.Mem.Tag(wpa) {
+		t.Fatal("COW copy lost capability tag")
+	}
+}
+
+func TestSwapRoundTripRederivesTags(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	as.Map(0x30000, PageSize, ProtRead|ProtWrite, false)
+	pa, _ := as.Translate(0x30000, ProtWrite)
+	s.Mem.StoreCap(pa, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, true)
+	s.Mem.Store(pa+16, 8, 0xFEED)
+
+	allowed := 0
+	as.Rederive = func(pa uint64) bool { allowed++; return true }
+
+	if err := as.SwapOut(0x30000); err != nil {
+		t.Fatal(err)
+	}
+	if as.Resident(0x30000) {
+		t.Fatal("page resident after swap-out")
+	}
+	if s.Swap.Len() != 1 {
+		t.Fatalf("swap slots = %d", s.Swap.Len())
+	}
+
+	npa, f := as.Translate(0x30000, ProtRead)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if allowed != 1 {
+		t.Fatalf("rederive called %d times, want 1", allowed)
+	}
+	if !s.Mem.Tag(npa) {
+		t.Fatal("tag not restored on swap-in")
+	}
+	if s.Mem.Load(npa, 1) != 1 || s.Mem.Load(npa+16, 8) != 0xFEED {
+		t.Fatal("data corrupted across swap")
+	}
+	if as.Stats.SwapIns != 1 || as.Stats.SwapOuts != 1 || as.Stats.TagsKept != 1 {
+		t.Fatalf("stats %+v", as.Stats)
+	}
+}
+
+func TestSwapInRederiveRefusal(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	as.Map(0x30000, PageSize, ProtRead|ProtWrite, false)
+	pa, _ := as.Translate(0x30000, ProtWrite)
+	s.Mem.StoreCap(pa, make([]byte, 16), true)
+	as.Rederive = func(pa uint64) bool { return false }
+	as.SwapOut(0x30000)
+	npa, _ := as.Translate(0x30000, ProtRead)
+	if s.Mem.Tag(npa) {
+		t.Fatal("refused tag was restored")
+	}
+	if as.Stats.TagsLost != 1 {
+		t.Fatalf("stats %+v", as.Stats)
+	}
+}
+
+func TestForkOfSwappedPage(t *testing.T) {
+	s := newSys(t)
+	parent := s.NewAddressSpace()
+	parent.Map(0x40000, PageSize, ProtRead|ProtWrite, false)
+	pa, _ := parent.Translate(0x40000, ProtWrite)
+	s.Mem.Store(pa, 8, 42)
+	parent.SwapOut(0x40000)
+
+	child := parent.Fork()
+	cpa, f := child.Translate(0x40000, ProtRead)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if s.Mem.Load(cpa, 8) != 42 {
+		t.Fatal("child lost swapped data")
+	}
+	ppa, f := parent.Translate(0x40000, ProtRead)
+	if f != nil {
+		t.Fatal(f)
+	}
+	if s.Mem.Load(ppa, 8) != 42 {
+		t.Fatal("parent lost swapped data")
+	}
+}
+
+func TestFindFree(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	as.Map(0x10000, PageSize, ProtRead, false)
+	as.Map(0x12000, PageSize, ProtRead, false)
+	va := as.FindFree(0x10000, PageSize)
+	if va != 0x11000 {
+		t.Fatalf("FindFree = %x, want 0x11000", va)
+	}
+	va = as.FindFree(0x10000, 2*PageSize)
+	if va != 0x13000 {
+		t.Fatalf("FindFree(2 pages) = %x, want 0x13000", va)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	as.Map(0x10000, 2*PageSize, ProtRead|ProtExec, false)
+	as.Map(0x12000, PageSize, ProtRead|ProtWrite, false)
+	as.Map(0x20000, PageSize, ProtRead, false)
+	r := as.Regions()
+	if len(r) != 3 {
+		t.Fatalf("regions: %+v", r)
+	}
+	if r[0].Start != 0x10000 || r[0].End != 0x12000 || r[0].Prot != ProtRead|ProtExec {
+		t.Fatalf("region 0: %+v", r[0])
+	}
+}
+
+func TestReleaseFreesEverything(t *testing.T) {
+	s := newSys(t)
+	as := s.NewAddressSpace()
+	as.Map(0x10000, 4*PageSize, ProtRead|ProtWrite, false)
+	for i := uint64(0); i < 4; i++ {
+		as.Translate(0x10000+i*PageSize, ProtWrite)
+	}
+	as.SwapOut(0x10000)
+	free := s.Frames.Free()
+	as.Release()
+	if s.Frames.Free() != free+3 {
+		t.Fatalf("frames not released: %d -> %d", free, s.Frames.Free())
+	}
+	if s.Swap.Len() != 0 {
+		t.Fatal("swap slot leaked")
+	}
+}
+
+func TestFreshASIDs(t *testing.T) {
+	s := newSys(t)
+	a := s.NewAddressSpace()
+	b := s.NewAddressSpace()
+	if a.ID == b.ID {
+		t.Fatal("address-space principal IDs must be unique")
+	}
+}

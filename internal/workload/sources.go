@@ -1,0 +1,367 @@
+// Package workload contains the benchmark guest programs for the paper's
+// evaluation: MiniC analogues of the MiBench and SPEC CPU2006 subsets of
+// Figure 4, the system-call micro-benchmarks, the initdb macro-benchmark,
+// and the traced secure-server workload for Figure 5. The programs match
+// the *character* of the originals — pointer-light ALU kernels versus
+// pointer-chasing data structures — which is what drives the relative
+// purecap overheads.
+package workload
+
+// SrcSHA is security-sha: SHA-256 rounds over a buffer. Register-dominated
+// with almost no pointer traffic; the paper shows this class of kernel at
+// or below the noise floor.
+const SrcSHA = `
+unsigned long k0[16] = { 1116352408, 1899447441, 3049323471, 3921009573,
+	961987163, 1508970993, 2453635748, 2870763221,
+	3624381080, 310598401, 607225278, 1426881987,
+	1925078388, 2162078206, 2614888103, 3248222580 };
+unsigned char buf[8192];
+unsigned long state[8];
+
+unsigned long rotr(unsigned long x, int n) {
+	x = x & 4294967295ul;
+	return ((x >> n) | (x << (32 - n))) & 4294967295ul;
+}
+
+int sha_block(int off) {
+	unsigned long w[16];
+	int i;
+	for (i = 0; i < 16; i++) {
+		int b = off + i * 4;
+		w[i] = ((unsigned long)buf[b] << 24) | ((unsigned long)buf[b+1] << 16)
+		     | ((unsigned long)buf[b+2] << 8) | (unsigned long)buf[b+3];
+	}
+	unsigned long a = state[0]; unsigned long b2 = state[1];
+	unsigned long c = state[2]; unsigned long d = state[3];
+	unsigned long e = state[4]; unsigned long f = state[5];
+	unsigned long g = state[6]; unsigned long h = state[7];
+	for (i = 0; i < 64; i++) {
+		unsigned long s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+		unsigned long ch = (e & f) ^ ((~e) & g);
+		unsigned long t1 = h + s1 + ch + k0[i & 15] + w[i & 15];
+		unsigned long s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+		unsigned long mj = (a & b2) ^ (a & c) ^ (b2 & c);
+		unsigned long t2 = s0 + mj;
+		w[i & 15] = (w[i & 15] + w[(i + 9) & 15] + 1) & 4294967295ul;
+		h = g; g = f; f = e; e = (d + t1) & 4294967295ul;
+		d = c; c = b2; b2 = a; a = (t1 + t2) & 4294967295ul;
+	}
+	state[0] = (state[0] + a) & 4294967295ul;
+	state[1] = (state[1] + b2) & 4294967295ul;
+	state[2] = (state[2] + c) & 4294967295ul;
+	state[3] = (state[3] + d) & 4294967295ul;
+	state[4] = (state[4] + e) & 4294967295ul;
+	state[5] = (state[5] + f) & 4294967295ul;
+	state[6] = (state[6] + g) & 4294967295ul;
+	state[7] = (state[7] + h) & 4294967295ul;
+	return 0;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 8192; i++) buf[i] = (i * 37 + 11) & 255;
+	state[0] = 1779033703; state[1] = 3144134277;
+	state[2] = 1013904242; state[3] = 2773480762;
+	state[4] = 1359893119; state[5] = 2600822924;
+	state[6] = 528734635;  state[7] = 1541459225;
+	int pass;
+	for (pass = 0; pass < 2; pass++) {
+		for (i = 0; i + 64 <= 8192; i += 64) sha_block(i);
+	}
+	printf("sha %x\n", state[0] ^ state[7]);
+	return 0;
+}
+`
+
+// SrcStringsearch is office-stringsearch: Horspool substring scan.
+const SrcStringsearch = `
+char text[16384];
+char *pats[8] = { "process", "capability", "kernel", "pointer",
+	"provenance", "monotonic", "privilege", "linker" };
+int shift[256];
+
+int search(char *pat) {
+	int m = strlen(pat);
+	int i;
+	for (i = 0; i < 256; i++) shift[i] = m;
+	for (i = 0; i < m - 1; i++) shift[(int)pat[i]] = m - 1 - i;
+	int count = 0;
+	int pos = 0;
+	while (pos + m <= 16384) {
+		int j = m - 1;
+		while (j >= 0 && pat[j] == text[pos + j]) j--;
+		if (j < 0) count++;
+		pos += shift[(int)text[pos + m - 1]];
+	}
+	return count;
+}
+
+int main() {
+	int i;
+	char *words = "the process holds a capability to kernel pointer state ";
+	int wl = strlen(words);
+	for (i = 0; i < 16384; i++) text[i] = words[i % wl];
+	int total = 0;
+	for (i = 0; i < 8; i++) total += search(pats[i]);
+	for (i = 0; i < 8; i++) total += search(pats[7 - i]);
+	printf("found %d\n", total);
+	return 0;
+}
+`
+
+// SrcQsort is auto-qsort: the C-library qsort over an array of longs, with
+// a guest comparator callback per comparison.
+const SrcQsort = `
+long data[1024];
+int cmp(long *a, long *b) {
+	if (*a < *b) return -1;
+	if (*a > *b) return 1;
+	return 0;
+}
+int main() {
+	int i;
+	unsigned long s = 12345;
+	for (i = 0; i < 1024; i++) {
+		s = s * 6364136223846793005ul + 1442695040888963407ul;
+		data[i] = (long)(s >> 40);
+	}
+	qsort(data, 1024, sizeof(long), cmp);
+	for (i = 1; i < 1024; i++) {
+		if (data[i - 1] > data[i]) { printf("unsorted\n"); return 1; }
+	}
+	printf("median %d\n", (int)data[512]);
+	return 0;
+}
+`
+
+// SrcBasicmath is auto-basicmath: gcd / integer square roots / cubic
+// residues, pure ALU loops.
+const SrcBasicmath = `
+long gcd(long a, long b) {
+	while (b != 0) { long t = b; b = a % b; a = t; }
+	return a;
+}
+long isqrt(long n) {
+	long x = n;
+	long y = (x + 1) / 2;
+	while (y < x) { x = y; y = (x + n / x) / 2; }
+	return x;
+}
+int main() {
+	long acc = 0;
+	long i;
+	for (i = 1; i < 6000; i++) acc += gcd(i * 7919, i * 104729 + 13);
+	for (i = 1; i < 6000; i++) acc += isqrt(i * i + i);
+	for (i = 1; i < 2000; i++) acc += (i * i * i) % 9973;
+	printf("acc %d\n", (int)(acc % 1000000));
+	return 0;
+}
+`
+
+// SrcDijkstra is network-dijkstra: all-pairs-ish shortest paths over a
+// dense adjacency matrix (large global data, regular access).
+const SrcDijkstra = `
+int adj[64][64];
+int dist[64];
+int done[64];
+
+int dijkstra(int src) {
+	int i;
+	for (i = 0; i < 64; i++) { dist[i] = 1 << 28; done[i] = 0; }
+	dist[src] = 0;
+	int iter;
+	for (iter = 0; iter < 64; iter++) {
+		int best = -1;
+		int bd = 1 << 29;
+		for (i = 0; i < 64; i++) {
+			if (!done[i] && dist[i] < bd) { bd = dist[i]; best = i; }
+		}
+		if (best < 0) break;
+		done[best] = 1;
+		for (i = 0; i < 64; i++) {
+			int w = adj[best][i];
+			if (w > 0 && dist[best] + w < dist[i]) dist[i] = dist[best] + w;
+		}
+	}
+	int sum = 0;
+	for (i = 0; i < 64; i++) {
+		if (dist[i] < (1 << 28)) sum += dist[i];
+	}
+	return sum;
+}
+
+int main() {
+	int i; int j;
+	for (i = 0; i < 64; i++) {
+		for (j = 0; j < 64; j++) {
+			int v = ((i * 73 + j * 31) % 19);
+			if (v > 12) v = 0;
+			adj[i][j] = v;
+		}
+	}
+	int total = 0;
+	for (i = 0; i < 16; i++) total += dijkstra(i * 4);
+	printf("paths %d\n", total);
+	return 0;
+}
+`
+
+// SrcPatricia is network-patricia: a binary radix trie with heap-allocated
+// nodes — pointer-chasing and allocation-heavy, the class that pays the
+// largest purecap cache penalty.
+const SrcPatricia = `
+struct node {
+	unsigned long key;
+	int bit;
+	struct node *left;
+	struct node *right;
+};
+struct node *root;
+int nodes;
+
+struct node *newnode(unsigned long key, int bit) {
+	struct node *n = (struct node *)malloc(sizeof(struct node));
+	n->key = key; n->bit = bit; n->left = 0; n->right = 0;
+	nodes++;
+	return n;
+}
+
+int insert(unsigned long key) {
+	if (root == 0) { root = newnode(key, 0); return 1; }
+	struct node *p = root;
+	int depth = 0;
+	while (depth < 32) {
+		if (p->key == key) return 0;
+		int b = (key >> (31 - depth)) & 1;
+		if (b) {
+			if (p->right == 0) { p->right = newnode(key, depth + 1); return 1; }
+			p = p->right;
+		} else {
+			if (p->left == 0) { p->left = newnode(key, depth + 1); return 1; }
+			p = p->left;
+		}
+		depth++;
+	}
+	return 0;
+}
+
+int lookup(unsigned long key) {
+	struct node *p = root;
+	int depth = 0;
+	while (p != 0 && depth < 32) {
+		if (p->key == key) return 1;
+		int b = (key >> (31 - depth)) & 1;
+		if (b) p = p->right; else p = p->left;
+		depth++;
+	}
+	return 0;
+}
+
+int main() {
+	unsigned long s = 99991;
+	int i;
+	int inserted = 0;
+	for (i = 0; i < 600; i++) {
+		s = s * 1103515245 + 12345;
+		inserted += insert((s >> 8) & 4294967295ul);
+	}
+	int hits = 0;
+	s = 99991;
+	for (i = 0; i < 3000; i++) {
+		s = s * 1103515245 + 12345;
+		hits += lookup((s >> 8) & 4294967295ul);
+	}
+	printf("nodes %d hits %d\n", nodes, hits);
+	return 0;
+}
+`
+
+// SrcADPCMEnc is telco-adpcm-enc: IMA ADPCM compression of a synthetic
+// waveform (table-driven integer DSP).
+const SrcADPCMEnc = `
+int steptab[16] = { 7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31 };
+int indextab[8] = { -1, -1, -1, -1, 2, 4, 6, 8 };
+short pcm[16384];
+unsigned char out[8192];
+int valprev; int index0;
+
+int encode_sample(int val) {
+	int step = steptab[index0];
+	int diff = val - valprev;
+	int sign = 0;
+	if (diff < 0) { sign = 8; diff = -diff; }
+	int delta = 0;
+	int vpdiff = step >> 3;
+	if (diff >= step) { delta = 4; diff -= step; vpdiff += step; }
+	step >>= 1;
+	if (diff >= step) { delta |= 2; diff -= step; vpdiff += step; }
+	step >>= 1;
+	if (diff >= step) { delta |= 1; vpdiff += step; }
+	if (sign) valprev -= vpdiff; else valprev += vpdiff;
+	if (valprev > 32767) valprev = 32767;
+	if (valprev < -32768) valprev = -32768;
+	delta |= sign;
+	index0 += indextab[delta & 7];
+	if (index0 < 0) index0 = 0;
+	if (index0 > 15) index0 = 15;
+	return delta;
+}
+
+int main() {
+	int i;
+	int phase = 0;
+	for (i = 0; i < 16384; i++) {
+		phase = (phase + 77) % 1024;
+		int tri = phase < 512 ? phase : 1024 - phase;
+		pcm[i] = (short)((tri - 256) * 100);
+	}
+	valprev = 0; index0 = 0;
+	for (i = 0; i < 16384; i += 2) {
+		int d1 = encode_sample(pcm[i]);
+		int d2 = encode_sample(pcm[i + 1]);
+		out[i / 2] = (unsigned char)((d1 << 4) | d2);
+	}
+	unsigned long h = 0;
+	for (i = 0; i < 8192; i++) h = h * 31 + out[i];
+	printf("enc %x\n", (int)(h & 65535));
+	return 0;
+}
+`
+
+// SrcADPCMDec is telco-adpcm-dec: the matching decoder.
+const SrcADPCMDec = `
+int steptab[16] = { 7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31 };
+int indextab[8] = { -1, -1, -1, -1, 2, 4, 6, 8 };
+unsigned char in[8192];
+short pcm[16384];
+int valprev; int index0;
+
+int decode_sample(int delta) {
+	int step = steptab[index0];
+	int vpdiff = step >> 3;
+	if (delta & 4) vpdiff += step;
+	if (delta & 2) vpdiff += step >> 1;
+	if (delta & 1) vpdiff += step >> 2;
+	if (delta & 8) valprev -= vpdiff; else valprev += vpdiff;
+	if (valprev > 32767) valprev = 32767;
+	if (valprev < -32768) valprev = -32768;
+	index0 += indextab[delta & 7];
+	if (index0 < 0) index0 = 0;
+	if (index0 > 15) index0 = 15;
+	return valprev;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 8192; i++) in[i] = (unsigned char)((i * 191 + 7) & 255);
+	valprev = 0; index0 = 0;
+	for (i = 0; i < 8192; i++) {
+		pcm[2 * i] = (short)decode_sample((in[i] >> 4) & 15);
+		pcm[2 * i + 1] = (short)decode_sample(in[i] & 15);
+	}
+	long acc = 0;
+	for (i = 0; i < 16384; i++) acc += pcm[i];
+	printf("dec %d\n", (int)(acc & 65535));
+	return 0;
+}
+`

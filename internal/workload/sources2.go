@@ -1,0 +1,520 @@
+package workload
+
+// SrcGobmk is spec2006-gobmk-flavoured: Go-board liberty counting and
+// territory estimation with explicit-stack flood fills over a 19×19 board.
+const SrcGobmk = `
+int board[361];
+int mark[361];
+int stack[361];
+
+int neighbors4(int pos, int *out) {
+	int n = 0;
+	int r = pos / 19; int c = pos % 19;
+	if (r > 0) out[n++] = pos - 19;
+	if (r < 18) out[n++] = pos + 19;
+	if (c > 0) out[n++] = pos - 1;
+	if (c < 18) out[n++] = pos + 1;
+	return n;
+}
+
+int liberties(int start) {
+	int color = board[start];
+	int i;
+	for (i = 0; i < 361; i++) mark[i] = 0;
+	int sp = 0;
+	stack[sp++] = start;
+	mark[start] = 1;
+	int libs = 0;
+	int nb[4];
+	while (sp > 0) {
+		int pos = stack[--sp];
+		int n = neighbors4(pos, nb);
+		for (i = 0; i < n; i++) {
+			int q = nb[i];
+			if (mark[q]) continue;
+			mark[q] = 1;
+			if (board[q] == 0) libs++;
+			else if (board[q] == color) stack[sp++] = q;
+		}
+	}
+	return libs;
+}
+
+int main() {
+	int i;
+	unsigned long s = 4242;
+	for (i = 0; i < 361; i++) {
+		s = s * 1103515245 + 12345;
+		int v = (s >> 16) % 3;
+		board[i] = v;
+	}
+	long total = 0;
+	for (i = 0; i < 361; i++) {
+		if (board[i] != 0) total += liberties(i);
+	}
+	printf("libs %d\n", (int)total);
+	return 0;
+}
+`
+
+// SrcLibquantum is spec2006-libquantum-flavoured: gate applications over a
+// quantum-register array of structs.
+const SrcLibquantum = `
+struct amp {
+	long re;
+	long im;
+	unsigned long state;
+};
+struct amp reg[2048];
+
+int hadamard(int target) {
+	int i;
+	for (i = 0; i < 2048; i++) {
+		unsigned long flipped = reg[i].state ^ (1ul << target);
+		int j = (int)(flipped & 2047);
+		long re = (reg[i].re + reg[j].re) / 2 + 1;
+		long im = (reg[i].im - reg[j].im) / 2;
+		reg[i].re = re;
+		reg[i].im = im;
+	}
+	return 0;
+}
+
+int cnot(int control, int target) {
+	int i;
+	for (i = 0; i < 2048; i++) {
+		if (reg[i].state & (1ul << control)) {
+			reg[i].state ^= 1ul << target;
+		}
+	}
+	return 0;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 2048; i++) {
+		reg[i].re = i + 1; reg[i].im = -i; reg[i].state = i;
+	}
+	int g;
+	for (g = 0; g < 24; g++) {
+		hadamard(g % 11);
+		cnot(g % 7, (g + 3) % 11);
+	}
+	long h = 0;
+	for (i = 0; i < 2048; i++) h += reg[i].re ^ (long)reg[i].state;
+	printf("q %d\n", (int)(h & 1048575));
+	return 0;
+}
+`
+
+// SrcAstar is spec2006-astar-flavoured: grid pathfinding with an open list.
+const SrcAstar = `
+int grid[48][48];
+int gscore[48][48];
+int openx[1024];
+int openy[1024];
+int openf[1024];
+int nopen;
+
+int heur(int x, int y, int tx, int ty) {
+	int dx = x > tx ? x - tx : tx - x;
+	int dy = y > ty ? y - ty : ty - y;
+	return dx + dy;
+}
+
+int astar(int sx, int sy, int tx, int ty) {
+	int i; int j;
+	for (i = 0; i < 48; i++) {
+		for (j = 0; j < 48; j++) gscore[i][j] = 1 << 28;
+	}
+	nopen = 0;
+	gscore[sx][sy] = 0;
+	openx[0] = sx; openy[0] = sy; openf[0] = heur(sx, sy, tx, ty);
+	nopen = 1;
+	int expanded = 0;
+	while (nopen > 0) {
+		int best = 0;
+		for (i = 1; i < nopen; i++) {
+			if (openf[i] < openf[best]) best = i;
+		}
+		int x = openx[best]; int y = openy[best];
+		nopen--;
+		openx[best] = openx[nopen]; openy[best] = openy[nopen]; openf[best] = openf[nopen];
+		expanded++;
+		if (x == tx && y == ty) return gscore[x][y];
+		int dxs[4] = { 1, -1, 0, 0 };
+		int dys[4] = { 0, 0, 1, -1 };
+		for (i = 0; i < 4; i++) {
+			int nx = x + dxs[i]; int ny = y + dys[i];
+			if (nx < 0 || nx >= 48 || ny < 0 || ny >= 48) continue;
+			if (grid[nx][ny]) continue;
+			int ng = gscore[x][y] + 1;
+			if (ng < gscore[nx][ny]) {
+				gscore[nx][ny] = ng;
+				if (nopen < 1024) {
+					openx[nopen] = nx; openy[nopen] = ny;
+					openf[nopen] = ng + heur(nx, ny, tx, ty);
+					nopen++;
+				}
+			}
+		}
+	}
+	return -1;
+}
+
+int main() {
+	int i; int j;
+	for (i = 0; i < 48; i++) {
+		for (j = 0; j < 48; j++) {
+			grid[i][j] = ((i * 7 + j * 13) % 11) == 0 && i != 0 && j != 0;
+		}
+	}
+	int total = 0;
+	for (i = 0; i < 6; i++) {
+		int d = astar(0, i * 7, 47, 47 - i * 5);
+		total += d;
+	}
+	printf("astar %d\n", total);
+	return 0;
+}
+`
+
+// SrcXalancbmk is spec2006-xalancbmk-flavoured: build a DOM-like tree of
+// heap nodes with parent/child/sibling pointers and tag strings, then run
+// transformation passes over it — the most pointer-dense workload.
+const SrcXalancbmk = `
+struct elem {
+	char *tag;
+	long value;
+	struct elem *parent;
+	struct elem *first;
+	struct elem *next;
+};
+char *tags[6] = { "doc", "section", "para", "span", "item", "list" };
+int built;
+
+struct elem *mknode(struct elem *parent, int depth, unsigned long *seed) {
+	struct elem *e = (struct elem *)malloc(sizeof(struct elem));
+	*seed = *seed * 6364136223846793005ul + 1442695040888963407ul;
+	e->tag = tags[(*seed >> 33) % 6];
+	e->value = (long)((*seed >> 20) & 1023);
+	e->parent = parent;
+	e->first = 0;
+	e->next = 0;
+	built++;
+	if (depth > 0) {
+		int kids = 2 + (int)((*seed >> 45) % 3);
+		int i;
+		struct elem *prev = 0;
+		for (i = 0; i < kids; i++) {
+			struct elem *k = mknode(e, depth - 1, seed);
+			if (prev == 0) e->first = k; else prev->next = k;
+			prev = k;
+		}
+	}
+	return e;
+}
+
+long walk(struct elem *e, int depth) {
+	long sum = e->value + depth * strlen(e->tag);
+	struct elem *k = e->first;
+	while (k != 0) {
+		sum += walk(k, depth + 1);
+		k = k->next;
+	}
+	return sum;
+}
+
+int prune(struct elem *e, long threshold) {
+	int removed = 0;
+	struct elem *k = e->first;
+	struct elem *prev = 0;
+	while (k != 0) {
+		removed += prune(k, threshold);
+		if (k->value < threshold && k->first == 0) {
+			if (prev == 0) e->first = k->next; else prev->next = k->next;
+			removed++;
+		} else {
+			prev = k;
+		}
+		k = k->next;
+	}
+	return removed;
+}
+
+int main() {
+	unsigned long seed = 31337;
+	struct elem *root = mknode(0, 7, &seed);
+	long a = walk(root, 0);
+	int r = prune(root, 300);
+	long b = walk(root, 0);
+	int pass;
+	for (pass = 0; pass < 3; pass++) {
+		b += walk(root, pass);
+	}
+	printf("xml nodes %d removed %d sum %d\n", built, r, (int)((a + b) & 1048575));
+	return 0;
+}
+`
+
+// SrcLibCatalog is the shared library for the initdb macro-benchmark:
+// string-keyed hash maps and record packing, exported across the image
+// boundary.
+const SrcLibCatalog = `
+struct entry {
+	char *key;
+	long val;
+	struct entry *next;
+};
+struct entry *buckets[64];
+int catalog_count;
+
+int cat_hash(char *s) {
+	unsigned long h = 5381;
+	while (*s) { h = h * 33 + *s; s++; }
+	return (int)(h & 63);
+}
+
+// cat_eq/cat_copy/cat_len: open-coded string walks, as the original's hot
+// paths are (every byte is an application-code load/store).
+int cat_eq(char *a, char *b) {
+	while (*a && *a == *b) { a++; b++; }
+	return *a == *b;
+}
+int cat_len(char *s) {
+	int n = 0;
+	while (s[n]) n++;
+	return n;
+}
+char *cat_copy(char *dst, char *src) {
+	char *d = dst;
+	while (*src) { *d = *src; d++; src++; }
+	*d = 0;
+	return dst;
+}
+long cat_checksum(char *p, int n) {
+	long h = 0;
+	int i;
+	for (i = 0; i < n; i++) h = h * 31 + p[i];
+	return h;
+}
+
+int cat_put(char *key, long val) {
+	int b = cat_hash(key);
+	struct entry *e = buckets[b];
+	while (e != 0) {
+		if (cat_eq(e->key, key)) { e->val = val; return 0; }
+		e = e->next;
+	}
+	e = (struct entry *)malloc(sizeof(struct entry));
+	char *kcopy = (char *)malloc(cat_len(key) + 1);
+	cat_copy(kcopy, key);
+	e->key = kcopy;
+	e->val = val;
+	e->next = buckets[b];
+	buckets[b] = e;
+	catalog_count++;
+	return 1;
+}
+
+long cat_get(char *key) {
+	struct entry *e = buckets[cat_hash(key)];
+	while (e != 0) {
+		if (cat_eq(e->key, key)) return e->val;
+		e = e->next;
+	}
+	return -1;
+}
+
+// cat_name renders "<table>_row<n>" without the C library.
+int cat_name(char *dst, char *table, int n) {
+	char *d = dst;
+	while (*table) { *d = *table; d++; table++; }
+	*d = '_'; d++; *d = 'r'; d++; *d = 'o'; d++; *d = 'w'; d++;
+	char digits[16];
+	int k = 0;
+	if (n == 0) digits[k++] = '0';
+	while (n > 0) { digits[k++] = '0' + (char)(n % 10); n /= 10; }
+	while (k > 0) { k--; *d = digits[k]; d++; }
+	*d = 0;
+	return cat_len(dst);
+}
+
+// cat_pack renders "name|oid|relpages\n" by hand, byte by byte.
+int cat_pack(char *dst, char *name, long oid, long relpages) {
+	int n = 0;
+	while (name[n]) { dst[n] = name[n]; n++; }
+	dst[n++] = '|';
+	char digits[24];
+	int d = 0;
+	long v = oid;
+	if (v == 0) digits[d++] = '0';
+	while (v > 0) { digits[d++] = '0' + (char)(v % 10); v /= 10; }
+	while (d > 0) { d--; dst[n++] = digits[d]; }
+	dst[n++] = '|';
+	d = 0;
+	v = relpages;
+	if (v == 0) digits[d++] = '0';
+	while (v > 0) { digits[d++] = '0' + (char)(v % 10); v /= 10; }
+	while (d > 0) { d--; dst[n++] = digits[d]; }
+	dst[n++] = 10;
+	dst[n] = 0;
+	return n;
+}
+`
+
+// SrcInitdb is the initdb-dynamic macro-benchmark: database cluster
+// initialisation in the style of PostgreSQL's initdb — dynamically linked
+// against libcatalog.so, it creates catalog files, bootstrap relations,
+// and template databases through the filesystem and IPC syscalls.
+const SrcInitdb = `
+extern int cat_put(char *key, long val);
+extern long cat_get(char *key);
+extern int cat_pack(char *dst, char *name, long oid, long relpages);
+extern long cat_checksum(char *p, int n);
+extern int cat_name(char *dst, char *table, int n);
+extern int catalog_count;
+long sumcheck;
+char batch[1024];
+int batchn;
+
+char *systables[12] = { "pg_class", "pg_attribute", "pg_proc", "pg_type",
+	"pg_index", "pg_operator", "pg_am", "pg_database",
+	"pg_authid", "pg_namespace", "pg_tablespace", "pg_constraint" };
+
+char namebuf[96];
+char recbuf[96];
+
+int write_catalog(int tbl) {
+	snprintf(namebuf, 96, "/tmp/base_%d.cat", tbl);
+	int fd = open(namebuf, 0x200 | 2, 0);
+	if (fd < 0) return -1;
+	int rows = 40 + tbl * 7;
+	int i;
+	batchn = 0;
+	for (i = 0; i < rows; i++) {
+		cat_name(namebuf, systables[tbl], i);
+		long oid = 16384 + tbl * 1000 + i;
+		cat_put(namebuf, oid);
+		int n = cat_pack(recbuf, namebuf, oid, i % 16);
+		sumcheck += cat_checksum(recbuf, n);
+		int j;
+		for (j = 0; j < n; j++) batch[batchn + j] = recbuf[j];
+		batchn += n;
+		if (batchn > 900) {
+			if (write(fd, batch, batchn) != batchn) { close(fd); return -1; }
+			batchn = 0;
+		}
+	}
+	if (batchn > 0) {
+		if (write(fd, batch, batchn) != batchn) { close(fd); return -1; }
+	}
+	close(fd);
+	return rows;
+}
+
+int verify_catalog(int tbl) {
+	int rows = 40 + tbl * 7;
+	int i;
+	int bad = 0;
+	for (i = 0; i < rows; i++) {
+		cat_name(namebuf, systables[tbl], i);
+		long want = 16384 + tbl * 1000 + i;
+		if (cat_get(namebuf) != want) bad++;
+		// Re-render the record and re-checksum it, as the consistency
+		// checker does.
+		int n = cat_pack(recbuf, namebuf, want, i % 16);
+		long c1 = cat_checksum(recbuf, n);
+		long c2 = cat_checksum(recbuf, n);
+		if (c1 != c2) bad++;
+		sumcheck += c1;
+	}
+	return bad;
+}
+
+int main() {
+	int t;
+	int total = 0;
+	int bad = 0;
+	// Bootstrap shared memory for the "buffer pool".
+	int shm = shmget(0, 65536);
+	long *pool = (long *)shmat(shm, 0);
+	if (pool == 0) return 10;
+	int i;
+	for (i = 0; i < 8192; i++) pool[i] = i * 31;
+
+	for (t = 0; t < 12; t++) {
+		int r = write_catalog(t);
+		if (r < 0) return 11;
+		total += r;
+	}
+	for (t = 0; t < 12; t++) bad += verify_catalog(t);
+	if (bad != 0) return 12;
+
+	// Template database copy: read back one catalog through the fs.
+	int fd = open("/tmp/base_3.cat", 0, 0);
+	if (fd < 0) return 13;
+	char io[96];
+	long copied = 0;
+	int n = read(fd, io, 96);
+	while (n > 0) {
+		copied += n;
+		sumcheck += cat_checksum(io, n);
+		n = read(fd, io, 96);
+	}
+	close(fd);
+	for (t = 0; t < 12; t++) {
+		snprintf(namebuf, 96, "/tmp/base_%d.cat", t);
+		unlink(namebuf);
+	}
+	printf("initdb ok: %d rows, %d entries, %d bytes\n", total, catalog_count, (int)copied);
+	return 0;
+}
+`
+
+// SrcSyscallMicro runs the §5.2 system-call timing loops; argv[1] selects
+// the syscall, argv[2] the iteration count.
+const SrcSyscallMicro = `
+char wbuf[64];
+int main(int argc, char **argv) {
+	int n = atoi(argv[2]);
+	int i;
+	if (strcmp(argv[1], "getpid") == 0) {
+		for (i = 0; i < n; i++) getpid();
+		return 0;
+	}
+	if (strcmp(argv[1], "write") == 0) {
+		int fd = open("/dev/null", 1, 0);
+		for (i = 0; i < n; i++) write(fd, wbuf, 64);
+		return 0;
+	}
+	if (strcmp(argv[1], "read") == 0) {
+		int fd = open("/tmp/micro.dat", 0x200 | 2, 0);
+		write(fd, wbuf, 64);
+		for (i = 0; i < n; i++) { lseek(fd, 0, 0); read(fd, wbuf, 64); }
+		return 0;
+	}
+	if (strcmp(argv[1], "select") == 0) {
+		long rset; long wset; long tv[2];
+		int fds[2];
+		pipe(fds);
+		write(fds[1], "x", 1);
+		for (i = 0; i < n; i++) {
+			rset = 1 << fds[0];
+			wset = 1 << fds[1];
+			tv[0] = 0; tv[1] = 0;
+			select(8, &rset, &wset, 0, tv);
+		}
+		return 0;
+	}
+	if (strcmp(argv[1], "fork") == 0) {
+		for (i = 0; i < n; i++) {
+			int pid = fork();
+			if (pid == 0) exit(0);
+			wait4(pid, 0, 0);
+		}
+		return 0;
+	}
+	return 1;
+}
+`

@@ -1,0 +1,159 @@
+package workload
+
+// SrcLibCrypto is the shared crypto library for the secure-server trace
+// workload: digest and keystream primitives (integer analogues).
+const SrcLibCrypto = `
+unsigned long digest_state[4];
+
+int digest_init() {
+	digest_state[0] = 1779033703; digest_state[1] = 3144134277;
+	digest_state[2] = 1013904242; digest_state[3] = 2773480762;
+	return 0;
+}
+
+int digest_update(unsigned char *buf, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		unsigned long x = digest_state[i & 3] ^ (buf[i] * 2654435761ul);
+		digest_state[i & 3] = (x << 13) | (x >> 51);
+		digest_state[(i + 1) & 3] += x;
+	}
+	return 0;
+}
+
+unsigned long digest_final() {
+	return digest_state[0] ^ digest_state[1] ^ digest_state[2] ^ digest_state[3];
+}
+
+int keystream(unsigned char *out, int n, unsigned long key) {
+	unsigned long s = key | 1;
+	int i;
+	for (i = 0; i < n; i++) {
+		s = s * 6364136223846793005ul + 1442695040888963407ul;
+		out[i] = (unsigned char)(s >> 33);
+	}
+	return 0;
+}
+`
+
+// SrcSecureServer is the Figure 5 trace workload: an openssl
+// s_server-flavoured guest. It is dynamically linked against
+// libcrypto.so, forks a client peer over pipes, performs a
+// nonce-exchange handshake with key derivation, and streams an encrypted
+// file — exercising thread-local storage, dynamic linking, considerable
+// allocation and pointer manipulation, and system calls, like the paper's
+// traced workload.
+const SrcSecureServer = `
+extern int digest_init();
+extern int digest_update(unsigned char *buf, int n);
+extern unsigned long digest_final();
+extern int keystream(unsigned char *out, int n, unsigned long key);
+
+struct session {
+	unsigned long key;
+	long sent;
+	long received;
+	unsigned char *txbuf;
+	unsigned char *rxbuf;
+};
+
+int c2s[2];
+int s2c[2];
+
+// mac_chunk authenticates one record via a stack scratch buffer: every
+// call derives bounded stack capabilities, as compiled crypto code does.
+unsigned long mac_chunk(unsigned char *data, int n, unsigned long key) {
+	unsigned char pad[64];
+	int i;
+	keystream(pad, 64, key);
+	digest_init();
+	digest_update(pad, 64);
+	digest_update(data, n);
+	unsigned long inner = digest_final();
+	unsigned char outer[16];
+	for (i = 0; i < 16; i++) outer[i] = (unsigned char)(inner >> ((i & 7) * 8)) ^ pad[i];
+	digest_init();
+	digest_update(outer, 16);
+	return digest_final();
+}
+
+int run_client() {
+	close(c2s[0]);
+	close(s2c[1]);
+	unsigned char *nonce = (unsigned char *)malloc(32);
+	keystream(nonce, 32, 777);
+	write(c2s[1], nonce, 32);
+	unsigned char *reply = (unsigned char *)malloc(32);
+	read(s2c[0], reply, 32);
+	// Receive the file and checksum it.
+	unsigned char *chunk = (unsigned char *)malloc(256);
+	digest_init();
+	long total = 0;
+	int n = read(s2c[0], chunk, 256);
+	while (n > 0) {
+		digest_update(chunk, n);
+		total += n;
+		n = read(s2c[0], chunk, 256);
+	}
+	unsigned long sum = digest_final();
+	exit((int)(sum & 127));
+}
+
+int main() {
+	// Prepare the "document" to serve.
+	int fd = open("/tmp/served.dat", 0x200 | 2, 0);
+	unsigned char *doc = (unsigned char *)malloc(2048);
+	keystream(doc, 2048, 42);
+	write(fd, doc, 2048);
+	close(fd);
+
+	pipe(c2s);
+	pipe(s2c);
+	int pid = fork();
+	if (pid == 0) run_client();
+	close(c2s[1]);
+	close(s2c[0]);
+
+	// Server side: TLS block for per-session state.
+	struct session *sess = (struct session *)tls_get(sizeof(struct session));
+	sess->txbuf = (unsigned char *)malloc(256);
+	sess->rxbuf = (unsigned char *)malloc(256);
+	sess->sent = 0; sess->received = 0;
+
+	// Handshake: read client nonce, derive the session key, reply.
+	read(c2s[0], sess->rxbuf, 32);
+	digest_init();
+	digest_update(sess->rxbuf, 32);
+	sess->key = digest_final();
+	keystream(sess->txbuf, 32, sess->key);
+	write(s2c[1], sess->txbuf, 32);
+
+	// Stream the file in encrypted chunks.
+	fd = open("/tmp/served.dat", 0, 0);
+	unsigned char *plain = (unsigned char *)malloc(256);
+	unsigned char *ks = (unsigned char *)malloc(256);
+	int n = read(fd, plain, 256);
+	int chunkno = 0;
+	unsigned long macacc = 0;
+	while (n > 0) {
+		keystream(ks, n, sess->key + chunkno);
+		int i;
+		for (i = 0; i < n; i++) sess->txbuf[i] = plain[i] ^ ks[i];
+		macacc ^= mac_chunk(sess->txbuf, n, sess->key + chunkno);
+		write(s2c[1], sess->txbuf, n);
+		sess->sent += n;
+		chunkno++;
+		n = read(fd, plain, 256);
+	}
+	sess->received = (long)(macacc & 1023);
+	close(fd);
+	close(s2c[1]);
+	close(c2s[0]);
+
+	int status = 0;
+	wait4(pid, &status, 0);
+	unlink("/tmp/served.dat");
+	printf("served %d bytes, client %d\n", (int)sess->sent, status >> 8);
+	return 0;
+}
+`

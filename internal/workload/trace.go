@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"fmt"
+
+	"cheriabi"
+	"cheriabi/internal/trace"
+)
+
+// SecureServer is the Figure 5 trace workload.
+var SecureServer = Workload{
+	Name: "secureserver",
+	Src:  SrcSecureServer,
+	Libs: map[string]string{"libcrypto.so": SrcLibCrypto},
+}
+
+// TraceSecureServer runs the secure-server workload under CheriABI with
+// full capability-derivation tracing and returns the collector holding the
+// Figure 5 events ("a run of openssl s_server involving startup,
+// authentication and a file exchange").
+func TraceSecureServer(seed int64) (*trace.Collector, error) {
+	col := trace.New()
+	exe, libs, err := Build(SecureServer, BuildOptions{ABI: cheriabi.ABICheri})
+	if err != nil {
+		return nil, err
+	}
+	sys := cheriabi.NewSystem(cheriabi.Config{
+		MemBytes:    128 << 20,
+		Seed:        seed,
+		Tracer:      col,
+		OnCapCreate: col.OnCapCreate,
+	})
+	for _, lib := range libs {
+		if _, err := sys.Install(lib); err != nil {
+			return nil, err
+		}
+	}
+	res, err := sys.RunImage(exe, SecureServer.Name)
+	if err != nil {
+		return nil, err
+	}
+	if res.Signal != 0 || res.ExitCode != 0 {
+		return nil, fmt.Errorf("secureserver failed: exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+	}
+	return col, nil
+}

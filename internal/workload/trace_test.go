@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cheriabi/internal/trace"
+)
+
+// TestFigure5Shape checks the granularity claims of §5.5 against our
+// traced secure-server run: capabilities are overwhelmingly small, stack
+// and malloc derivations are tightly bounded, and the kernel-originated
+// lines are nearly empty.
+func TestFigure5Shape(t *testing.T) {
+	col, err := TraceSecureServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Count() < 100 {
+		t.Fatalf("too few capability events: %d", col.Count())
+	}
+	// "around 90% grant access to less than 1KiB".
+	if f := col.FractionBelow(trace.SourceAll, 1<<10); f < 0.8 {
+		t.Errorf("fraction <=1KiB = %.2f, want >= 0.8", f)
+	}
+	// "no capability grants access to more than 16MiB of memory".
+	if max := col.MaxLen(trace.SourceAll); max > 16<<20 {
+		t.Errorf("largest capability %d exceeds 16MiB", max)
+	}
+	// "Capabilities created from the stack capability and malloc are well
+	// bounded, and permit access to no more than 8MiB".
+	for _, s := range []string{trace.SourceStack, trace.SourceMalloc} {
+		if max := col.MaxLen(s); max > 8<<20 {
+			t.Errorf("%s max %d exceeds 8MiB", s, max)
+		}
+		if col.CDFFor(s).Total == 0 {
+			t.Errorf("no %s events traced", s)
+		}
+	}
+	// "the kern and syscall lines are present, but virtually
+	// indistinguishable from the X-axis": tiny counts.
+	all := col.CDFFor(trace.SourceAll).Total
+	for _, s := range []string{trace.SourceKern, trace.SourceSyscall} {
+		n := col.CDFFor(s).Total
+		if n == 0 || n*20 > all {
+			t.Errorf("%s events = %d of %d, want small but nonzero", s, n, all)
+		}
+	}
+	// The render includes all six series.
+	out := trace.Render(col, []string{trace.SourceAll, trace.SourceStack, trace.SourceMalloc,
+		trace.SourceExec, trace.SourceGOT, trace.SourceSyscall, trace.SourceKern})
+	if !strings.Contains(out, "glob relocs") || !strings.Contains(out, "1KiB") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+func TestSecureServerRunsBothABIs(t *testing.T) {
+	legacy, err := Run(SecureServer, BuildOptions{ABI: 0}, 1) // ABILegacy
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheri, err := Run(SecureServer, BuildOptions{ABI: 1}, 1) // ABICheri
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Output != cheri.Output {
+		t.Fatalf("output diverged: %q vs %q", legacy.Output, cheri.Output)
+	}
+}

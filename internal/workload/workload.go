@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cheriabi"
+)
+
+// Workload is one runnable benchmark.
+type Workload struct {
+	Name string
+	Src  string
+	// Libs maps shared-library names to their sources (dynamic linking).
+	Libs map[string]string
+	Args []string
+}
+
+// Figure4 lists the benchmark set of the paper's Figure 4: the MiBench
+// subset, the SPEC CPU2006 subset, and the dynamically-linked initdb
+// macro-benchmark.
+var Figure4 = []Workload{
+	{Name: "security-sha", Src: SrcSHA},
+	{Name: "office-stringsearch", Src: SrcStringsearch},
+	{Name: "auto-qsort", Src: SrcQsort},
+	{Name: "auto-basicmath", Src: SrcBasicmath},
+	{Name: "network-dijkstra", Src: SrcDijkstra},
+	{Name: "network-patricia", Src: SrcPatricia},
+	{Name: "telco-adpcm-enc", Src: SrcADPCMEnc},
+	{Name: "telco-adpcm-dec", Src: SrcADPCMDec},
+	{Name: "spec2006-gobmk", Src: SrcGobmk},
+	{Name: "spec2006-libquantum", Src: SrcLibquantum},
+	{Name: "spec2006-astar", Src: SrcAstar},
+	{Name: "spec2006-xalancbmk", Src: SrcXalancbmk},
+	{Name: "initdb-dynamic", Src: SrcInitdb, Libs: map[string]string{"libcatalog.so": SrcLibCatalog}},
+}
+
+// ByName returns the named Figure 4 workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Figure4 {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// Measurement is one run's architectural counters.
+type Measurement struct {
+	Instructions uint64
+	Cycles       uint64
+	L2Misses     uint64
+	CodeBytes    uint64
+	Output       string
+}
+
+// BuildOptions vary the toolchain per run.
+type BuildOptions struct {
+	ABI             cheriabi.ABI
+	ASan            bool
+	NoBigCLC        bool
+	SubObjectBounds bool
+}
+
+// Build compiles a workload (and its libraries) for the given options.
+func Build(w Workload, opt BuildOptions) (exe *cheriabi.Image, libs []*cheriabi.Image, err error) {
+	var needed []string
+	for name, src := range w.Libs {
+		lib, _, err := cheriabi.Compile(cheriabi.CompileOptions{
+			Name: name, ABI: opt.ABI, Shared: true,
+			ASan: opt.ASan, NoBigCLC: opt.NoBigCLC, SubObjectBounds: opt.SubObjectBounds,
+		}, src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload %s lib %s: %w", w.Name, name, err)
+		}
+		libs = append(libs, lib)
+		needed = append(needed, name)
+	}
+	sort.Strings(needed)
+	exe, _, err = cheriabi.Compile(cheriabi.CompileOptions{
+		Name: w.Name, ABI: opt.ABI,
+		ASan: opt.ASan, NoBigCLC: opt.NoBigCLC, SubObjectBounds: opt.SubObjectBounds,
+		Needed: needed,
+	}, w.Src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return exe, libs, nil
+}
+
+// Run executes one workload on a fresh machine with the given layout seed
+// and returns its counters.
+func Run(w Workload, opt BuildOptions, seed int64) (Measurement, error) {
+	exe, libs, err := Build(w, opt)
+	if err != nil {
+		return Measurement{}, err
+	}
+	sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20, Seed: seed})
+	var codeBytes uint64
+	for _, lib := range libs {
+		if _, err := sys.Install(lib); err != nil {
+			return Measurement{}, err
+		}
+		codeBytes += lib.CodeSize()
+	}
+	codeBytes += exe.CodeSize()
+	args := append([]string{w.Name}, w.Args...)
+	res, err := sys.RunImage(exe, args...)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	if res.Signal != 0 {
+		return Measurement{}, fmt.Errorf("workload %s died with signal %d (output %q)", w.Name, res.Signal, res.Output)
+	}
+	if res.ExitCode != 0 {
+		return Measurement{}, fmt.Errorf("workload %s exited %d (output %q)", w.Name, res.ExitCode, res.Output)
+	}
+	return Measurement{
+		Instructions: res.Stats.Instructions,
+		Cycles:       res.Stats.Cycles,
+		L2Misses:     sys.L2Misses(),
+		CodeBytes:    codeBytes,
+		Output:       res.Output,
+	}, nil
+}
+
+// Overhead is one Figure 4 data point: median percentage overhead of the
+// CheriABI build over the mips64 baseline, with interquartile ranges.
+type Overhead struct {
+	Name                         string
+	InstPct, CyclePct, L2Pct     float64
+	InstIQR, CycleIQR, L2IQR     float64
+	BaseInstructions, BaseCycles uint64
+}
+
+func pct(base, v uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (float64(v) - float64(base)) / float64(base) * 100
+}
+
+func medianIQR(vals []float64) (med, iqr float64) {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return 0, 0
+	}
+	med = vals[n/2]
+	if n%2 == 0 {
+		med = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return med, vals[n*3/4] - vals[n/4]
+}
+
+// Figure4Row measures one workload across the given seeds and reports the
+// overhead shape (median of per-seed overheads, IQR across seeds).
+func Figure4Row(w Workload, seeds []int64) (Overhead, error) {
+	var instPcts, cyclePcts, l2Pcts []float64
+	var baseInst, baseCycles uint64
+	for _, seed := range seeds {
+		base, err := Run(w, BuildOptions{ABI: cheriabi.ABILegacy}, seed)
+		if err != nil {
+			return Overhead{}, err
+		}
+		cheri, err := Run(w, BuildOptions{ABI: cheriabi.ABICheri}, seed)
+		if err != nil {
+			return Overhead{}, err
+		}
+		instPcts = append(instPcts, pct(base.Instructions, cheri.Instructions))
+		cyclePcts = append(cyclePcts, pct(base.Cycles, cheri.Cycles))
+		l2Pcts = append(l2Pcts, pct(base.L2Misses, cheri.L2Misses))
+		baseInst, baseCycles = base.Instructions, base.Cycles
+	}
+	row := Overhead{Name: w.Name, BaseInstructions: baseInst, BaseCycles: baseCycles}
+	row.InstPct, row.InstIQR = medianIQR(instPcts)
+	row.CyclePct, row.CycleIQR = medianIQR(cyclePcts)
+	row.L2Pct, row.L2IQR = medianIQR(l2Pcts)
+	return row, nil
+}
+
+// SyscallResult is one §5.2 micro-benchmark row: per-call cycles under
+// each ABI and the CheriABI overhead.
+type SyscallResult struct {
+	Name         string
+	LegacyCycles float64
+	CheriCycles  float64
+	DeltaPct     float64
+}
+
+// syscallPerCall measures per-call cost by differencing two iteration
+// counts, cancelling startup cost.
+func syscallPerCall(name string, abi cheriabi.ABI, seed int64) (float64, error) {
+	measure := func(n int) (uint64, error) {
+		w := Workload{
+			Name: "syscall-micro",
+			Src:  SrcSyscallMicro,
+			Args: []string{name, fmt.Sprint(n)},
+		}
+		m, err := Run(w, BuildOptions{ABI: abi}, seed)
+		if err != nil {
+			return 0, err
+		}
+		return m.Cycles, nil
+	}
+	lo, err := measure(40)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := measure(240)
+	if err != nil {
+		return 0, err
+	}
+	return (float64(hi) - float64(lo)) / 200, nil
+}
+
+// SyscallMicro runs the syscall timing benchmarks (§5.2): "Performance
+// impact varies from 3.4% slower for fork, to 9.8% faster for select."
+func SyscallMicro(names []string, seed int64) ([]SyscallResult, error) {
+	var out []SyscallResult
+	for _, name := range names {
+		leg, err := syscallPerCall(name, cheriabi.ABILegacy, seed)
+		if err != nil {
+			return nil, fmt.Errorf("syscall %s legacy: %w", name, err)
+		}
+		che, err := syscallPerCall(name, cheriabi.ABICheri, seed)
+		if err != nil {
+			return nil, fmt.Errorf("syscall %s cheriabi: %w", name, err)
+		}
+		out = append(out, SyscallResult{
+			Name:         name,
+			LegacyCycles: leg,
+			CheriCycles:  che,
+			DeltaPct:     (che - leg) / leg * 100,
+		})
+	}
+	return out, nil
+}
+
+// InitdbResult is the §5.2 macro-benchmark: CheriABI and ASan cycle ratios
+// against the mips64 baseline (paper: 1.068× and 3.29×).
+type InitdbResult struct {
+	BaseCycles  uint64
+	CheriCycles uint64
+	ASanCycles  uint64
+	CheriRatio  float64
+	ASanRatio   float64
+}
+
+// Initdb measures the initdb-dynamic workload in its three builds.
+func Initdb(seed int64) (InitdbResult, error) {
+	w, _ := ByName("initdb-dynamic")
+	base, err := Run(w, BuildOptions{ABI: cheriabi.ABILegacy}, seed)
+	if err != nil {
+		return InitdbResult{}, err
+	}
+	cheri, err := Run(w, BuildOptions{ABI: cheriabi.ABICheri}, seed)
+	if err != nil {
+		return InitdbResult{}, err
+	}
+	asan, err := Run(w, BuildOptions{ABI: cheriabi.ABILegacy, ASan: true}, seed)
+	if err != nil {
+		return InitdbResult{}, err
+	}
+	return InitdbResult{
+		BaseCycles:  base.Cycles,
+		CheriCycles: cheri.Cycles,
+		ASanCycles:  asan.Cycles,
+		CheriRatio:  float64(cheri.Cycles) / float64(base.Cycles),
+		ASanRatio:   float64(asan.Cycles) / float64(base.Cycles),
+	}, nil
+}
+
+// CLCResult is the §5.2 ISA-extension ablation: code size and cycles with
+// and without the large-immediate capability load.
+type CLCResult struct {
+	Name             string
+	SmallCodeBytes   uint64
+	BigCodeBytes     uint64
+	CodeReductionPct float64
+	SmallCycles      uint64
+	BigCycles        uint64
+	OverheadSmallPct float64 // vs. legacy baseline
+	OverheadBigPct   float64
+}
+
+// CLCAblation measures the large-immediate CLC extension on a workload
+// ("This reduces the code size of most binaries by over 10%, and reduces
+// the initdb overhead from 11% to 6.8%").
+func CLCAblation(name string, seed int64) (CLCResult, error) {
+	w, ok := ByName(name)
+	if !ok {
+		return CLCResult{}, fmt.Errorf("unknown workload %q", name)
+	}
+	base, err := Run(w, BuildOptions{ABI: cheriabi.ABILegacy}, seed)
+	if err != nil {
+		return CLCResult{}, err
+	}
+	small, err := Run(w, BuildOptions{ABI: cheriabi.ABICheri, NoBigCLC: true}, seed)
+	if err != nil {
+		return CLCResult{}, err
+	}
+	big, err := Run(w, BuildOptions{ABI: cheriabi.ABICheri}, seed)
+	if err != nil {
+		return CLCResult{}, err
+	}
+	return CLCResult{
+		Name:             name,
+		SmallCodeBytes:   small.CodeBytes,
+		BigCodeBytes:     big.CodeBytes,
+		CodeReductionPct: (float64(small.CodeBytes) - float64(big.CodeBytes)) / float64(small.CodeBytes) * 100,
+		SmallCycles:      small.Cycles,
+		BigCycles:        big.Cycles,
+		OverheadSmallPct: pct(base.Cycles, small.Cycles),
+		OverheadBigPct:   pct(base.Cycles, big.Cycles),
+	}, nil
+}

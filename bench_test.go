@@ -2,8 +2,8 @@
 // evaluation (§5). Each benchmark performs a full regeneration of its
 // experiment per iteration and reports the headline numbers as custom
 // metrics, so `go test -bench=. -benchmem` reproduces the evaluation
-// end to end. The cmd/ tools print the full tables; see EXPERIMENTS.md
-// for paper-vs-measured values.
+// end to end. The cmd/ tools print the full tables; DESIGN.md describes
+// the simulator machinery the numbers come from.
 package cheriabi_test
 
 import (
@@ -217,4 +217,35 @@ func BenchmarkSimulator(b *testing.B) {
 		insts = m.Instructions
 	}
 	b.SetBytes(int64(insts)) // bytes/s stands in for guest instructions/s
+}
+
+// BenchmarkDecodeCache ablates the simulator's decoded-instruction cache:
+// the same workload with the fetch fast path enabled and disabled. The
+// guest-visible results are bit-identical (TestDecodeCacheDifferential);
+// only host throughput changes. MB/s stands in for guest instructions/s.
+func BenchmarkDecodeCache(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"on", false},
+		{"off", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			w, _ := workload.ByName("auto-basicmath")
+			var insts, cycles uint64
+			for i := 0; i < b.N; i++ {
+				m, err := workload.Run(w, workload.BuildOptions{
+					ABI:                cheriabi.ABICheri,
+					DisableDecodeCache: mode.disable,
+				}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts, cycles = m.Instructions, m.Cycles
+			}
+			b.SetBytes(int64(insts))
+			b.ReportMetric(float64(cycles), "sim-cycles") // must match across modes
+		})
+	}
 }

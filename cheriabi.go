@@ -7,7 +7,9 @@
 // ABI and CheriABI, a MiniC compiler with legacy / pure-capability /
 // AddressSanitizer backends, a run-time linker, and a C runtime — enough
 // of the paper's stack to regenerate every table and figure in its
-// evaluation (see DESIGN.md and EXPERIMENTS.md).
+// evaluation. DESIGN.md describes the simulator internals (including the
+// decoded-instruction cache and its invalidation protocol); bench_test.go
+// maps each benchmark to its table or figure.
 //
 // Quick start:
 //
@@ -111,6 +113,14 @@ type Config struct {
 	Tracer cpu.CapTracer
 	// OnCapCreate observes kernel/linker/allocator-created capabilities.
 	OnCapCreate func(label string, c cap.Capability)
+	// DisableDecodeCache turns off the simulator's decoded-instruction
+	// cache. Results are bit-identical either way (the differential
+	// determinism suite enforces this); the knob exists for the ablation
+	// benchmarks and as a safety hatch.
+	DisableDecodeCache bool
+	// OnTrap observes every trap the CPU delivers, in program order
+	// (used by the differential determinism suite).
+	OnTrap func(*cpu.Trap)
 }
 
 // System is a booted machine: hardware, kernel, and C runtime.
@@ -127,11 +137,13 @@ func NewSystem(cfg Config) *System {
 		format = cap.Format256
 	}
 	m := kernel.NewMachine(kernel.Config{
-		MemBytes: cfg.MemBytes,
-		Format:   format,
-		Seed:     cfg.Seed,
-		Console:  cfg.Console,
-		Tracer:   cfg.Tracer,
+		MemBytes:           cfg.MemBytes,
+		Format:             format,
+		Seed:               cfg.Seed,
+		Console:            cfg.Console,
+		Tracer:             cfg.Tracer,
+		DisableDecodeCache: cfg.DisableDecodeCache,
+		OnTrap:             cfg.OnTrap,
 	})
 	if cfg.OnCapCreate != nil {
 		m.Kern.OnCapCreate = cfg.OnCapCreate
@@ -214,6 +226,12 @@ func deltaStats(a, b Stats) Stats {
 
 // L2Misses returns the machine's cumulative L2 miss count.
 func (s *System) L2Misses() uint64 { return s.Machine.Hier.L2.Stats().Misses }
+
+// DecodeCacheStats reports the simulator's decoded-instruction-cache
+// event counts (non-architectural). With the cache disabled, Hits and
+// Decodes stay zero; Misses still counts every slow-path fetch and
+// Flushes every explicit sync.
+func (s *System) DecodeCacheStats() cpu.DecodeStats { return s.Machine.CPU.DecodeStats }
 
 // InstSize is the size of one instruction, exported for code-size metrics.
 const InstSize = isa.InstSize

@@ -1,0 +1,187 @@
+// Differential determinism suite: every benchmark and test-suite program
+// is run twice, decoded-instruction cache on and off, and must produce
+// bit-identical architectural results — Stats (instructions, cycles,
+// loads/stores, branches, syscalls), program output, exit status, and the
+// exact sequence of traps the CPU delivered. This is the proof obligation
+// for the fetch fast path: cycle counts and fault behaviour are this
+// repository's *results* (Figure 4, Tables 1–3), so a simulator
+// optimisation must be observation-equivalent, not just "mostly right".
+package cheriabi_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"testing"
+
+	"cheriabi"
+	"cheriabi/internal/cpu"
+	"cheriabi/internal/testsuite"
+	"cheriabi/internal/workload"
+)
+
+// diffCase is one program to run under both cache modes.
+type diffCase struct {
+	name string
+	src  string
+	libs map[string]string
+	abi  cheriabi.ABI
+	args []string
+}
+
+// diffRecord captures everything a run can observe.
+type diffRecord struct {
+	exit     int
+	signal   int
+	output   string
+	stats    cheriabi.Stats
+	l2Misses uint64
+	traps    uint64 // number of traps delivered
+	trapHash uint64 // FNV-1a over the rendered trap sequence
+}
+
+// runCase executes one case on a fresh machine with the given cache mode,
+// recording the full trap sequence through the OnTrap hook.
+func runCase(t *testing.T, tc diffCase, disable bool) diffRecord {
+	t.Helper()
+	h := fnv.New64a()
+	var traps uint64
+	sys := cheriabi.NewSystem(cheriabi.Config{
+		MemBytes:           128 << 20,
+		DisableDecodeCache: disable,
+		OnTrap: func(tr *cpu.Trap) {
+			traps++
+			io.WriteString(h, tr.Error())
+		},
+	})
+	var needed []string
+	for name := range tc.libs {
+		needed = append(needed, name)
+	}
+	sort.Strings(needed)
+	for _, name := range needed {
+		lib, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: name, ABI: tc.abi, Shared: true}, tc.libs[name])
+		if err != nil {
+			t.Fatalf("%s: compiling %s: %v", tc.name, name, err)
+		}
+		if _, err := sys.Install(lib); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: tc.name, ABI: tc.abi, Needed: needed}, tc.src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", tc.name, err)
+	}
+	res, err := sys.RunImage(img, append([]string{tc.name}, tc.args...)...)
+	if err != nil {
+		t.Fatalf("%s (cache disabled=%v): %v", tc.name, disable, err)
+	}
+	if !disable && sys.DecodeCacheStats().Hits == 0 {
+		t.Fatalf("%s: decode cache never hit; the differential run is vacuous", tc.name)
+	}
+	if disable && sys.DecodeCacheStats().Hits != 0 {
+		t.Fatalf("%s: decode cache hit while disabled", tc.name)
+	}
+	return diffRecord{
+		exit:     res.ExitCode,
+		signal:   res.Signal,
+		output:   res.Output,
+		stats:    res.Stats,
+		l2Misses: sys.L2Misses(),
+		traps:    traps,
+		trapHash: h.Sum64(),
+	}
+}
+
+// corpus assembles the differential corpus: the full Figure 4 workload set
+// and every test-suite program, under both ABIs. In -short mode it is cut
+// to a representative subset.
+func corpus(short bool) []diffCase {
+	var out []diffCase
+	workloads := workload.Figure4
+	if short {
+		workloads = workload.ShortCorpus()
+	}
+	abis := []struct {
+		label string
+		abi   cheriabi.ABI
+	}{
+		{"mips64", cheriabi.ABILegacy},
+		{"cheriabi", cheriabi.ABICheri},
+	}
+	for _, w := range workloads {
+		for _, a := range abis {
+			out = append(out, diffCase{
+				name: fmt.Sprintf("%s-%s", w.Name, a.label),
+				src:  w.Src, libs: w.Libs, abi: a.abi, args: w.Args,
+			})
+		}
+	}
+	for _, s := range testsuite.Suites {
+		names := make([]string, 0, len(s.Programs))
+		for name := range s.Programs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		if short && len(names) > 1 {
+			names = names[:1]
+		}
+		for _, name := range names {
+			for _, a := range abis {
+				out = append(out, diffCase{
+					name: fmt.Sprintf("%s-%s", name, a.label),
+					src:  s.Programs[name], abi: a.abi,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestDecodeCacheDifferential is the determinism gate: cache on and cache
+// off must be indistinguishable across the whole corpus.
+func TestDecodeCacheDifferential(t *testing.T) {
+	for _, tc := range corpus(testing.Short()) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			on := runCase(t, tc, false)
+			off := runCase(t, tc, true)
+			if on.stats != off.stats {
+				t.Errorf("Stats diverged:\n on: %+v\noff: %+v", on.stats, off.stats)
+			}
+			if on.output != off.output {
+				t.Errorf("output diverged:\n on: %q\noff: %q", on.output, off.output)
+			}
+			if on.exit != off.exit || on.signal != off.signal {
+				t.Errorf("termination diverged: on exit=%d sig=%d, off exit=%d sig=%d",
+					on.exit, on.signal, off.exit, off.signal)
+			}
+			if on.traps != off.traps || on.trapHash != off.trapHash {
+				t.Errorf("trap sequence diverged: on %d traps (hash %x), off %d traps (hash %x)",
+					on.traps, on.trapHash, off.traps, off.trapHash)
+			}
+			if on.l2Misses != off.l2Misses {
+				t.Errorf("L2 misses diverged: on %d, off %d", on.l2Misses, off.l2Misses)
+			}
+		})
+	}
+}
+
+// TestDecodeCacheDeterministicAcrossRuns re-runs one cache-on workload and
+// requires run-to-run determinism (the cache must not introduce any
+// host-dependent variation).
+func TestDecodeCacheDeterministicAcrossRuns(t *testing.T) {
+	w, _ := workload.ByName("auto-qsort")
+	first, err := workload.Run(w, workload.BuildOptions{ABI: cheriabi.ABICheri}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := workload.Run(w, workload.BuildOptions{ABI: cheriabi.ABICheri}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("same-seed runs diverged:\n1: %+v\n2: %+v", first, second)
+	}
+}

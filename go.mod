@@ -1,0 +1,3 @@
+module cheriabi
+
+go 1.24

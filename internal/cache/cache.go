@@ -47,6 +47,20 @@ type Cache struct {
 	nsets uint64
 	clock uint64
 	stats Stats
+
+	// Last-hit latch: consecutive accesses to the same line (the common
+	// case for instruction fetch) skip the set scan. The latch holds a
+	// pointer into sets, so an eviction that retags the line is detected
+	// by the tag compare; this never changes hit/miss outcomes, only the
+	// cost of computing them.
+	lastAddr uint64
+	last     *line
+
+	// When the geometry is a power of two (as all modelled hardware is),
+	// pow2 selects shift/mask addressing in place of division and modulo.
+	pow2      bool
+	lineShift uint
+	setMask   uint64
 }
 
 // New builds a cache from cfg; Size must be divisible by LineSize*Ways.
@@ -59,7 +73,23 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = make([]line, cfg.Ways)
 	}
-	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+	c := &Cache{cfg: cfg, sets: sets, nsets: nsets}
+	if cfg.LineSize&(cfg.LineSize-1) == 0 && nsets&(nsets-1) == 0 {
+		c.pow2 = true
+		for s := cfg.LineSize; s > 1; s >>= 1 {
+			c.lineShift++
+		}
+		c.setMask = nsets - 1
+	}
+	return c
+}
+
+// lineAddr maps a physical address to its line index.
+func (c *Cache) lineAddr(pa uint64) uint64 {
+	if c.pow2 {
+		return pa >> c.lineShift
+	}
+	return pa / c.cfg.LineSize
 }
 
 // Config returns the cache configuration.
@@ -76,14 +106,27 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
 	c.clock++
 	c.stats.Accesses++
-	lineAddr := pa / c.cfg.LineSize
-	set := c.sets[lineAddr%c.nsets]
+	lineAddr := c.lineAddr(pa)
+	if l := c.last; l != nil && c.lastAddr == lineAddr && l.valid && l.tag == lineAddr {
+		l.lru = c.clock
+		if write {
+			l.dirty = true
+		}
+		return true, false
+	}
+	var set []line
+	if c.pow2 {
+		set = c.sets[lineAddr&c.setMask]
+	} else {
+		set = c.sets[lineAddr%c.nsets]
+	}
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			set[i].lru = c.clock
 			if write {
 				set[i].dirty = true
 			}
+			c.lastAddr, c.last = lineAddr, &set[i]
 			return true, false
 		}
 	}
@@ -103,6 +146,7 @@ func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
 		c.stats.Writebacks++
 	}
 	set[victim] = line{valid: true, dirty: write, tag: lineAddr, lru: c.clock}
+	c.lastAddr, c.last = lineAddr, &set[victim]
 	return false, writeback
 }
 
@@ -113,6 +157,7 @@ func (c *Cache) Flush() {
 			set[i] = line{}
 		}
 	}
+	c.last = nil
 }
 
 // Hierarchy is the full memory system: split L1s over a shared L2 over
@@ -137,8 +182,8 @@ func DefaultHierarchy() *Hierarchy {
 // DRAMAccesses returns the number of line fills that reached DRAM.
 func (h *Hierarchy) DRAMAccesses() uint64 { return h.dramAccesses }
 
-func (h *Hierarchy) lineSpan(pa, size uint64) (first, last uint64) {
-	ls := h.L1D.cfg.LineSize
+func (h *Hierarchy) lineSpan(l1 *Cache, pa, size uint64) (first, last uint64) {
+	ls := l1.cfg.LineSize
 	if size == 0 {
 		size = 1
 	}
@@ -168,7 +213,11 @@ func (h *Hierarchy) accessLevel(l1 *Cache, lineAddr uint64, write bool) uint64 {
 
 // Fetch models an instruction fetch of size bytes at pa.
 func (h *Hierarchy) Fetch(pa, size uint64) uint64 {
-	first, last := h.lineSpan(pa, size)
+	// Aligned instruction fetches never span lines; skip the span loop.
+	if ls := h.L1I.cfg.LineSize; pa%ls+size <= ls {
+		return h.accessLevel(h.L1I, h.L1I.lineAddr(pa), false)
+	}
+	first, last := h.lineSpan(h.L1I, pa, size)
 	var cycles uint64
 	for l := first; l <= last; l++ {
 		cycles += h.accessLevel(h.L1I, l, false)
@@ -178,7 +227,10 @@ func (h *Hierarchy) Fetch(pa, size uint64) uint64 {
 
 // Data models a data access of size bytes at pa.
 func (h *Hierarchy) Data(pa, size uint64, write bool) uint64 {
-	first, last := h.lineSpan(pa, size)
+	if ls := h.L1D.cfg.LineSize; pa%ls+size <= ls {
+		return h.accessLevel(h.L1D, h.L1D.lineAddr(pa), write)
+	}
+	first, last := h.lineSpan(h.L1D, pa, size)
 	var cycles uint64
 	for l := first; l <= last; l++ {
 		cycles += h.accessLevel(h.L1D, l, write)

@@ -131,7 +131,8 @@ func (c *CPU) LoadCapVia(auth cap.Capability, ea uint64) (cap.Capability, error)
 		return cap.Null(), pf
 	}
 	c.Stats.Cycles += c.Hier.Data(pa, bytes, false)
-	buf := make([]byte, bytes)
+	var arr [32]byte // large enough for both capability formats
+	buf := arr[:bytes]
 	tag := c.Mem.LoadCap(pa, buf)
 	if tag && !auth.HasPerm(cap.PermLoadCap) {
 		tag = false
@@ -162,7 +163,8 @@ func (c *CPU) StoreCapVia(auth cap.Capability, ea uint64, v cap.Capability) erro
 		return pf
 	}
 	c.Stats.Cycles += c.Hier.Data(pa, bytes, true)
-	buf := make([]byte, bytes)
+	var arr [32]byte // large enough for both capability formats
+	buf := arr[:bytes]
 	c.Fmt.Encode(v, buf)
 	c.Mem.StoreCap(pa, buf, v.Tag())
 	return nil

@@ -109,13 +109,32 @@ type CPU struct {
 	Fmt    cap.Format
 	Tracer CapTracer
 
+	// OnTrap observes every trap Run surfaces, in order. The differential
+	// determinism suite uses it to prove the decoded-instruction cache
+	// preserves trap sequences exactly.
+	OnTrap func(*Trap)
+
+	// NoDecodeCache disables the decoded-instruction cache and its fetch
+	// fast path; every Step then performs the full check/translate/decode
+	// sequence. Behaviour is identical either way (the differential tests
+	// enforce this); the knob exists for ablation and as a safety hatch.
+	NoDecodeCache bool
+
 	Stats Stats
+
+	// DecodeStats counts decode-cache events (non-architectural).
+	DecodeStats DecodeStats
 
 	// Micro-TLB: caches the last translation per access type, keyed on the
 	// address space and its mutation generation. This is a simulator
 	// fast path, not an architectural structure; it never changes
 	// behaviour because it is invalidated on any mapping mutation.
 	tlb [3]tlbEntry // indexed by tlbFetch/tlbRead/tlbWrite
+
+	// Decoded-instruction cache (see decode.go): per-physical-page decoded
+	// blocks plus the fast-path latch for the page PC is executing from.
+	decoded map[uint64]*instPage
+	latch   fetchLatch
 }
 
 type tlbEntry struct {
@@ -194,6 +213,9 @@ func (c *CPU) Run(max uint64) *Trap {
 	start := c.Stats.Instructions
 	for max == 0 || c.Stats.Instructions-start < max {
 		if t := c.Step(); t != nil {
+			if c.OnTrap != nil {
+				c.OnTrap(t)
+			}
 			return t
 		}
 	}
@@ -204,16 +226,11 @@ func (c *CPU) Run(max uint64) *Trap {
 // trapping instruction; the kernel advances it after handling syscalls,
 // breaks, and native calls.
 func (c *CPU) Step() *Trap {
-	// Instruction fetch through PCC and the I-cache.
-	if err := c.PCC.CheckDeref(c.PC, isa.InstSize, cap.PermExecute); err != nil {
-		return c.capTrap(isa.Inst{}, err)
+	// Instruction fetch through PCC and the I-cache (fast path: decode.go).
+	in, tr := c.fetchInst()
+	if tr != nil {
+		return tr
 	}
-	pa, pf := c.translate(c.PC, tlbFetch, vm.ProtExec)
-	if pf != nil {
-		return &Trap{Kind: TrapPageFault, PC: c.PC, Page: pf}
-	}
-	c.Stats.Cycles += c.Hier.Fetch(pa, isa.InstSize) - 1 // L1I hit is pipelined
-	in := isa.Decode(uint32(c.Mem.Load(pa, isa.InstSize)))
 
 	c.Stats.Instructions++
 	c.Stats.Cycles++

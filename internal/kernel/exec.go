@@ -126,6 +126,7 @@ func (k *Kernel) exec(p *Proc, t *Thread, path string, argv, envv []string) erro
 			}
 			return image.Unmarshal(b)
 		},
+		SyncICache: k.M.CPU.SyncICache,
 	}
 	if k.OnCapCreate != nil {
 		ld.Trace = func(kind string, c cap.Capability) { k.capCreated(kind, c) }
@@ -160,6 +161,9 @@ func (k *Kernel) exec(p *Proc, t *Thread, path string, argv, envv []string) erro
 	if err := k.writeAS(as, TrampVA, tramp); err != nil {
 		return err
 	}
+	// Executable bytes are final: sync the decoded-instruction cache, as an
+	// OS would sync the I-cache after building a process image.
+	k.M.CPU.SyncICache()
 
 	// Stack (with a guard page below) and a TLS page.
 	stackTop := uint64(StackTop) - perturb

@@ -41,6 +41,11 @@ type Config struct {
 	Console io.Writer
 	// Tracer observes user-code capability derivations (Figure 5).
 	Tracer cpu.CapTracer
+	// DisableDecodeCache turns off the CPU's decoded-instruction cache
+	// (ablation / differential-testing knob; no observable effect).
+	DisableDecodeCache bool
+	// OnTrap observes every trap in program order (differential testing).
+	OnTrap func(*cpu.Trap)
 }
 
 // Machine is the simulated hardware plus its kernel.
@@ -118,6 +123,8 @@ func NewMachine(cfg Config) *Machine {
 	}
 	m.CPU = cpu.New(m.Mem, m.Hier, m.Fmt)
 	m.CPU.Tracer = cfg.Tracer
+	m.CPU.NoDecodeCache = cfg.DisableDecodeCache
+	m.CPU.OnTrap = cfg.OnTrap
 
 	k := &Kernel{
 		M:            m,

@@ -12,6 +12,14 @@ import (
 	"fmt"
 )
 
+// PageShift is the log2 of the page used for write-generation tracking.
+// It must match vm.PageShift: the CPU's decoded-instruction cache keys
+// blocks by physical page and validates them against these counters.
+const PageShift = 12
+
+// PageSize is the generation-tracking page size in bytes.
+const PageSize = 1 << PageShift
+
 // Physical is tagged physical memory. Addresses are physical; bounds and
 // permission checking happen above this layer (capabilities + MMU), so an
 // out-of-range physical access is a simulator bug and panics.
@@ -19,6 +27,14 @@ type Physical struct {
 	data    []byte
 	tags    []bool
 	granule uint64 // capability size in bytes; one tag per granule
+	// gens holds one write-generation counter per page. Every mutation of
+	// page bytes (or tags) bumps the page's counter, so consumers that
+	// cache derived views of memory — the CPU's decoded-instruction
+	// cache — can validate them with a single compare. This is the
+	// innermost layer of the fetch-fast-path invalidation protocol: any
+	// store, byte copy, capability store, tagged copy, or zeroing that can
+	// change executable bytes lands here.
+	gens []uint64
 }
 
 // New returns size bytes of zeroed physical memory with one tag per
@@ -31,6 +47,7 @@ func New(size, granule uint64) *Physical {
 		data:    make([]byte, size),
 		tags:    make([]bool, size/granule),
 		granule: granule,
+		gens:    make([]uint64, (size+PageSize-1)/PageSize),
 	}
 }
 
@@ -44,6 +61,24 @@ func (m *Physical) check(pa, n uint64) {
 	if pa+n > uint64(len(m.data)) || pa+n < pa {
 		panic(fmt.Sprintf("mem: physical access out of range: pa=0x%x n=%d size=0x%x", pa, n, len(m.data)))
 	}
+}
+
+// touch bumps the write generation of every page overlapping [pa, pa+n).
+// Every mutator below calls it; PageGen exposes the counters.
+func (m *Physical) touch(pa, n uint64) {
+	if n == 0 {
+		return
+	}
+	for p := pa >> PageShift; p <= (pa+n-1)>>PageShift; p++ {
+		m.gens[p]++
+	}
+}
+
+// PageGen returns the write generation of the page containing pa. A cached
+// view of the page's contents is valid iff the generation it was built at
+// still matches.
+func (m *Physical) PageGen(pa uint64) uint64 {
+	return m.gens[pa>>PageShift]
 }
 
 // clearTags clears the tags of every granule overlapping [pa, pa+n).
@@ -89,6 +124,7 @@ func (m *Physical) Store(pa, n, v uint64) {
 		panic(fmt.Sprintf("mem: bad store size %d", n))
 	}
 	m.clearTags(pa, n)
+	m.touch(pa, n)
 }
 
 // ReadBytes copies len(buf) bytes starting at pa into buf.
@@ -102,6 +138,7 @@ func (m *Physical) WriteBytes(pa uint64, buf []byte) {
 	m.check(pa, uint64(len(buf)))
 	copy(m.data[pa:], buf)
 	m.clearTags(pa, uint64(len(buf)))
+	m.touch(pa, uint64(len(buf)))
 }
 
 // Tag returns the tag bit of the granule containing pa.
@@ -130,6 +167,7 @@ func (m *Physical) StoreCap(pa uint64, buf []byte, tag bool) {
 	m.check(pa, m.granule)
 	copy(m.data[pa:pa+m.granule], buf[:m.granule])
 	m.tags[pa/m.granule] = tag
+	m.touch(pa, m.granule)
 }
 
 // CopyTagged copies n bytes from src to dst preserving tags where both
@@ -145,6 +183,7 @@ func (m *Physical) CopyTagged(dst, src, n uint64) {
 	for i := uint64(0); i < n/m.granule; i++ {
 		m.tags[dst/m.granule+i] = m.tags[src/m.granule+i]
 	}
+	m.touch(dst, n)
 }
 
 // ExtractTags returns the tags of the n/granule granules in [pa, pa+n),
@@ -167,4 +206,5 @@ func (m *Physical) Zero(pa, n uint64) {
 		m.data[pa+i] = 0
 	}
 	m.clearTags(pa, n)
+	m.touch(pa, n)
 }

@@ -107,6 +107,13 @@ type Linker struct {
 	// NextBase is the load address for the next image (advanced per load;
 	// the kernel perturbs the initial value per run for layout variance).
 	NextBase uint64
+	// SyncICache, when set, is called after all text bytes and relocations
+	// are written, the point where a real run-time linker would issue an
+	// instruction-cache synchronisation. The kernel points this at the
+	// CPU's decoded-instruction-cache flush; the write-generation checks
+	// already make that cache self-invalidating, so this is the explicit
+	// (defence-in-depth) half of the invalidation protocol.
+	SyncICache func()
 }
 
 func (ld *Linker) trace(kind string, c cap.Capability) {
@@ -168,6 +175,9 @@ func (ld *Linker) Load(exe *image.Image) (*Linked, error) {
 		if err := ld.applyCapRelocs(li, ln); err != nil {
 			return nil, err
 		}
+	}
+	if ld.SyncICache != nil {
+		ld.SyncICache()
 	}
 	return ln, nil
 }

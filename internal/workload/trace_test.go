@@ -12,6 +12,9 @@ import (
 // and malloc derivations are tightly bounded, and the kernel-originated
 // lines are nearly empty.
 func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: full Figure 5 trace reconstruction")
+	}
 	col, err := TraceSecureServer(1)
 	if err != nil {
 		t.Fatal(err)

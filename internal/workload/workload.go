@@ -35,6 +35,21 @@ var Figure4 = []Workload{
 	{Name: "initdb-dynamic", Src: SrcInitdb, Libs: map[string]string{"libcatalog.so": SrcLibCatalog}},
 }
 
+// ShortCorpus is the representative Figure 4 subset used by -short test
+// runs: static compute, library-heavy, and the dynamically-linked
+// macro-benchmark. The full corpus runs in the default mode.
+func ShortCorpus() []Workload {
+	var out []Workload
+	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic"} {
+		w, ok := ByName(name)
+		if !ok {
+			panic("workload: short corpus names unknown workload " + name)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
 // ByName returns the named Figure 4 workload.
 func ByName(name string) (Workload, bool) {
 	for _, w := range Figure4 {
@@ -54,12 +69,17 @@ type Measurement struct {
 	Output       string
 }
 
-// BuildOptions vary the toolchain per run.
+// BuildOptions vary the toolchain — and, for ablations, the simulator —
+// per run.
 type BuildOptions struct {
 	ABI             cheriabi.ABI
 	ASan            bool
 	NoBigCLC        bool
 	SubObjectBounds bool
+	// DisableDecodeCache turns off the simulator's decoded-instruction
+	// cache for this run (host-side ablation; guest-visible results are
+	// identical either way).
+	DisableDecodeCache bool
 }
 
 // Build compiles a workload (and its libraries) for the given options.
@@ -95,7 +115,11 @@ func Run(w Workload, opt BuildOptions, seed int64) (Measurement, error) {
 	if err != nil {
 		return Measurement{}, err
 	}
-	sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20, Seed: seed})
+	sys := cheriabi.NewSystem(cheriabi.Config{
+		MemBytes:           128 << 20,
+		Seed:               seed,
+		DisableDecodeCache: opt.DisableDecodeCache,
+	})
 	var codeBytes uint64
 	for _, lib := range libs {
 		if _, err := sys.Install(lib); err != nil {

@@ -10,7 +10,11 @@ import (
 // benchmark must build and run to completion under both ABIs and produce
 // identical output.
 func TestAllWorkloadsRunBothABIs(t *testing.T) {
-	for _, w := range Figure4 {
+	corpus := Figure4
+	if testing.Short() {
+		corpus = ShortCorpus()
+	}
+	for _, w := range corpus {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
 			legacy, err := Run(w, BuildOptions{ABI: cheriabi.ABILegacy}, 1)

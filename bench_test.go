@@ -7,6 +7,7 @@
 package cheriabi_test
 
 import (
+	"fmt"
 	"testing"
 
 	"cheriabi"
@@ -217,6 +218,65 @@ func BenchmarkSimulator(b *testing.B) {
 		insts = m.Instructions
 	}
 	b.SetBytes(int64(insts)) // bytes/s stands in for guest instructions/s
+}
+
+// BenchmarkThreadedDispatch ablates the block-threaded execution engine:
+// the same workload with straight-line runs executed inside runBlock
+// versus one Step per instruction (decode cache enabled in both modes).
+// Guest-visible results are bit-identical (TestDifferentialMatrix); only
+// host throughput changes. MB/s stands in for guest instructions/s.
+func BenchmarkThreadedDispatch(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"on", false},
+		{"off", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			w, _ := workload.ByName("auto-basicmath")
+			var insts, cycles uint64
+			for i := 0; i < b.N; i++ {
+				m, err := workload.Run(w, workload.BuildOptions{
+					ABI:                     cheriabi.ABICheri,
+					DisableThreadedDispatch: mode.disable,
+				}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts, cycles = m.Instructions, m.Cycles
+			}
+			b.SetBytes(int64(insts))
+			b.ReportMetric(float64(cycles), "sim-cycles") // must match across modes
+		})
+	}
+}
+
+// BenchmarkParallelDriver measures the sharded evaluation driver on a
+// fixed Table 3 slice at several worker counts. The aggregated result is
+// identical for every worker count (TestParallelBodiagDeterminism); only
+// wall-clock time changes, and it should scale near-linearly to 4 workers.
+func BenchmarkParallelDriver(b *testing.B) {
+	all := bodiag.Generate()
+	var subset []bodiag.Case
+	for i := 0; i < len(all); i += 6 {
+		subset = append(subset, all[i])
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *bodiag.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = bodiag.RunParallel(subset, bodiag.Envs, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Detected["cheriabi"][0]), "cheri-min")
+			totalRuns := float64(b.N) * float64(len(subset)*4*len(bodiag.Envs))
+			b.ReportMetric(totalRuns/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
 }
 
 // BenchmarkDecodeCache ablates the simulator's decoded-instruction cache:

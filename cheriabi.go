@@ -118,6 +118,12 @@ type Config struct {
 	// determinism suite enforces this); the knob exists for the ablation
 	// benchmarks and as a safety hatch.
 	DisableDecodeCache bool
+	// DisableThreadedDispatch turns off the simulator's block-threaded
+	// execution engine, falling back to one Step per instruction. Results
+	// are bit-identical either way (the differential determinism suite
+	// runs all four {decode cache, threaded dispatch} combinations); the
+	// knob exists for the ablation benchmarks and as a safety hatch.
+	DisableThreadedDispatch bool
 	// OnTrap observes every trap the CPU delivers, in program order
 	// (used by the differential determinism suite).
 	OnTrap func(*cpu.Trap)
@@ -137,13 +143,14 @@ func NewSystem(cfg Config) *System {
 		format = cap.Format256
 	}
 	m := kernel.NewMachine(kernel.Config{
-		MemBytes:           cfg.MemBytes,
-		Format:             format,
-		Seed:               cfg.Seed,
-		Console:            cfg.Console,
-		Tracer:             cfg.Tracer,
-		DisableDecodeCache: cfg.DisableDecodeCache,
-		OnTrap:             cfg.OnTrap,
+		MemBytes:                cfg.MemBytes,
+		Format:                  format,
+		Seed:                    cfg.Seed,
+		Console:                 cfg.Console,
+		Tracer:                  cfg.Tracer,
+		DisableDecodeCache:      cfg.DisableDecodeCache,
+		DisableThreadedDispatch: cfg.DisableThreadedDispatch,
+		OnTrap:                  cfg.OnTrap,
 	})
 	if cfg.OnCapCreate != nil {
 		m.Kern.OnCapCreate = cfg.OnCapCreate

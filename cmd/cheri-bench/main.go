@@ -1,20 +1,25 @@
 // Command cheri-bench regenerates the paper's performance evaluation:
-// Figure 4 (MiBench/SPEC/initdb overheads), the system-call
-// micro-benchmarks, the initdb/ASan macro comparison, and the CLC
-// large-immediate ablation (§5.2).
+// Figure 4 (MiBench/SPEC/initdb overheads), Table 1 (the test suites under
+// both ABIs), the system-call micro-benchmarks, the initdb/ASan macro
+// comparison, and the CLC large-immediate ablation (§5.2). Figure 4 and
+// Table 1 rows are independent whole-machine runs and are sharded across
+// a worker pool; output order and values are identical for any -workers.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"cheriabi/internal/testsuite"
 	"cheriabi/internal/workload"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "fig4|syscall|initdb|clc|all")
+	experiment := flag.String("experiment", "all", "fig4|table1|syscall|initdb|clc|all")
 	seeds := flag.Int("seeds", 3, "number of layout seeds per measurement")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel evaluation workers")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -34,16 +39,26 @@ func main() {
 		for i := 0; i < *seeds; i++ {
 			seedList = append(seedList, int64(i*7+1))
 		}
-		for _, w := range workload.Figure4 {
-			row, err := workload.Figure4Row(w, seedList)
-			if err != nil {
-				return err
-			}
+		rows, err := workload.Figure4Rows(workload.Figure4, seedList, *workers)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
 			fmt.Printf("%-24s %+9.1f%% %+9.1f%% %+9.1f%% %8.1f\n",
 				row.Name, row.InstPct, row.CyclePct, row.L2Pct, row.CycleIQR)
 		}
 		fmt.Println("\nPaper shape: most within noise; pointer-heavy (patricia,")
 		fmt.Println("xalancbmk) pay the most; initdb-dynamic ~6.8% cycles.")
+		return nil
+	})
+
+	run("table1", func() error {
+		fmt.Println("\nTable 1. Test-suite results under both ABIs")
+		rows, err := testsuite.Table1Parallel(*workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(testsuite.Render(rows))
 		return nil
 	})
 

@@ -1,11 +1,13 @@
-// Differential determinism suite: every benchmark and test-suite program
-// is run twice, decoded-instruction cache on and off, and must produce
-// bit-identical architectural results — Stats (instructions, cycles,
-// loads/stores, branches, syscalls), program output, exit status, and the
-// exact sequence of traps the CPU delivered. This is the proof obligation
-// for the fetch fast path: cycle counts and fault behaviour are this
-// repository's *results* (Figure 4, Tables 1–3), so a simulator
-// optimisation must be observation-equivalent, not just "mostly right".
+// Differential determinism suite: every benchmark, test-suite, and bodiag
+// program is run under all four simulator fast-path configurations —
+// {decoded-instruction cache, block-threaded dispatch} on/off — and must
+// produce bit-identical architectural results: Stats (instructions,
+// cycles, loads/stores, branches, syscalls), program output, exit status,
+// L2 miss counts, and the exact sequence of traps the CPU delivered. This
+// is the proof obligation for the fast paths: cycle counts and fault
+// behaviour are this repository's *results* (Figure 4, Tables 1–3), so a
+// simulator optimisation must be observation-equivalent, not just "mostly
+// right".
 package cheriabi_test
 
 import (
@@ -16,18 +18,41 @@ import (
 	"testing"
 
 	"cheriabi"
+	"cheriabi/internal/bodiag"
 	"cheriabi/internal/cpu"
 	"cheriabi/internal/testsuite"
 	"cheriabi/internal/workload"
 )
 
-// diffCase is one program to run under both cache modes.
+// simConfig is one simulator fast-path configuration.
+type simConfig struct {
+	name     string
+	decode   bool // decoded-instruction cache enabled
+	threaded bool // block-threaded dispatch enabled
+}
+
+// simConfigs is the full ablation matrix. Threaded dispatch executes out
+// of decoded blocks, so the fourth combination (threaded without the
+// cache) degenerates to the plain interpreter — it is still exercised to
+// prove the degenerate path is sound.
+var simConfigs = []simConfig{
+	{"plain", false, false},
+	{"cache", true, false},
+	{"cache+threaded", true, true},
+	{"threaded-sans-cache", false, true},
+}
+
+// diffCase is one program to run under every simulator configuration.
 type diffCase struct {
 	name string
 	src  string
 	libs map[string]string
 	abi  cheriabi.ABI
 	args []string
+	// mayTrap marks programs whose faulting is the point (bodiag corpus):
+	// they are allowed to die on a signal or exit non-zero, and the
+	// differential comparison of that outcome is exactly the test.
+	mayTrap bool
 }
 
 // diffRecord captures everything a run can observe.
@@ -41,20 +66,22 @@ type diffRecord struct {
 	trapHash uint64 // FNV-1a over the rendered trap sequence
 }
 
-// runCase executes one case on a fresh machine with the given cache mode,
-// recording the full trap sequence through the OnTrap hook.
-func runCase(t *testing.T, tc diffCase, disable bool) diffRecord {
+// runCase executes one case on a fresh machine with the given fast-path
+// configuration, recording the full trap sequence through the OnTrap hook.
+func runCase(t *testing.T, tc diffCase, cfg simConfig) diffRecord {
 	t.Helper()
 	h := fnv.New64a()
 	var traps uint64
 	sys := cheriabi.NewSystem(cheriabi.Config{
-		MemBytes:           128 << 20,
-		DisableDecodeCache: disable,
+		MemBytes:                128 << 20,
+		DisableDecodeCache:      !cfg.decode,
+		DisableThreadedDispatch: !cfg.threaded,
 		OnTrap: func(tr *cpu.Trap) {
 			traps++
 			io.WriteString(h, tr.Error())
 		},
 	})
+	sys.Kernel.FS.Mkdir(bodiag.CwdPath) // the bodiag getcwd case chdirs here
 	var needed []string
 	for name := range tc.libs {
 		needed = append(needed, name)
@@ -75,13 +102,20 @@ func runCase(t *testing.T, tc diffCase, disable bool) diffRecord {
 	}
 	res, err := sys.RunImage(img, append([]string{tc.name}, tc.args...)...)
 	if err != nil {
-		t.Fatalf("%s (cache disabled=%v): %v", tc.name, disable, err)
+		t.Fatalf("%s (%s): %v", tc.name, cfg.name, err)
 	}
-	if !disable && sys.DecodeCacheStats().Hits == 0 {
+	ds := sys.DecodeCacheStats()
+	if cfg.decode && ds.Hits == 0 {
 		t.Fatalf("%s: decode cache never hit; the differential run is vacuous", tc.name)
 	}
-	if disable && sys.DecodeCacheStats().Hits != 0 {
+	if !cfg.decode && ds.Hits != 0 {
 		t.Fatalf("%s: decode cache hit while disabled", tc.name)
+	}
+	if cfg.decode && cfg.threaded && ds.Threaded == 0 {
+		t.Fatalf("%s: threaded dispatch never ran; the differential run is vacuous", tc.name)
+	}
+	if !(cfg.decode && cfg.threaded) && ds.Threaded != 0 {
+		t.Fatalf("%s: threaded dispatch ran while disabled (%+v)", tc.name, ds)
 	}
 	return diffRecord{
 		exit:     res.ExitCode,
@@ -94,24 +128,56 @@ func runCase(t *testing.T, tc diffCase, disable bool) diffRecord {
 	}
 }
 
-// corpus assembles the differential corpus: the full Figure 4 workload set
-// and every test-suite program, under both ABIs. In -short mode it is cut
-// to a representative subset.
+// compare runs tc under every configuration and requires each to be
+// indistinguishable from the plain interpreter.
+func compare(t *testing.T, tc diffCase) {
+	t.Helper()
+	base := runCase(t, tc, simConfigs[0])
+	if !tc.mayTrap && (base.signal != 0 || base.exit != 0) {
+		// Not a differential failure, but a corpus bug worth surfacing.
+		t.Fatalf("baseline run misbehaved: exit=%d signal=%d output=%q", base.exit, base.signal, base.output)
+	}
+	for _, cfg := range simConfigs[1:] {
+		got := runCase(t, tc, cfg)
+		if got.stats != base.stats {
+			t.Errorf("%s: Stats diverged:\n %s: %+v\nplain: %+v", cfg.name, cfg.name, got.stats, base.stats)
+		}
+		if got.output != base.output {
+			t.Errorf("%s: output diverged:\n %s: %q\nplain: %q", cfg.name, cfg.name, got.output, base.output)
+		}
+		if got.exit != base.exit || got.signal != base.signal {
+			t.Errorf("%s: termination diverged: %s exit=%d sig=%d, plain exit=%d sig=%d",
+				cfg.name, cfg.name, got.exit, got.signal, base.exit, base.signal)
+		}
+		if got.traps != base.traps || got.trapHash != base.trapHash {
+			t.Errorf("%s: trap sequence diverged: %s %d traps (hash %x), plain %d traps (hash %x)",
+				cfg.name, cfg.name, got.traps, got.trapHash, base.traps, base.trapHash)
+		}
+		if got.l2Misses != base.l2Misses {
+			t.Errorf("%s: L2 misses diverged: %s %d, plain %d", cfg.name, cfg.name, got.l2Misses, base.l2Misses)
+		}
+	}
+}
+
+var diffABIs = []struct {
+	label string
+	abi   cheriabi.ABI
+}{
+	{"mips64", cheriabi.ABILegacy},
+	{"cheriabi", cheriabi.ABICheri},
+}
+
+// corpus assembles the workload + test-suite differential corpus: the full
+// Figure 4 workload set and every test-suite program, under both ABIs. In
+// -short mode it is cut to a representative subset.
 func corpus(short bool) []diffCase {
 	var out []diffCase
 	workloads := workload.Figure4
 	if short {
 		workloads = workload.ShortCorpus()
 	}
-	abis := []struct {
-		label string
-		abi   cheriabi.ABI
-	}{
-		{"mips64", cheriabi.ABILegacy},
-		{"cheriabi", cheriabi.ABICheri},
-	}
 	for _, w := range workloads {
-		for _, a := range abis {
+		for _, a := range diffABIs {
 			out = append(out, diffCase{
 				name: fmt.Sprintf("%s-%s", w.Name, a.label),
 				src:  w.Src, libs: w.Libs, abi: a.abi, args: w.Args,
@@ -128,10 +194,14 @@ func corpus(short bool) []diffCase {
 			names = names[:1]
 		}
 		for _, name := range names {
-			for _, a := range abis {
+			for _, a := range diffABIs {
 				out = append(out, diffCase{
 					name: fmt.Sprintf("%s-%s", name, a.label),
 					src:  s.Programs[name], abi: a.abi,
+					// Suite programs may legitimately crash under CheriABI
+					// (Table 1 counts exactly that); the differential
+					// comparison of the crash is the test.
+					mayTrap: true,
 				})
 			}
 		}
@@ -139,38 +209,60 @@ func corpus(short bool) []diffCase {
 	return out
 }
 
-// TestDecodeCacheDifferential is the determinism gate: cache on and cache
-// off must be indistinguishable across the whole corpus.
-func TestDecodeCacheDifferential(t *testing.T) {
+// bodiagCorpus assembles the bodiag differential corpus: overflow programs
+// whose *faulting behaviour* (trap kind, faulting PC, signal) is the
+// observable under test. In -short mode a strided subset with the min and
+// ok variants runs; the full mode covers every case and every variant.
+func bodiagCorpus(short bool) []diffCase {
+	cases := bodiag.Generate()
+	variants := []bodiag.Variant{bodiag.VarOK, bodiag.VarMin, bodiag.VarMed, bodiag.VarLarge}
+	stride := 1
+	if short {
+		stride = 24
+		variants = []bodiag.Variant{bodiag.VarOK, bodiag.VarMin}
+	}
+	var out []diffCase
+	for i := 0; i < len(cases); i += stride {
+		c := cases[i]
+		for _, v := range variants {
+			for _, a := range diffABIs {
+				out = append(out, diffCase{
+					name:    fmt.Sprintf("%s-%s-%s", c.Name(), v, a.label),
+					src:     bodiag.Source(c, v),
+					abi:     a.abi,
+					mayTrap: true,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// TestDifferentialMatrix is the determinism gate for the workload and
+// test-suite corpora: all four fast-path configurations must be
+// indistinguishable across every program and both ABIs.
+func TestDifferentialMatrix(t *testing.T) {
 	for _, tc := range corpus(testing.Short()) {
 		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
-			on := runCase(t, tc, false)
-			off := runCase(t, tc, true)
-			if on.stats != off.stats {
-				t.Errorf("Stats diverged:\n on: %+v\noff: %+v", on.stats, off.stats)
-			}
-			if on.output != off.output {
-				t.Errorf("output diverged:\n on: %q\noff: %q", on.output, off.output)
-			}
-			if on.exit != off.exit || on.signal != off.signal {
-				t.Errorf("termination diverged: on exit=%d sig=%d, off exit=%d sig=%d",
-					on.exit, on.signal, off.exit, off.signal)
-			}
-			if on.traps != off.traps || on.trapHash != off.trapHash {
-				t.Errorf("trap sequence diverged: on %d traps (hash %x), off %d traps (hash %x)",
-					on.traps, on.trapHash, off.traps, off.trapHash)
-			}
-			if on.l2Misses != off.l2Misses {
-				t.Errorf("L2 misses diverged: on %d, off %d", on.l2Misses, off.l2Misses)
-			}
-		})
+		t.Run(tc.name, func(t *testing.T) { compare(t, tc) })
 	}
 }
 
-// TestDecodeCacheDeterministicAcrossRuns re-runs one cache-on workload and
-// requires run-to-run determinism (the cache must not introduce any
-// host-dependent variation).
+// TestBodiagDifferential extends the determinism gate to the bodiag
+// corpus: buffer-overflow programs that fault on purpose, so the exact
+// trap kind, trap sequence, and termination signal are compared across
+// every configuration (an optimisation that altered *where or how* a
+// violation traps would corrupt Table 3).
+func TestBodiagDifferential(t *testing.T) {
+	for _, tc := range bodiagCorpus(testing.Short()) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) { compare(t, tc) })
+	}
+}
+
+// TestDecodeCacheDeterministicAcrossRuns re-runs one fully-optimised
+// workload and requires run-to-run determinism (the fast paths must not
+// introduce any host-dependent variation).
 func TestDecodeCacheDeterministicAcrossRuns(t *testing.T) {
 	w, _ := workload.ByName("auto-qsort")
 	first, err := workload.Run(w, workload.BuildOptions{ABI: cheriabi.ABICheri}, 3)

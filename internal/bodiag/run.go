@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cheriabi"
+	"cheriabi/internal/driver"
 )
 
 // Env is one evaluated protection environment (a Table 3 row).
@@ -38,7 +39,6 @@ type Result struct {
 // to keep the 3,500-odd runs fast.
 type Runner struct {
 	systems map[string]*cheriabi.System
-	counter int
 }
 
 // NewRunner returns a Runner with lazily booted systems.
@@ -60,10 +60,14 @@ func (r *Runner) system(env Env) *cheriabi.System {
 // was detected: the process died on a signal, or a kernel/library path
 // refused the access (exit 99 = EFAULT observed).
 func (r *Runner) detected(env Env, c Case, v Variant) (bool, error) {
-	r.counter++
 	src := Source(c, v)
+	// The image name must be a deterministic function of (case, variant,
+	// env): it becomes the installed path and therefore argv[0], which is
+	// copied onto the guest stack, so a scheduling-dependent name (e.g. a
+	// per-runner counter) would perturb stack layout and make detection
+	// outcomes only probabilistically worker-count-invariant.
 	img, _, err := cheriabi.Compile(cheriabi.CompileOptions{
-		Name:            fmt.Sprintf("%s-%s-%d", c.Name(), v, r.counter),
+		Name:            fmt.Sprintf("%s-%s-%s", c.Name(), v, env.Name),
 		ABI:             env.ABI,
 		ASan:            env.ASan,
 		SubObjectBounds: env.SubObjectBounds,
@@ -108,6 +112,63 @@ func (r *Runner) RunEnvs(cases []Case, envs []Env) (*Result, error) {
 		out.Detected[env.Name] = counts
 	}
 	return out, nil
+}
+
+// caseOutcome is one case's detection record across environments: whether
+// the correct variant misbehaved and which faulty variants were caught.
+type caseOutcome struct {
+	okFailed map[string]bool
+	hits     map[string][3]bool
+}
+
+// RunParallel evaluates cases across a worker pool and aggregates exactly
+// the same Table 3 a sequential RunEnvs produces. Each worker owns a
+// private Runner (and therefore its own booted systems — nothing is shared
+// between goroutines), and per-case outcomes are folded in case order, so
+// the aggregate is independent of the worker count: detection is an
+// architectural outcome (signal or EFAULT), not a timing one.
+func RunParallel(cases []Case, envs []Env, workers int) (*Result, error) {
+	outcomes, err := driver.MapWith(workers, cases, NewRunner,
+		func(r *Runner, c Case) (caseOutcome, error) {
+			out := caseOutcome{okFailed: map[string]bool{}, hits: map[string][3]bool{}}
+			for _, env := range envs {
+				if ok, err := r.detected(env, c, VarOK); err != nil {
+					return out, err
+				} else if ok {
+					out.okFailed[env.Name] = true
+				}
+				var h [3]bool
+				for vi, v := range []Variant{VarMin, VarMed, VarLarge} {
+					hit, err := r.detected(env, c, v)
+					if err != nil {
+						return out, err
+					}
+					h[vi] = hit
+				}
+				out.hits[env.Name] = h
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Total: len(cases), Detected: map[string][3]int{}}
+	for _, env := range envs {
+		var counts [3]int
+		for ci, c := range cases {
+			if outcomes[ci].okFailed[env.Name] {
+				res.OKFailures++
+				res.Failures = append(res.Failures, fmt.Sprintf("%s: OK variant flagged under %s", c.Name(), env.Name))
+			}
+			for vi, hit := range outcomes[ci].hits[env.Name] {
+				if hit {
+					counts[vi]++
+				}
+			}
+		}
+		res.Detected[env.Name] = counts
+	}
+	return res, nil
 }
 
 // Render formats the result as the paper's Table 3.

@@ -91,7 +91,7 @@ func (c *CPU) LoadVia(auth cap.Capability, ea, size uint64) (uint64, error) {
 	if err := auth.CheckDeref(ea, size, cap.PermLoad); err != nil {
 		return 0, err
 	}
-	pa, pf := c.translate(ea, tlbRead, vm.ProtRead)
+	pa, pf := c.translate(ea, vm.ProtRead)
 	if pf != nil {
 		return 0, pf
 	}
@@ -107,7 +107,7 @@ func (c *CPU) StoreVia(auth cap.Capability, ea, size, v uint64) error {
 	if err := auth.CheckDeref(ea, size, cap.PermStore); err != nil {
 		return err
 	}
-	pa, pf := c.translate(ea, tlbWrite, vm.ProtWrite)
+	pa, pf := c.translate(ea, vm.ProtWrite)
 	if pf != nil {
 		return pf
 	}
@@ -126,7 +126,7 @@ func (c *CPU) LoadCapVia(auth cap.Capability, ea uint64) (cap.Capability, error)
 	if err := auth.CheckDeref(ea, bytes, cap.PermLoad); err != nil {
 		return cap.Null(), err
 	}
-	pa, pf := c.translate(ea, tlbRead, vm.ProtRead)
+	pa, pf := c.translate(ea, vm.ProtRead)
 	if pf != nil {
 		return cap.Null(), pf
 	}
@@ -158,7 +158,7 @@ func (c *CPU) StoreCapVia(auth cap.Capability, ea uint64, v cap.Capability) erro
 	if err := auth.CheckDeref(ea, bytes, need); err != nil {
 		return err
 	}
-	pa, pf := c.translate(ea, tlbWrite, vm.ProtWrite)
+	pa, pf := c.translate(ea, vm.ProtWrite)
 	if pf != nil {
 		return pf
 	}
@@ -183,7 +183,7 @@ func (c *CPU) ReadBytesVia(auth cap.Capability, va uint64, buf []byte) error {
 		return err
 	}
 	for done := uint64(0); done < n; {
-		pa, pf := c.AS.Translate(va+done, vm.ProtRead)
+		pa, pf := c.translate(va+done, vm.ProtRead)
 		if pf != nil {
 			return pf
 		}
@@ -209,7 +209,7 @@ func (c *CPU) WriteBytesVia(auth cap.Capability, va uint64, buf []byte) error {
 		return err
 	}
 	for done := uint64(0); done < n; {
-		pa, pf := c.AS.Translate(va+done, vm.ProtWrite)
+		pa, pf := c.translate(va+done, vm.ProtWrite)
 		if pf != nil {
 			return pf
 		}

@@ -120,16 +120,25 @@ type CPU struct {
 	// enforce this); the knob exists for ablation and as a safety hatch.
 	NoDecodeCache bool
 
+	// NoThreadedDispatch disables the block-threaded execution engine
+	// (threaded.go), which executes straight-line runs of decoded
+	// instructions without returning to the Step loop. Behaviour is
+	// identical either way; the knob exists for ablation and as a safety
+	// hatch. Threaded dispatch also requires the decode cache, so setting
+	// NoDecodeCache disables it implicitly.
+	NoThreadedDispatch bool
+
 	Stats Stats
 
 	// DecodeStats counts decode-cache events (non-architectural).
 	DecodeStats DecodeStats
 
-	// Micro-TLB: caches the last translation per access type, keyed on the
-	// address space and its mutation generation. This is a simulator
-	// fast path, not an architectural structure; it never changes
-	// behaviour because it is invalidated on any mapping mutation.
-	tlb [3]tlbEntry // indexed by tlbFetch/tlbRead/tlbWrite
+	// Data micro-TLB (see translate): a small direct-mapped cache of
+	// per-page translations, keyed on the address space and its mutation
+	// generation. This is a simulator fast path, not an architectural
+	// structure; it never changes behaviour because every event that could
+	// change a translation bumps vm.AddressSpace.Gen.
+	tlb [dtlbSize]tlbEntry
 
 	// Decoded-instruction cache (see decode.go): per-physical-page decoded
 	// blocks plus the fast-path latch for the page PC is executing from.
@@ -137,31 +146,40 @@ type CPU struct {
 	latch   fetchLatch
 }
 
+// dtlbSize is the number of direct-mapped micro-TLB entries (per-page,
+// shared by fetch, read, and write accesses).
+const dtlbSize = 64
+
 type tlbEntry struct {
 	as   *vm.AddressSpace
 	gen  uint64
 	vpn  uint64
-	base uint64 // frame base physical address
+	base uint64  // frame base physical address
+	prot vm.Prot // access kinds proven against Translate at this gen
 }
 
-const (
-	tlbFetch = iota
-	tlbRead
-	tlbWrite
-)
-
-// translate resolves va with the micro-TLB fast path.
-func (c *CPU) translate(va uint64, kind int, access vm.Prot) (uint64, *vm.PageFault) {
-	e := &c.tlb[kind]
+// translate resolves va with the micro-TLB fast path. An entry is valid
+// only for the access kinds it has been proven for: a page first touched
+// by a read must still take the full Translate walk on its first write so
+// that copy-on-write resolution (and the protection check) happens exactly
+// as without the TLB. Soft faults resolved inside Translate bump
+// AddressSpace.Gen, which invalidates every cached entry at once.
+func (c *CPU) translate(va uint64, access vm.Prot) (uint64, *vm.PageFault) {
 	vpn := va >> vm.PageShift
-	if e.as == c.AS && e.gen == c.AS.Gen && e.vpn == vpn {
+	e := &c.tlb[vpn&(dtlbSize-1)]
+	if e.as == c.AS && e.gen == c.AS.Gen && e.vpn == vpn && e.prot&access == access {
 		return e.base + va%vm.PageSize, nil
 	}
 	pa, pf := c.AS.Translate(va, access)
 	if pf != nil {
 		return 0, pf
 	}
-	*e = tlbEntry{as: c.AS, gen: c.AS.Gen, vpn: vpn, base: pa &^ (vm.PageSize - 1)}
+	prot := access
+	if e.as == c.AS && e.gen == c.AS.Gen && e.vpn == vpn {
+		// Same page, same generation: earlier proofs still hold; widen.
+		prot |= e.prot
+	}
+	*e = tlbEntry{as: c.AS, gen: c.AS.Gen, vpn: vpn, base: pa &^ (vm.PageSize - 1), prot: prot}
 	return pa, nil
 }
 
@@ -209,9 +227,37 @@ func (c *CPU) capTrap(in isa.Inst, err error) *Trap {
 
 // Run executes until a trap occurs or max instructions retire (0 = no
 // limit). It returns the trap, or nil if the instruction budget expired.
+//
+// When the decoded-instruction cache and threaded dispatch are enabled,
+// Run alternates between the block-threaded engine (runBlock, which
+// executes straight-line runs of decoded instructions) and single Steps
+// (which handle everything the block engine exits for: page crossings,
+// PCC changes, invalidations, misaligned PCs, and cold pages). The two
+// interleavings retire the same instructions in the same order and charge
+// the same cycles; the differential determinism suite enforces this.
 func (c *CPU) Run(max uint64) *Trap {
 	start := c.Stats.Instructions
-	for max == 0 || c.Stats.Instructions-start < max {
+	threaded := !c.NoDecodeCache && !c.NoThreadedDispatch
+	for {
+		done := c.Stats.Instructions - start
+		if max != 0 && done >= max {
+			return nil
+		}
+		if threaded {
+			var rem uint64
+			if max != 0 {
+				rem = max - done
+			}
+			if t := c.runBlock(rem); t != nil {
+				if c.OnTrap != nil {
+					c.OnTrap(t)
+				}
+				return t
+			}
+			if max != 0 && c.Stats.Instructions-start >= max {
+				return nil
+			}
+		}
 		if t := c.Step(); t != nil {
 			if c.OnTrap != nil {
 				c.OnTrap(t)
@@ -219,7 +265,6 @@ func (c *CPU) Run(max uint64) *Trap {
 			return t
 		}
 	}
-	return nil
 }
 
 // Step executes one instruction. On a trap, PC still addresses the
@@ -234,6 +279,15 @@ func (c *CPU) Step() *Trap {
 
 	c.Stats.Instructions++
 	c.Stats.Cycles++
+	return c.exec(in)
+}
+
+// exec executes one decoded instruction at c.PC and advances PC. The
+// caller has already performed (or proven unnecessary) the fetch checks
+// and charged the fetch cycle plus the base execution cycle; exec charges
+// only op-specific extras (multi-cycle ALU ops, branch bubbles, data-cache
+// access costs). On a trap, PC still addresses the trapping instruction.
+func (c *CPU) exec(in isa.Inst) *Trap {
 	next := c.PC + isa.InstSize
 
 	switch in.Op {

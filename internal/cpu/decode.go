@@ -61,6 +61,12 @@ type DecodeStats struct {
 	Misses  uint64 // slow-path fetches (latch invalid or cache disabled)
 	Decodes uint64 // whole-page decodes (first touch or invalidation)
 	Flushes uint64 // explicit SyncICache calls
+
+	// Threaded counts instructions retired inside the block-threaded
+	// engine (a subset of Hits); Blocks counts the straight-line runs they
+	// were grouped into.
+	Threaded uint64
+	Blocks   uint64
 }
 
 const pageOffMask = vm.PageSize - 1
@@ -126,7 +132,7 @@ func (c *CPU) fetchInst() (isa.Inst, *Trap) {
 	if err := c.PCC.CheckDeref(c.PC, isa.InstSize, cap.PermExecute); err != nil {
 		return isa.Inst{}, c.capTrap(isa.Inst{}, err)
 	}
-	pa, pf := c.translate(c.PC, tlbFetch, vm.ProtExec)
+	pa, pf := c.translate(c.PC, vm.ProtExec)
 	if pf != nil {
 		return isa.Inst{}, &Trap{Kind: TrapPageFault, PC: c.PC, Page: pf}
 	}

@@ -1,0 +1,98 @@
+package cpu
+
+import (
+	"cheriabi/internal/isa"
+	"cheriabi/internal/vm"
+)
+
+// Block-threaded execution engine: phase 2 of the simulator fast path.
+//
+// With the decoded-instruction cache (decode.go), every Step still pays a
+// full latch validation — an address-space compare, two generation
+// compares, and a bit-for-bit PCC compare — plus the Step/fetchInst call
+// overhead, per instruction. runBlock hoists that validation out of the
+// loop: it proves the latch once, then executes straight-line runs of
+// decoded instructions directly from the block, re-checking per
+// instruction only what an instruction can actually change:
+//
+//   - PC still inside the latched page and instruction-aligned (branches
+//     within the page keep the run alive; leaving the page exits);
+//   - PC in PCC bounds (the bounds are fixed for the whole run because the
+//     run exits on the only instructions that replace PCC, CJR/CJALR; an
+//     out-of-bounds PC exits to the Step slow path, which raises the
+//     identical capability fault);
+//   - AddressSpace.Gen and the executing page's mem.PageGen unchanged
+//     (re-checked after every retired instruction, so a store that hits
+//     the executing page — self-modifying code — or a soft fault that
+//     changes a translation ends the run before the next fetch).
+//
+// Exit conditions, exhaustively: trap (returned to the kernel), budget
+// exhausted, PC leaves the latched page, misaligned PC, PC out of PCC
+// bounds, PCC replaced (CJR/CJALR), AS.Gen or PageGen changed.
+//
+// Cycle-ledger batching: the per-instruction base charges (one retired
+// instruction, plus the I-cache fetch cost) accumulate in run-local
+// counters and are flushed to Stats when the run ends — before any trap is
+// surfaced, so the kernel and any OnTrap observer always see exact
+// architectural counts. Op-specific extras (multi-cycle ALU ops, branch
+// bubbles, data-cache costs) are charged directly by exec, exactly as on
+// the Step path; the final sums are bit-identical either way. Nothing in
+// the simulator reads Stats mid-run: the cache hierarchy keeps its own
+// access clock, so deferring the flush cannot perturb LRU state or miss
+// counts.
+
+// runBlock executes decoded instructions from the latched page until an
+// exit condition, retiring at most rem instructions (0 = no limit). It
+// returns the trap that ended the run, or nil. If the latch does not
+// validate, it returns immediately having retired nothing, and the caller
+// falls back to Step.
+func (c *CPU) runBlock(rem uint64) *Trap {
+	l := &c.latch
+	page := l.page
+	if page == nil || c.AS != l.as || c.AS.Gen != l.asGen || c.PCC != l.pcc ||
+		c.PC-l.vaPage >= vm.PageSize || c.PC%isa.InstSize != 0 ||
+		c.Mem.PageGen(l.paPage) != page.gen {
+		return nil
+	}
+	vaPage, paPage, asGen := l.vaPage, l.paPage, l.asGen
+	var nInst, nCycles uint64
+	flush := func() {
+		if nInst == 0 {
+			return
+		}
+		c.Stats.Instructions += nInst
+		c.Stats.Cycles += nCycles
+		c.DecodeStats.Hits += nInst
+		c.DecodeStats.Threaded += nInst
+		c.DecodeStats.Blocks++
+	}
+	for {
+		if rem != 0 && nInst >= rem {
+			break
+		}
+		off := c.PC - vaPage
+		if off >= vm.PageSize || off%isa.InstSize != 0 {
+			break // left the page, or a branch to a misaligned target
+		}
+		if !c.PCC.InBounds(c.PC, isa.InstSize) {
+			break // Step's slow path raises the identical bounds fault
+		}
+		// Identical I-cache access to the Step path: the fetch charge
+		// subsumes the base execution cycle (an L1I hit costs 1).
+		nCycles += c.Hier.Fetch(paPage+off, isa.InstSize)
+		nInst++
+		in := page.insts[off/isa.InstSize]
+		if t := c.exec(in); t != nil {
+			flush()
+			return t
+		}
+		if in.Op == isa.CJR || in.Op == isa.CJALR {
+			break // PCC replaced; the Step latch revalidates it
+		}
+		if c.AS.Gen != asGen || c.Mem.PageGen(paPage) != page.gen {
+			break // a translation or the executing page's bytes changed
+		}
+	}
+	flush()
+	return nil
+}

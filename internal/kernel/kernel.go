@@ -44,6 +44,9 @@ type Config struct {
 	// DisableDecodeCache turns off the CPU's decoded-instruction cache
 	// (ablation / differential-testing knob; no observable effect).
 	DisableDecodeCache bool
+	// DisableThreadedDispatch turns off the CPU's block-threaded execution
+	// engine (ablation / differential-testing knob; no observable effect).
+	DisableThreadedDispatch bool
 	// OnTrap observes every trap in program order (differential testing).
 	OnTrap func(*cpu.Trap)
 }
@@ -124,6 +127,7 @@ func NewMachine(cfg Config) *Machine {
 	m.CPU = cpu.New(m.Mem, m.Hier, m.Fmt)
 	m.CPU.Tracer = cfg.Tracer
 	m.CPU.NoDecodeCache = cfg.DisableDecodeCache
+	m.CPU.NoThreadedDispatch = cfg.DisableThreadedDispatch
 	m.CPU.OnTrap = cfg.OnTrap
 
 	k := &Kernel{

@@ -20,13 +20,31 @@ const PageShift = 12
 // PageSize is the generation-tracking page size in bytes.
 const PageSize = 1 << PageShift
 
+// Physical memory is allocated lazily in chunks: booting a 128–256 MiB
+// machine used to spend a measurable fraction of short evaluation runs
+// zeroing a flat array (and its tag map) that the guest mostly never
+// touches. A chunk materializes on first *write*; reads of an untouched
+// chunk observe zeroes and clear tags without allocating, so first-touch
+// semantics are bit-identical to the eager array (a regression test
+// proves it against a flat reference model).
+const (
+	chunkShift = 20 // 1 MiB chunks
+	chunkSize  = 1 << chunkShift
+	chunkMask  = chunkSize - 1
+)
+
 // Physical is tagged physical memory. Addresses are physical; bounds and
 // permission checking happen above this layer (capabilities + MMU), so an
 // out-of-range physical access is a simulator bug and panics.
 type Physical struct {
-	data    []byte
-	tags    []bool
+	size    uint64
 	granule uint64 // capability size in bytes; one tag per granule
+	// chunks and tags are parallel lazily-allocated arrays: chunks[i] is
+	// nil until the chunk's bytes (or tags) are first written, and nil
+	// means "all zero bytes, all tags clear". The two materialize
+	// together, so chunks[i] == nil ⟺ tags[i] == nil.
+	chunks [][]byte
+	tags   [][]bool
 	// gens holds one write-generation counter per page. Every mutation of
 	// page bytes (or tags) bumps the page's counter, so consumers that
 	// cache derived views of memory — the CPU's decoded-instruction
@@ -38,29 +56,53 @@ type Physical struct {
 }
 
 // New returns size bytes of zeroed physical memory with one tag per
-// granule bytes. size must be a multiple of granule.
+// granule bytes. size must be a multiple of granule, and granule a power
+// of two no larger than a chunk (both capability formats are 16 or 32
+// bytes).
 func New(size, granule uint64) *Physical {
 	if granule == 0 || size%granule != 0 {
 		panic(fmt.Sprintf("mem: size %d not a multiple of granule %d", size, granule))
 	}
+	if granule&(granule-1) != 0 || granule > chunkSize {
+		panic(fmt.Sprintf("mem: granule %d must be a power of two ≤ %d", granule, chunkSize))
+	}
+	nchunks := (size + chunkSize - 1) / chunkSize
 	return &Physical{
-		data:    make([]byte, size),
-		tags:    make([]bool, size/granule),
+		size:    size,
 		granule: granule,
+		chunks:  make([][]byte, nchunks),
+		tags:    make([][]bool, nchunks),
 		gens:    make([]uint64, (size+PageSize-1)/PageSize),
 	}
 }
 
 // Size returns the memory size in bytes.
-func (m *Physical) Size() uint64 { return uint64(len(m.data)) }
+func (m *Physical) Size() uint64 { return m.size }
 
 // Granule returns the capability granule size in bytes.
 func (m *Physical) Granule() uint64 { return m.granule }
 
 func (m *Physical) check(pa, n uint64) {
-	if pa+n > uint64(len(m.data)) || pa+n < pa {
-		panic(fmt.Sprintf("mem: physical access out of range: pa=0x%x n=%d size=0x%x", pa, n, len(m.data)))
+	if pa+n > m.size || pa+n < pa {
+		panic(fmt.Sprintf("mem: physical access out of range: pa=0x%x n=%d size=0x%x", pa, n, m.size))
 	}
+}
+
+// materialize returns the chunk containing pa, allocating (implicitly
+// zeroed) bytes and tags on first touch.
+func (m *Physical) materialize(pa uint64) ([]byte, []bool) {
+	ci := pa >> chunkShift
+	ch := m.chunks[ci]
+	if ch == nil {
+		csize := uint64(chunkSize)
+		if rem := m.size - ci<<chunkShift; rem < csize {
+			csize = rem
+		}
+		ch = make([]byte, csize)
+		m.chunks[ci] = ch
+		m.tags[ci] = make([]bool, csize/m.granule)
+	}
+	return ch, m.tags[ci]
 }
 
 // touch bumps the write generation of every page overlapping [pa, pa+n).
@@ -82,46 +124,103 @@ func (m *Physical) PageGen(pa uint64) uint64 {
 }
 
 // clearTags clears the tags of every granule overlapping [pa, pa+n).
+// Untouched chunks already hold no tags and stay unmaterialized.
 func (m *Physical) clearTags(pa, n uint64) {
 	if n == 0 {
 		return
 	}
-	for g := pa / m.granule; g <= (pa+n-1)/m.granule; g++ {
-		m.tags[g] = false
+	first, last := pa/m.granule, (pa+n-1)/m.granule
+	for g := first; g <= last; {
+		ci := g * m.granule >> chunkShift
+		chunkEnd := (ci + 1) << chunkShift / m.granule // first granule of next chunk
+		end := last + 1
+		if chunkEnd < end {
+			end = chunkEnd
+		}
+		if t := m.tags[ci]; t != nil {
+			base := ci << chunkShift / m.granule
+			clear(t[g-base : end-base])
+		}
+		g = end
 	}
+}
+
+// byteAt reads one byte, treating untouched chunks as zero.
+func (m *Physical) byteAt(pa uint64) byte {
+	ch := m.chunks[pa>>chunkShift]
+	if ch == nil {
+		return 0
+	}
+	return ch[pa&chunkMask]
 }
 
 // Load returns an n-byte little-endian integer at pa (n in 1,2,4,8).
 func (m *Physical) Load(pa, n uint64) uint64 {
 	m.check(pa, n)
-	switch n {
-	case 1:
-		return uint64(m.data[pa])
-	case 2:
-		return uint64(binary.LittleEndian.Uint16(m.data[pa:]))
-	case 4:
-		return uint64(binary.LittleEndian.Uint32(m.data[pa:]))
-	case 8:
-		return binary.LittleEndian.Uint64(m.data[pa:])
+	off := pa & chunkMask
+	if off+n <= chunkSize {
+		ch := m.chunks[pa>>chunkShift]
+		if ch == nil {
+			switch n {
+			case 1, 2, 4, 8:
+				return 0
+			}
+			panic(fmt.Sprintf("mem: bad load size %d", n))
+		}
+		switch n {
+		case 1:
+			return uint64(ch[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(ch[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(ch[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(ch[off:])
+		}
+		panic(fmt.Sprintf("mem: bad load size %d", n))
 	}
-	panic(fmt.Sprintf("mem: bad load size %d", n))
+	// Misaligned access straddling a chunk boundary: assemble bytewise.
+	switch n {
+	case 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("mem: bad load size %d", n))
+	}
+	var v uint64
+	for i := uint64(0); i < n; i++ {
+		v |= uint64(m.byteAt(pa+i)) << (8 * i)
+	}
+	return v
 }
 
 // Store writes an n-byte little-endian integer at pa and clears the
 // granule's tag: integer stores destroy capabilities.
 func (m *Physical) Store(pa, n, v uint64) {
 	m.check(pa, n)
-	switch n {
-	case 1:
-		m.data[pa] = byte(v)
-	case 2:
-		binary.LittleEndian.PutUint16(m.data[pa:], uint16(v))
-	case 4:
-		binary.LittleEndian.PutUint32(m.data[pa:], uint32(v))
-	case 8:
-		binary.LittleEndian.PutUint64(m.data[pa:], v)
-	default:
-		panic(fmt.Sprintf("mem: bad store size %d", n))
+	off := pa & chunkMask
+	if off+n <= chunkSize {
+		ch, _ := m.materialize(pa)
+		switch n {
+		case 1:
+			ch[off] = byte(v)
+		case 2:
+			binary.LittleEndian.PutUint16(ch[off:], uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(ch[off:], uint32(v))
+		case 8:
+			binary.LittleEndian.PutUint64(ch[off:], v)
+		default:
+			panic(fmt.Sprintf("mem: bad store size %d", n))
+		}
+	} else {
+		switch n {
+		case 2, 4, 8:
+		default:
+			panic(fmt.Sprintf("mem: bad store size %d", n))
+		}
+		for i := uint64(0); i < n; i++ {
+			ch, _ := m.materialize(pa + i)
+			ch[(pa+i)&chunkMask] = byte(v >> (8 * i))
+		}
 	}
 	m.clearTags(pa, n)
 	m.touch(pa, n)
@@ -129,22 +228,48 @@ func (m *Physical) Store(pa, n, v uint64) {
 
 // ReadBytes copies len(buf) bytes starting at pa into buf.
 func (m *Physical) ReadBytes(pa uint64, buf []byte) {
-	m.check(pa, uint64(len(buf)))
-	copy(buf, m.data[pa:])
+	n := uint64(len(buf))
+	m.check(pa, n)
+	for done := uint64(0); done < n; {
+		span := n - done
+		if r := chunkSize - (pa+done)&chunkMask; r < span {
+			span = r
+		}
+		dst := buf[done : done+span]
+		if ch := m.chunks[(pa+done)>>chunkShift]; ch != nil {
+			copy(dst, ch[(pa+done)&chunkMask:])
+		} else {
+			clear(dst)
+		}
+		done += span
+	}
 }
 
 // WriteBytes copies buf into memory at pa, clearing overlapped tags.
 func (m *Physical) WriteBytes(pa uint64, buf []byte) {
-	m.check(pa, uint64(len(buf)))
-	copy(m.data[pa:], buf)
-	m.clearTags(pa, uint64(len(buf)))
-	m.touch(pa, uint64(len(buf)))
+	n := uint64(len(buf))
+	m.check(pa, n)
+	for done := uint64(0); done < n; {
+		span := n - done
+		if r := chunkSize - (pa+done)&chunkMask; r < span {
+			span = r
+		}
+		ch, _ := m.materialize(pa + done)
+		copy(ch[(pa+done)&chunkMask:], buf[done:done+span])
+		done += span
+	}
+	m.clearTags(pa, n)
+	m.touch(pa, n)
 }
 
 // Tag returns the tag bit of the granule containing pa.
 func (m *Physical) Tag(pa uint64) bool {
 	m.check(pa, 1)
-	return m.tags[pa/m.granule]
+	t := m.tags[pa>>chunkShift]
+	if t == nil {
+		return false
+	}
+	return t[(pa&chunkMask)/m.granule]
 }
 
 // LoadCap reads one capability-sized value at pa, returning the raw bytes
@@ -154,8 +279,14 @@ func (m *Physical) LoadCap(pa uint64, buf []byte) bool {
 		panic(fmt.Sprintf("mem: unaligned capability load at 0x%x", pa))
 	}
 	m.check(pa, m.granule)
-	copy(buf, m.data[pa:pa+m.granule])
-	return m.tags[pa/m.granule]
+	ch := m.chunks[pa>>chunkShift]
+	if ch == nil {
+		clear(buf[:m.granule])
+		return false
+	}
+	off := pa & chunkMask
+	copy(buf, ch[off:off+m.granule])
+	return m.tags[pa>>chunkShift][off/m.granule]
 }
 
 // StoreCap writes one capability-sized value at pa with the given tag.
@@ -165,8 +296,10 @@ func (m *Physical) StoreCap(pa uint64, buf []byte, tag bool) {
 		panic(fmt.Sprintf("mem: unaligned capability store at 0x%x", pa))
 	}
 	m.check(pa, m.granule)
-	copy(m.data[pa:pa+m.granule], buf[:m.granule])
-	m.tags[pa/m.granule] = tag
+	ch, tags := m.materialize(pa)
+	off := pa & chunkMask
+	copy(ch[off:off+m.granule], buf[:m.granule])
+	tags[off/m.granule] = tag
 	m.touch(pa, m.granule)
 }
 
@@ -179,9 +312,54 @@ func (m *Physical) CopyTagged(dst, src, n uint64) {
 	}
 	m.check(dst, n)
 	m.check(src, n)
-	copy(m.data[dst:dst+n], m.data[src:src+n])
-	for i := uint64(0); i < n/m.granule; i++ {
-		m.tags[dst/m.granule+i] = m.tags[src/m.granule+i]
+	// The pre-chunking implementation was a single Go copy, which has
+	// memmove semantics for overlapping ranges. Chunk spans are copied
+	// front to back, which corrupts a forward overlap (dst inside
+	// [src, src+n)) because later spans would re-read already-written
+	// bytes — so walk those backwards instead.
+	backward := dst > src && dst < src+n
+	copySpan := func(done, span uint64) {
+		s, d := src+done, dst+done
+		srcCh, srcTags := m.chunks[s>>chunkShift], m.tags[s>>chunkShift]
+		if srcCh == nil {
+			// Source untouched: the destination range becomes zero bytes
+			// with clear tags; an untouched destination already is.
+			if dstCh := m.chunks[d>>chunkShift]; dstCh != nil {
+				off := d & chunkMask
+				clear(dstCh[off : off+span])
+				clear(m.tags[d>>chunkShift][off/m.granule : (off+span)/m.granule])
+			}
+		} else {
+			dstCh, dstTags := m.materialize(d)
+			so, do := s&chunkMask, d&chunkMask
+			copy(dstCh[do:do+span], srcCh[so:so+span])
+			copy(dstTags[do/m.granule:(do+span)/m.granule], srcTags[so/m.granule:(so+span)/m.granule])
+		}
+	}
+	spanAt := func(done uint64) uint64 {
+		span := n - done
+		if r := chunkSize - (src+done)&chunkMask; r < span {
+			span = r
+		}
+		if r := chunkSize - (dst+done)&chunkMask; r < span {
+			span = r
+		}
+		return span
+	}
+	if backward {
+		// Collect the span boundaries, then copy last span first. Within a
+		// span the single copy() call keeps memmove semantics.
+		var starts []uint64
+		for done := uint64(0); done < n; done += spanAt(done) {
+			starts = append(starts, done)
+		}
+		for i := len(starts) - 1; i >= 0; i-- {
+			copySpan(starts[i], spanAt(starts[i]))
+		}
+	} else {
+		for done := uint64(0); done < n; done += spanAt(done) {
+			copySpan(done, spanAt(done))
+		}
 	}
 	m.touch(dst, n)
 }
@@ -195,15 +373,37 @@ func (m *Physical) ExtractTags(pa, n uint64) []bool {
 	}
 	m.check(pa, n)
 	out := make([]bool, n/m.granule)
-	copy(out, m.tags[pa/m.granule:])
+	for done := uint64(0); done < n; {
+		p := pa + done
+		span := n - done
+		if r := chunkSize - p&chunkMask; r < span {
+			span = r
+		}
+		if t := m.tags[p>>chunkShift]; t != nil {
+			off := p & chunkMask
+			copy(out[done/m.granule:(done+span)/m.granule], t[off/m.granule:(off+span)/m.granule])
+		}
+		done += span
+	}
 	return out
 }
 
-// Zero clears [pa, pa+n) and the overlapped tags.
+// Zero clears [pa, pa+n) and the overlapped tags. Untouched chunks stay
+// unmaterialized — they already read as zero — which is what makes
+// boot-time and demand-zero page clearing nearly free.
 func (m *Physical) Zero(pa, n uint64) {
 	m.check(pa, n)
-	for i := uint64(0); i < n; i++ {
-		m.data[pa+i] = 0
+	for done := uint64(0); done < n; {
+		p := pa + done
+		span := n - done
+		if r := chunkSize - p&chunkMask; r < span {
+			span = r
+		}
+		if ch := m.chunks[p>>chunkShift]; ch != nil {
+			off := p & chunkMask
+			clear(ch[off : off+span])
+		}
+		done += span
 	}
 	m.clearTags(pa, n)
 	m.touch(pa, n)

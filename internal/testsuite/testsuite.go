@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"cheriabi"
+	"cheriabi/internal/driver"
 )
 
 // Tally is one Table 1 cell group: condition outcomes for one suite under
@@ -69,22 +70,33 @@ type Row struct {
 }
 
 // Table1 runs every suite under both ABIs.
-func Table1() ([]Row, error) {
-	var rows []Row
+func Table1() ([]Row, error) { return Table1Parallel(1) }
+
+// Table1Parallel runs the six (suite, ABI) rows across a worker pool.
+// Every row boots its own System, so rows are independent; results arrive
+// in table order regardless of the worker count.
+func Table1Parallel(workers int) ([]Row, error) {
+	type job struct {
+		suite Suite
+		abi   cheriabi.ABI
+	}
+	var jobs []job
 	for _, s := range Suites {
 		for _, abi := range []cheriabi.ABI{cheriabi.ABILegacy, cheriabi.ABICheri} {
-			t, err := RunSuite(s, abi)
-			if err != nil {
-				return nil, err
-			}
-			label := "MIPS"
-			if abi == cheriabi.ABICheri {
-				label = "CheriABI"
-			}
-			rows = append(rows, Row{Suite: s.Name, ABI: label, Tally: t})
+			jobs = append(jobs, job{suite: s, abi: abi})
 		}
 	}
-	return rows, nil
+	return driver.Map(workers, jobs, func(j job) (Row, error) {
+		t, err := RunSuite(j.suite, j.abi)
+		if err != nil {
+			return Row{}, err
+		}
+		label := "MIPS"
+		if j.abi == cheriabi.ABICheri {
+			label = "CheriABI"
+		}
+		return Row{Suite: j.suite.Name, ABI: label, Tally: t}, nil
+	})
 }
 
 // Render formats rows as the paper's Table 1.

@@ -477,6 +477,10 @@ func (as *AddressSpace) Fork() *AddressSpace {
 		}
 		child.pages[p] = &ne
 	}
+	// The fork mutated the *parent's* page table too (writable pages became
+	// copy-on-write), so any cached translation that still allows a direct
+	// write to a now-shared frame must die: bump the parent's generation.
+	as.Gen++
 	return child
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"cheriabi"
+	"cheriabi/internal/driver"
 )
 
 // Workload is one runnable benchmark.
@@ -80,6 +81,10 @@ type BuildOptions struct {
 	// cache for this run (host-side ablation; guest-visible results are
 	// identical either way).
 	DisableDecodeCache bool
+	// DisableThreadedDispatch turns off the simulator's block-threaded
+	// execution engine for this run (host-side ablation; guest-visible
+	// results are identical either way).
+	DisableThreadedDispatch bool
 }
 
 // Build compiles a workload (and its libraries) for the given options.
@@ -116,9 +121,10 @@ func Run(w Workload, opt BuildOptions, seed int64) (Measurement, error) {
 		return Measurement{}, err
 	}
 	sys := cheriabi.NewSystem(cheriabi.Config{
-		MemBytes:           128 << 20,
-		Seed:               seed,
-		DisableDecodeCache: opt.DisableDecodeCache,
+		MemBytes:                128 << 20,
+		Seed:                    seed,
+		DisableDecodeCache:      opt.DisableDecodeCache,
+		DisableThreadedDispatch: opt.DisableThreadedDispatch,
 	})
 	var codeBytes uint64
 	for _, lib := range libs {
@@ -201,6 +207,17 @@ func Figure4Row(w Workload, seeds []int64) (Overhead, error) {
 	row.CyclePct, row.CycleIQR = medianIQR(cyclePcts)
 	row.L2Pct, row.L2IQR = medianIQR(l2Pcts)
 	return row, nil
+}
+
+// Figure4Rows measures the given workloads across a pool of workers (each
+// row boots its own fresh machines, so rows shard perfectly) and returns
+// the rows in input order. The per-row measurements are deterministic for
+// a given seed list, so the result is independent of the worker count —
+// the parallel-driver determinism test enforces this.
+func Figure4Rows(ws []Workload, seeds []int64, workers int) ([]Overhead, error) {
+	return driver.Map(workers, ws, func(w Workload) (Overhead, error) {
+		return Figure4Row(w, seeds)
+	})
 }
 
 // SyscallResult is one §5.2 micro-benchmark row: per-call cycles under

@@ -12,9 +12,15 @@ import (
 
 	"cheriabi"
 	"cheriabi/internal/bodiag"
+	"cheriabi/internal/cache"
+	"cheriabi/internal/cap"
 	"cheriabi/internal/compat"
+	"cheriabi/internal/cpu"
+	"cheriabi/internal/mem"
 	"cheriabi/internal/testsuite"
 	"cheriabi/internal/trace"
+	"cheriabi/internal/uaccess"
+	"cheriabi/internal/vm"
 	"cheriabi/internal/workload"
 )
 
@@ -203,6 +209,87 @@ func BenchmarkSubObjectAblation(b *testing.B) {
 	b.ReportMetric(overheadPct, "subobj-cycles-%")
 	b.ReportMetric(float64(caught), "intra-min-caught")
 	b.ReportMetric(float64(len(intra)), "intra-total")
+}
+
+// BenchmarkCopyInOut measures the uaccess kernel-boundary copy engine:
+// copyin+copyout of a 64-KiB buffer through a user capability, with the
+// page-run bulk fast path on (bulk) and off (bytecopy — the byte-loop
+// baseline). Guest-visible results are bit-identical (the differential
+// matrix and TestFastSlowEquivalence enforce it); only host throughput
+// changes. The fast path must hold a ≥3× advantage.
+func BenchmarkCopyInOut(b *testing.B) {
+	const pages = 32
+	const copyBytes = 64 << 10
+	for _, mode := range []struct {
+		name string
+		slow bool
+	}{
+		{"bulk", false},
+		{"bytecopy", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := mem.New(16<<20, 16)
+			sys := vm.NewSystem(m, 1<<20)
+			c := cpu.New(m, cache.DefaultHierarchy(), cap.Format128)
+			c.AS = sys.NewAddressSpace()
+			const va = 0x40000
+			if err := c.AS.Map(va, pages*vm.PageSize, vm.ProtRead|vm.ProtWrite, false); err != nil {
+				b.Fatal(err)
+			}
+			u := &uaccess.Space{CPU: c, DisableBulkFastPath: mode.slow}
+			auth := cap.Root(va, pages*vm.PageSize, cap.PermData)
+			buf := make([]byte, copyBytes)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			b.SetBytes(2 * copyBytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := u.Write(auth, va, buf); err != nil {
+					b.Fatal(err)
+				}
+				if err := u.Read(auth, va, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSyscallDispatch measures the table-driven syscall path end to
+// end: a guest loop of getpid calls (decode, dispatch, charge, return)
+// and one of write calls (the same plus copyin through uaccess),
+// reported as syscalls per host second.
+func BenchmarkSyscallDispatch(b *testing.B) {
+	for _, name := range []string{"getpid", "write"} {
+		b.Run(name, func(b *testing.B) {
+			w := workload.Workload{
+				Name: "syscall-dispatch",
+				Src:  workload.SrcSyscallMicro,
+				Args: []string{name, "2000"},
+			}
+			// Compile once outside the loop: the metric tracks the
+			// dispatch path, not MiniC compile time.
+			exe, _, err := workload.Build(w, workload.BuildOptions{ABI: cheriabi.ABICheri})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var syscalls uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20})
+				res, err := sys.RunImage(exe, w.Name, name, "2000")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ExitCode != 0 {
+					b.Fatalf("guest exited %d (output %q)", res.ExitCode, res.Output)
+				}
+				syscalls += res.Stats.Syscalls
+			}
+			b.ReportMetric(float64(syscalls)/b.Elapsed().Seconds(), "syscalls/s")
+		})
+	}
 }
 
 // BenchmarkSimulator measures raw simulation speed: guest instructions

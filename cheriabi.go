@@ -121,9 +121,15 @@ type Config struct {
 	// DisableThreadedDispatch turns off the simulator's block-threaded
 	// execution engine, falling back to one Step per instruction. Results
 	// are bit-identical either way (the differential determinism suite
-	// runs all four {decode cache, threaded dispatch} combinations); the
-	// knob exists for the ablation benchmarks and as a safety hatch.
+	// runs the full {decode cache, threaded dispatch, bulk fast path}
+	// matrix); the knob exists for the ablation benchmarks and as a
+	// safety hatch.
 	DisableThreadedDispatch bool
+	// DisableBulkFastPath forces byte-at-a-time movement in the uaccess
+	// subsystem's kernel/runtime bulk copies. Results are bit-identical
+	// either way (same matrix); the knob exists for the ablation
+	// benchmarks and as a safety hatch.
+	DisableBulkFastPath bool
 	// OnTrap observes every trap the CPU delivers, in program order
 	// (used by the differential determinism suite).
 	OnTrap func(*cpu.Trap)
@@ -150,6 +156,7 @@ func NewSystem(cfg Config) *System {
 		Tracer:                  cfg.Tracer,
 		DisableDecodeCache:      cfg.DisableDecodeCache,
 		DisableThreadedDispatch: cfg.DisableThreadedDispatch,
+		DisableBulkFastPath:     cfg.DisableBulkFastPath,
 		OnTrap:                  cfg.OnTrap,
 	})
 	if cfg.OnCapCreate != nil {

@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 
+	"cheriabi/internal/driver"
 	"cheriabi/internal/testsuite"
 	"cheriabi/internal/workload"
 )
@@ -19,8 +20,17 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "fig4|table1|syscall|initdb|clc|all")
 	seeds := flag.Int("seeds", 3, "number of layout seeds per measurement")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel evaluation workers")
+	workersFlag := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel evaluation workers (the default auto-calibrates to host parallelism and the sweep size)")
 	flag.Parse()
+	// Figure 4's row count is the widest sweep this tool shards; it
+	// bounds the useful pool size for the auto-calibrated default.
+	wk, err := driver.ResolveWorkers(driver.FlagPassed("workers"), *workersFlag, len(workload.Figure4))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-bench:", err)
+		os.Exit(2)
+	}
+	workers := &wk
 
 	run := func(name string, fn func() error) {
 		if *experiment != "all" && *experiment != name {

@@ -12,16 +12,23 @@ import (
 	"runtime"
 
 	"cheriabi/internal/bodiag"
+	"cheriabi/internal/driver"
 )
 
 func main() {
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel evaluation workers")
+	workersFlag := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel evaluation workers (the default auto-calibrates to host parallelism and the sweep size)")
 	flag.Parse()
 
 	cases := bodiag.Generate()
+	workers, err := driver.ResolveWorkers(driver.FlagPassed("workers"), *workersFlag, len(cases))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-bodiag:", err)
+		os.Exit(2)
+	}
 	fmt.Printf("Running BOdiagsuite: %d cases x 4 variants x 3 environments (%d workers)\n",
-		len(cases), *workers)
-	res, err := bodiag.RunParallel(cases, bodiag.Envs, *workers)
+		len(cases), workers)
+	res, err := bodiag.RunParallel(cases, bodiag.Envs, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cheri-bodiag:", err)
 		os.Exit(1)

@@ -1,6 +1,7 @@
 // Differential determinism suite: every benchmark, test-suite, and bodiag
-// program is run under all four simulator fast-path configurations —
-// {decoded-instruction cache, block-threaded dispatch} on/off — and must
+// program is run under all eight simulator fast-path configurations —
+// {decoded-instruction cache, block-threaded dispatch, uaccess bulk-copy
+// fast path} on/off — and must
 // produce bit-identical architectural results: Stats (instructions,
 // cycles, loads/stores, branches, syscalls), program output, exit status,
 // L2 miss counts, and the exact sequence of traps the CPU delivered. This
@@ -29,18 +30,32 @@ type simConfig struct {
 	name     string
 	decode   bool // decoded-instruction cache enabled
 	threaded bool // block-threaded dispatch enabled
+	bulk     bool // uaccess bulk-copy fast path enabled
 }
 
-// simConfigs is the full ablation matrix. Threaded dispatch executes out
-// of decoded blocks, so the fourth combination (threaded without the
-// cache) degenerates to the plain interpreter — it is still exercised to
-// prove the degenerate path is sound.
-var simConfigs = []simConfig{
-	{"plain", false, false},
-	{"cache", true, false},
-	{"cache+threaded", true, true},
-	{"threaded-sans-cache", false, true},
-}
+// simConfigs is the full ablation matrix: {decode cache, threaded
+// dispatch} crossed with the uaccess bulk-copy fast path. Threaded
+// dispatch executes out of decoded blocks, so threaded-without-cache
+// degenerates to the plain interpreter — it is still exercised to prove
+// the degenerate path is sound. The first entry (everything off) is the
+// reference byte-at-a-time interpreter every other configuration must be
+// indistinguishable from.
+var simConfigs = func() []simConfig {
+	base := []simConfig{
+		{"plain", false, false, false},
+		{"cache", true, false, false},
+		{"cache+threaded", true, true, false},
+		{"threaded-sans-cache", false, true, false},
+	}
+	out := make([]simConfig, 0, 2*len(base))
+	for _, c := range base {
+		fast := c
+		fast.name += "+bulkcopy"
+		fast.bulk = true
+		out = append(out, c, fast)
+	}
+	return out
+}()
 
 // diffCase is one program to run under every simulator configuration.
 type diffCase struct {
@@ -76,6 +91,7 @@ func runCase(t *testing.T, tc diffCase, cfg simConfig) diffRecord {
 		MemBytes:                128 << 20,
 		DisableDecodeCache:      !cfg.decode,
 		DisableThreadedDispatch: !cfg.threaded,
+		DisableBulkFastPath:     !cfg.bulk,
 		OnTrap: func(tr *cpu.Trap) {
 			traps++
 			io.WriteString(h, tr.Error())
@@ -116,6 +132,13 @@ func runCase(t *testing.T, tc diffCase, cfg simConfig) diffRecord {
 	}
 	if !(cfg.decode && cfg.threaded) && ds.Threaded != 0 {
 		t.Fatalf("%s: threaded dispatch ran while disabled (%+v)", tc.name, ds)
+	}
+	us := sys.Machine.UA.Stats
+	if cfg.bulk && us.SlowRuns != 0 {
+		t.Fatalf("%s: uaccess slow path ran with the bulk fast path enabled (%+v)", tc.name, us)
+	}
+	if !cfg.bulk && us.FastRuns != 0 {
+		t.Fatalf("%s: uaccess bulk fast path ran while disabled (%+v)", tc.name, us)
 	}
 	return diffRecord{
 		exit:     res.ExitCode,
@@ -239,7 +262,8 @@ func bodiagCorpus(short bool) []diffCase {
 }
 
 // TestDifferentialMatrix is the determinism gate for the workload and
-// test-suite corpora: all four fast-path configurations must be
+// test-suite corpora: every fast-path configuration in the
+// {decode cache × threaded dispatch × bulk copy} matrix must be
 // indistinguishable across every program and both ABIs.
 func TestDifferentialMatrix(t *testing.T) {
 	for _, tc := range corpus(testing.Short()) {

@@ -170,56 +170,8 @@ func (c *CPU) StoreCapVia(auth cap.Capability, ea uint64, v cap.Capability) erro
 	return nil
 }
 
-// ReadBytesVia copies len(buf) bytes from guest memory at va into buf,
-// authorized by auth. Used by kernel copyin paths; tags never cross this
-// interface (copied capabilities arrive as bare bytes), implementing the
-// paper's default tag-stripping for user/kernel copies.
-func (c *CPU) ReadBytesVia(auth cap.Capability, va uint64, buf []byte) error {
-	n := uint64(len(buf))
-	if n == 0 {
-		return nil
-	}
-	if err := auth.CheckDeref(va, n, cap.PermLoad); err != nil {
-		return err
-	}
-	for done := uint64(0); done < n; {
-		pa, pf := c.translate(va+done, vm.ProtRead)
-		if pf != nil {
-			return pf
-		}
-		chunk := vm.PageSize - (va+done)%vm.PageSize
-		if chunk > n-done {
-			chunk = n - done
-		}
-		c.Stats.Cycles += c.Hier.Data(pa, chunk, false)
-		c.Mem.ReadBytes(pa, buf[done:done+chunk])
-		done += chunk
-	}
-	return nil
-}
-
-// WriteBytesVia copies buf into guest memory at va, authorized by auth.
-// The written granules lose any tags, as with any data store.
-func (c *CPU) WriteBytesVia(auth cap.Capability, va uint64, buf []byte) error {
-	n := uint64(len(buf))
-	if n == 0 {
-		return nil
-	}
-	if err := auth.CheckDeref(va, n, cap.PermStore); err != nil {
-		return err
-	}
-	for done := uint64(0); done < n; {
-		pa, pf := c.translate(va+done, vm.ProtWrite)
-		if pf != nil {
-			return pf
-		}
-		chunk := vm.PageSize - (va+done)%vm.PageSize
-		if chunk > n-done {
-			chunk = n - done
-		}
-		c.Stats.Cycles += c.Hier.Data(pa, chunk, true)
-		c.Mem.WriteBytes(pa, buf[done:done+chunk])
-		done += chunk
-	}
-	return nil
-}
+// Bulk byte access (kernel copyin/copyout, runtime memory/string ops)
+// lives in internal/uaccess: the page-run engine validates the capability
+// once per call, translates through TranslateData, and charges Hier.Data
+// per run, so every kernel- and runtime-initiated access shares one
+// auditable check-then-access layer.

@@ -183,6 +183,13 @@ func (c *CPU) translate(va uint64, access vm.Prot) (uint64, *vm.PageFault) {
 	return pa, nil
 }
 
+// TranslateData resolves a data access through the micro-TLB on behalf of
+// the uaccess subsystem, which performs kernel- and runtime-initiated
+// bulk copies with the same translation discipline as guest accesses.
+func (c *CPU) TranslateData(va uint64, access vm.Prot) (uint64, *vm.PageFault) {
+	return c.translate(va, access)
+}
+
 // New returns a CPU bound to the given memory system.
 func New(m *mem.Physical, h *cache.Hierarchy, f cap.Format) *CPU {
 	c := &CPU{Mem: m, Hier: h, Fmt: f}

@@ -441,24 +441,8 @@ func TestCFromPtrAndCToPtr(t *testing.T) {
 	}
 }
 
-func TestKernelStyleCopyinViaUserCap(t *testing.T) {
-	c := newTestCPU(t)
-	user := cap.Root(dataVA, 64, cap.PermData)
-	if err := c.WriteBytesVia(user, dataVA, []byte("hello")); err != nil {
-		t.Fatal(err)
-	}
-	buf := make([]byte, 5)
-	if err := c.ReadBytesVia(user, dataVA, buf); err != nil {
-		t.Fatal(err)
-	}
-	if string(buf) != "hello" {
-		t.Fatalf("copyout = %q", buf)
-	}
-	// The kernel cannot be tricked into accessing outside the user's cap.
-	if err := c.ReadBytesVia(user, dataVA+60, make([]byte, 8)); err == nil {
-		t.Fatal("copyin beyond user capability must fail")
-	}
-}
+// Kernel-style bulk copyin/copyout through user capabilities is covered
+// by internal/uaccess, which owns the page-run bulk access engine.
 
 func TestMul128(t *testing.T) {
 	hi, lo := mul128(0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF)

@@ -1,9 +1,56 @@
 package cpu
 
 import (
+	"cheriabi/internal/cap"
 	"cheriabi/internal/isa"
 	"cheriabi/internal/vm"
 )
+
+// scalarMemOp is the pre-resolved description of a scalar load/store for
+// the threaded engine's inline dispatch: the access size, the
+// sign-extension shift (64-8*size for signed loads, 0 otherwise), and
+// whether the op is a store and whether it addresses through a capability
+// register (vs. DDC). A zero size marks ops that are not scalar memory
+// accesses. Resolving this once at startup lets the hot loop skip both
+// exec's op switch and the per-op opSize switch for the most common
+// memory instructions.
+type scalarMemOp struct {
+	size  uint64
+	shift uint
+	store bool
+	cheri bool
+}
+
+var scalarMemOps [isa.NumOps]scalarMemOp
+
+func init() {
+	type def struct {
+		op           isa.Op
+		size         uint64
+		signed       bool
+		store, cheri bool
+	}
+	for _, d := range []def{
+		{isa.LB, 1, true, false, false}, {isa.LBU, 1, false, false, false},
+		{isa.LH, 2, true, false, false}, {isa.LHU, 2, false, false, false},
+		{isa.LW, 4, true, false, false}, {isa.LWU, 4, false, false, false},
+		{isa.LD, 8, false, false, false},
+		{isa.SB, 1, false, true, false}, {isa.SH, 2, false, true, false},
+		{isa.SW, 4, false, true, false}, {isa.SD, 8, false, true, false},
+		{isa.CLB, 1, true, false, true}, {isa.CLBU, 1, false, false, true},
+		{isa.CLH, 2, true, false, true}, {isa.CLHU, 2, false, false, true},
+		{isa.CLW, 4, true, false, true}, {isa.CLWU, 4, false, false, true},
+		{isa.CLD, 8, false, false, true},
+		{isa.CSB, 1, false, true, true}, {isa.CSH, 2, false, true, true},
+		{isa.CSW, 4, false, true, true}, {isa.CSD, 8, false, true, true},
+	} {
+		mo := scalarMemOp{size: d.size, store: d.store, cheri: d.cheri}
+		if d.signed {
+			mo.shift = uint(64 - 8*d.size)
+		}
+		scalarMemOps[d.op] = mo
+	}
+}
 
 // Block-threaded execution engine: phase 2 of the simulator fast path.
 //
@@ -82,12 +129,47 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 		nCycles += c.Hier.Fetch(paPage+off, isa.InstSize)
 		nInst++
 		in := page.insts[off/isa.InstSize]
-		if t := c.exec(in); t != nil {
-			flush()
-			return t
-		}
-		if in.Op == isa.CJR || in.Op == isa.CJALR {
-			break // PCC replaced; the Step latch revalidates it
+		if mo := scalarMemOps[in.Op]; mo.size != 0 {
+			// Inline scalar load/store: same LoadVia/StoreVia sequence and
+			// Stats updates as exec's loadInt/storeInt, minus the op-switch
+			// dispatch and the per-op opSize lookup. Scalar memory ops never
+			// replace PCC, so the CJR/CJALR exit check is skipped too.
+			var auth cap.Capability
+			var ea uint64
+			if mo.cheri {
+				auth = c.C[in.Rb]
+				ea = auth.Addr() + uint64(int64(in.Imm))
+			} else {
+				auth = c.DDC
+				ea = c.X[in.Rb] + uint64(int64(in.Imm))
+			}
+			if mo.store {
+				if err := c.StoreVia(auth, ea, mo.size, c.X[in.Ra]); err != nil {
+					flush()
+					return c.accessTrap(in, err)
+				}
+				c.Stats.Stores++
+			} else {
+				v, err := c.LoadVia(auth, ea, mo.size)
+				if err != nil {
+					flush()
+					return c.accessTrap(in, err)
+				}
+				c.Stats.Loads++
+				if mo.shift != 0 {
+					v = uint64(int64(v<<mo.shift) >> mo.shift)
+				}
+				c.setX(in.Ra, v)
+			}
+			c.PC += isa.InstSize
+		} else {
+			if t := c.exec(in); t != nil {
+				flush()
+				return t
+			}
+			if in.Op == isa.CJR || in.Op == isa.CJALR {
+				break // PCC replaced; the Step latch revalidates it
+			}
 		}
 		if c.AS.Gen != asGen || c.Mem.PageGen(paPage) != page.gen {
 			break // a translation or the executing page's bytes changed

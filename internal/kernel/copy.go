@@ -4,10 +4,11 @@ import (
 	"cheriabi/internal/cap"
 	"cheriabi/internal/image"
 	"cheriabi/internal/isa"
+	"cheriabi/internal/uaccess"
 )
 
-// Syscall argument conventions. A syscall's signature is a string of 'i'
-// (integer) and 'p' (pointer) characters. Under the legacy ABI all
+// Syscall argument conventions. A syscall's signature is a string of
+// per-argument letters (see dispatch.go). Under the legacy ABI all
 // arguments travel in integer registers r4..r11 in declaration order;
 // under CheriABI integers use r4.. and pointers use capability registers
 // c3.., each in declaration order ("integer and pointer arguments use
@@ -35,15 +36,16 @@ func argPtrRaw(f *Frame, abi image.ABI, spec string, idx int) cap.Capability {
 	}
 	n := 0
 	for i := 0; i < idx; i++ {
-		if spec[i] == 'p' {
+		if spec[i] != 'i' {
 			n++
 		}
 	}
 	return f.C[isa.CA0+n]
 }
 
-// userPtr materialises the authorizing capability for the idx-th pointer
-// argument. This is where the two syscall paths diverge (§5.2):
+// materializePtr turns a raw pointer argument into the authorizing
+// capability the kernel will access user memory through. This is where
+// the two syscall paths diverge (§5.2):
 //
 //   - CheriABI: the user-presented capability *is* the authority; the
 //     kernel validates and uses it, and "non-capability versions of
@@ -51,9 +53,7 @@ func argPtrRaw(f *Frame, abi image.ABI, spec string, idx int) cap.Capability {
 //   - Legacy: the kernel must construct a capability from the integer
 //     address and its own record of the process address space — the
 //     expensive path, and the confused-deputy hazard the paper closes.
-func (k *Kernel) userPtr(t *Thread, spec string, idx int) cap.Capability {
-	p := t.Proc
-	raw := argPtrRaw(&t.Frame, p.ABI, spec, idx)
+func (k *Kernel) materializePtr(p *Proc, raw cap.Capability) cap.Capability {
 	if p.ABI == image.ABICheri {
 		k.charge(CostCheriCapCheck)
 		return raw
@@ -80,10 +80,11 @@ func setRetCap(f *Frame, abi image.ABI, c cap.Capability, e Errno) {
 	f.X[isa.RV1] = uint64(e)
 }
 
-// copyIn copies n bytes from user memory at auth's cursor.
+// copyIn copies n bytes from user memory at auth's cursor through the
+// uaccess page-run engine.
 func (k *Kernel) copyIn(auth cap.Capability, n uint64) ([]byte, Errno) {
 	buf := make([]byte, n)
-	if err := k.M.CPU.ReadBytesVia(auth, auth.Addr(), buf); err != nil {
+	if err := k.M.UA.Read(auth, auth.Addr(), buf); err != nil {
 		return nil, EFAULT
 	}
 	return buf, OK
@@ -91,32 +92,30 @@ func (k *Kernel) copyIn(auth cap.Capability, n uint64) ([]byte, Errno) {
 
 // copyOut copies data to user memory at auth's cursor.
 func (k *Kernel) copyOut(auth cap.Capability, data []byte) Errno {
-	if err := k.M.CPU.WriteBytesVia(auth, auth.Addr(), data); err != nil {
+	if err := k.M.UA.Write(auth, auth.Addr(), data); err != nil {
 		return EFAULT
 	}
 	return OK
 }
 
+// copyInStrMax is the kernel's NUL-terminated string length limit.
+const copyInStrMax = 4096
+
 // copyInStr reads a NUL-terminated string (bounded at 4 KiB).
 func (k *Kernel) copyInStr(auth cap.Capability) (string, Errno) {
-	var out []byte
-	va := auth.Addr()
-	for i := 0; i < 4096; i++ {
-		v, err := k.M.CPU.LoadVia(auth, va+uint64(i), 1)
-		if err != nil {
-			return "", EFAULT
-		}
-		if v == 0 {
-			return string(out), OK
-		}
-		out = append(out, byte(v))
+	s, err := k.M.UA.CString(auth, auth.Addr(), copyInStrMax)
+	if err == uaccess.ErrTooLong {
+		return "", ERANGE
 	}
-	return "", ERANGE
+	if err != nil {
+		return "", EFAULT
+	}
+	return s, OK
 }
 
 // copyInPtr reads one user pointer (capability or legacy word) from user
 // memory at va: used by interfaces whose *structures* contain pointers
-// (ioctl, kevent), the paper's "challenging" cases.
+// (ioctl, kevent, argv/envv vectors), the paper's "challenging" cases.
 func (k *Kernel) copyInPtr(t *Thread, auth cap.Capability, va uint64) (cap.Capability, Errno) {
 	if t.Proc.ABI == image.ABICheri {
 		c, err := k.M.CPU.LoadCapVia(auth, va)
@@ -131,6 +130,34 @@ func (k *Kernel) copyInPtr(t *Thread, auth cap.Capability, va uint64) (cap.Capab
 	}
 	k.charge(CostLegacyCapConstruct)
 	return k.M.Fmt.SetAddr(t.Proc.Root.AndPerms(cap.PermData), v), OK
+}
+
+// readStrVec marshals a NULL-terminated user pointer vector of
+// NUL-terminated strings (execve's argv/envv): each entry is read with
+// copyInPtr — a capability under CheriABI, a constructed authority under
+// legacy — and each string through the uaccess engine. Vectors longer
+// than 256 entries return E2BIG.
+func (k *Kernel) readStrVec(t *Thread, vec cap.Capability) ([]string, Errno) {
+	if vec.Addr() == 0 {
+		return nil, OK
+	}
+	stride := k.ptrStride(t.Proc)
+	var out []string
+	for i := 0; i < 256; i++ {
+		pc, e := k.copyInPtr(t, vec, vec.Addr()+uint64(i)*stride)
+		if e != OK {
+			return nil, e
+		}
+		if pc.Addr() == 0 {
+			return out, OK
+		}
+		s, e := k.copyInStr(pc)
+		if e != OK {
+			return nil, e
+		}
+		out = append(out, s)
+	}
+	return nil, E2BIG
 }
 
 // ptrStride is the pointer stride for a process.

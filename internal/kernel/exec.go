@@ -8,26 +8,16 @@ import (
 	"cheriabi/internal/image"
 	"cheriabi/internal/isa"
 	"cheriabi/internal/rtld"
+	"cheriabi/internal/uaccess"
 	"cheriabi/internal/vm"
 )
 
 // writeAS / writeCapAS write into an address space that may not be the one
 // currently on the CPU (used while building a new image during execve).
+// Bulk bytes go through the uaccess construction-write helper the
+// run-time linker also uses.
 func (k *Kernel) writeAS(as *vm.AddressSpace, va uint64, b []byte) error {
-	for len(b) > 0 {
-		pa, pf := as.Translate(va, vm.ProtRead)
-		if pf != nil {
-			return pf
-		}
-		chunk := vm.PageSize - va%vm.PageSize
-		if chunk > uint64(len(b)) {
-			chunk = uint64(len(b))
-		}
-		k.M.Mem.WriteBytes(pa, b[:chunk])
-		b = b[chunk:]
-		va += chunk
-	}
-	return nil
+	return uaccess.WriteAS(k.M.Mem, as, va, b)
 }
 
 func (k *Kernel) writeCapAS(as *vm.AddressSpace, va uint64, c cap.Capability) error {

@@ -20,30 +20,29 @@ const (
 // pointers, the nested pointer is read as a capability under CheriABI
 // ("Where we have found them necessary, ioctl and sysctl interfaces
 // involving structs containing pointers have been translated").
-func (k *Kernel) sysIoctl(t *Thread) {
+func sysIoctl(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "iip"
-	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
-	cmd := argInt(&t.Frame, p.ABI, spec, 1)
-	argp := k.userPtr(t, spec, 2)
+	fd := int(a.Int(0))
+	cmd := a.Int(1)
+	argp := a.Ptr(0)
 
 	f := p.fd(fd)
 	if f == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
-		return
+		return true
 	}
 	switch cmd {
 	case IoctlTIOCGWINSZ:
 		if f.node == nil || f.node.kind != nodeTTY {
 			setRet(&t.Frame, ^uint64(0), ENOTTY)
-			return
+			return true
 		}
 		var ws [8]byte
 		binary.LittleEndian.PutUint16(ws[0:], 24)
 		binary.LittleEndian.PutUint16(ws[2:], 80)
 		if e := k.copyOut(argp, ws[:]); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		setRet(&t.Frame, 0, OK)
 
@@ -56,7 +55,7 @@ func (k *Kernel) sysIoctl(t *Thread) {
 		}
 		if e := k.writeUserWord(argp, argp.Addr(), 4, n); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		setRet(&t.Frame, 0, OK)
 
@@ -67,12 +66,12 @@ func (k *Kernel) sysIoctl(t *Thread) {
 		claimed, e := k.readUserWord(argp, argp.Addr(), 8)
 		if e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		bufPtr, e := k.copyInPtr(t, argp, argp.Addr()+8)
 		if e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		records := []byte("em0\x00inet 10.0.0.2\x00\x00lo0\x00inet 127.0.0.1\x00\x00bge0\x00inet 192.168.1.9\x00\x00")
 		n := uint64(len(records))
@@ -84,17 +83,18 @@ func (k *Kernel) sysIoctl(t *Thread) {
 		// user capability and faults on underallocation.
 		if e := k.copyOut(bufPtr, records[:n]); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		if e := k.writeUserWord(argp, argp.Addr(), 8, n); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		setRet(&t.Frame, 0, OK)
 
 	default:
 		setRet(&t.Frame, ^uint64(0), ENOTTY)
 	}
+	return true
 }
 
 // sysctl ids.
@@ -104,13 +104,14 @@ const (
 	SysctlKernPtr  = 3 // the management-interface pointer-leak example
 )
 
-// sysSysctl: sysctl(id, oldp, oldlenp, newp).
-func (k *Kernel) sysSysctl(t *Thread) {
+// sysSysctl: sysctl(id, oldp, oldlenp, newp). The declared-but-unused
+// newp stays a raw pointer in the table, so no authority is constructed
+// for it on the legacy path (and no charge taken) — exactly as before.
+func sysSysctl(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ippp"
-	id := int(argInt(&t.Frame, p.ABI, spec, 0))
-	oldp := k.userPtr(t, spec, 1)
-	oldlenp := k.userPtr(t, spec, 2)
+	id := int(a.Int(0))
+	oldp := a.Ptr(0)
+	oldlenp := a.Ptr(1)
 
 	writeOut := func(data []byte) {
 		if oldp.Addr() != 0 {
@@ -151,4 +152,5 @@ func (k *Kernel) sysSysctl(t *Thread) {
 	default:
 		setRet(&t.Frame, ^uint64(0), EINVAL)
 	}
+	return true
 }

@@ -23,6 +23,7 @@ import (
 	"cheriabi/internal/image"
 	"cheriabi/internal/isa"
 	"cheriabi/internal/mem"
+	"cheriabi/internal/uaccess"
 	"cheriabi/internal/vm"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	// DisableThreadedDispatch turns off the CPU's block-threaded execution
 	// engine (ablation / differential-testing knob; no observable effect).
 	DisableThreadedDispatch bool
+	// DisableBulkFastPath forces the uaccess subsystem's byte-at-a-time
+	// slow path for kernel/runtime bulk copies (ablation /
+	// differential-testing knob; no observable effect).
+	DisableBulkFastPath bool
 	// OnTrap observes every trap in program order (differential testing).
 	OnTrap func(*cpu.Trap)
 }
@@ -57,6 +62,7 @@ type Machine struct {
 	VM   *vm.System
 	Hier *cache.Hierarchy
 	CPU  *cpu.CPU
+	UA   *uaccess.Space
 	Fmt  cap.Format
 	Feat isa.Features
 	Kern *Kernel
@@ -129,6 +135,7 @@ func NewMachine(cfg Config) *Machine {
 	m.CPU.NoDecodeCache = cfg.DisableDecodeCache
 	m.CPU.NoThreadedDispatch = cfg.DisableThreadedDispatch
 	m.CPU.OnTrap = cfg.OnTrap
+	m.UA = &uaccess.Space{CPU: m.CPU, DisableBulkFastPath: cfg.DisableBulkFastPath}
 
 	k := &Kernel{
 		M:            m,

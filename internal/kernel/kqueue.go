@@ -41,27 +41,27 @@ func keventSize(abi image.ABI, capBytes uint64) uint64 {
 	return 24
 }
 
-func (k *Kernel) sysKqueue(t *Thread) {
+func sysKqueue(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
 	kq := &kqueue{}
 	fd := p.allocFD(&FDesc{kq: kq, refs: 1})
 	p.kqs[fd] = kq
 	setRet(&t.Frame, uint64(fd), OK)
+	return true
 }
 
-func (k *Kernel) sysKevent(t *Thread) {
+func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ipipi"
-	kqfd := int(argInt(&t.Frame, p.ABI, spec, 0))
-	changes := k.userPtr(t, spec, 1)
-	nchanges := argInt(&t.Frame, p.ABI, spec, 2)
-	events := k.userPtr(t, spec, 3)
-	nevents := argInt(&t.Frame, p.ABI, spec, 4)
+	kqfd := int(a.Int(0))
+	changes := a.Ptr(0)
+	nchanges := a.Int(1)
+	events := a.Ptr(1)
+	nevents := a.Int(2)
 
 	kq := p.kqs[kqfd]
 	if kq == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
-		return
+		return true
 	}
 	size := keventSize(p.ABI, k.M.Fmt.Bytes)
 
@@ -72,14 +72,14 @@ func (k *Kernel) sysKevent(t *Thread) {
 		filt, e2 := k.readUserWord(changes, base+8, 8)
 		if e1 != OK || e2 != OK {
 			setRet(&t.Frame, ^uint64(0), EFAULT)
-			return
+			return true
 		}
 		filter := int16(int64(filt))
 		flags := int16(int64(filt) >> 32) // flags packed in the high word
 		udata, e := k.copyInPtr(t, changes, base+16)
 		if e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		if flags&EvDelete != 0 {
 			for j, n := range kq.notes {
@@ -95,7 +95,7 @@ func (k *Kernel) sysKevent(t *Thread) {
 
 	if nevents == 0 {
 		setRet(&t.Frame, 0, OK)
-		return
+		return true
 	}
 
 	// Collect ready events; the stored udata capability is returned to the
@@ -116,22 +116,23 @@ func (k *Kernel) sysKevent(t *Thread) {
 		base := events.Addr() + count*size
 		if e := k.writeUserWord(events, base, 8, n.ident); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		if e := k.writeUserWord(events, base+8, 8, uint64(int64(n.filter))); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		if p.ABI == image.ABICheri {
 			if err := k.M.CPU.StoreCapVia(events, base+16, n.udata); err != nil {
 				setRet(&t.Frame, ^uint64(0), EFAULT)
-				return
+				return true
 			}
 		} else if e := k.writeUserWord(events, base+16, 8, n.udata.Addr()); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		count++
 	}
 	setRet(&t.Frame, count, OK)
+	return true
 }

@@ -27,38 +27,37 @@ const (
 // ptrace(req, pid, addrp, data): addrp is a pointer into the *tracer* for
 // transfer buffers; addresses inside the target are plain integers in
 // data/aux words, exactly as in the flat ptrace API the paper extends.
-func (k *Kernel) sysPtrace(t *Thread) {
+func sysPtrace(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "iipi"
-	req := int(argInt(&t.Frame, p.ABI, spec, 0))
-	pid := int(argInt(&t.Frame, p.ABI, spec, 1))
-	addrp := k.userPtr(t, spec, 2)
-	data := argInt(&t.Frame, p.ABI, spec, 3)
+	req := int(a.Int(0))
+	pid := int(a.Int(1))
+	addrp := a.Ptr(0)
+	data := a.Int(2)
 
 	target := k.procs[pid]
 	if target == nil || target == p {
 		setRet(&t.Frame, ^uint64(0), ESRCH)
-		return
+		return true
 	}
 
 	switch req {
 	case PtAttach:
 		target.Suspended = true
 		setRet(&t.Frame, 0, OK)
-		return
+		return true
 	case PtDetach:
 		target.Suspended = false
 		setRet(&t.Frame, 0, OK)
-		return
+		return true
 	}
 	if !target.Suspended {
 		setRet(&t.Frame, ^uint64(0), EBUSY)
-		return
+		return true
 	}
 	tt := target.mainThread()
 	if tt == nil {
 		setRet(&t.Frame, ^uint64(0), ESRCH)
-		return
+		return true
 	}
 
 	// Access to target memory is authorized by the *target's* root
@@ -76,7 +75,7 @@ func (k *Kernel) sysPtrace(t *Thread) {
 		v, err := k.M.CPU.LoadVia(targetMem(data), data, 8)
 		if err != nil {
 			setRet(&t.Frame, ^uint64(0), EFAULT)
-			return
+			return true
 		}
 		setRet(&t.Frame, v, OK)
 
@@ -86,18 +85,18 @@ func (k *Kernel) sysPtrace(t *Thread) {
 		k.M.CPU.AS = target.AS
 		if e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
-			return
+			return true
 		}
 		if err := k.M.CPU.StoreVia(targetMem(data), data, 8, v); err != nil {
 			setRet(&t.Frame, ^uint64(0), EFAULT)
-			return
+			return true
 		}
 		setRet(&t.Frame, 0, OK)
 
 	case PtGetReg: // data = register index
 		if data >= isa.NumRegs {
 			setRet(&t.Frame, ^uint64(0), EINVAL)
-			return
+			return true
 		}
 		setRet(&t.Frame, tt.Frame.X[data], OK)
 
@@ -107,7 +106,7 @@ func (k *Kernel) sysPtrace(t *Thread) {
 		// buffer.
 		if data >= isa.NumRegs {
 			setRet(&t.Frame, ^uint64(0), EINVAL)
-			return
+			return true
 		}
 		c := tt.Frame.C[data]
 		k.M.CPU.AS = p.AS
@@ -118,7 +117,7 @@ func (k *Kernel) sysPtrace(t *Thread) {
 		for i, v := range vals {
 			if e := k.writeUserWord(addrp, addrp.Addr()+uint64(i)*8, 8, v); e != OK {
 				setRet(&t.Frame, ^uint64(0), e)
-				return
+				return true
 			}
 		}
 		setRet(&t.Frame, 0, OK)
@@ -130,7 +129,7 @@ func (k *Kernel) sysPtrace(t *Thread) {
 		// root architectural capability".
 		if data >= isa.NumRegs {
 			setRet(&t.Frame, ^uint64(0), EINVAL)
-			return
+			return true
 		}
 		k.M.CPU.AS = p.AS
 		var vals [4]uint64
@@ -138,14 +137,14 @@ func (k *Kernel) sysPtrace(t *Thread) {
 			v, e := k.readUserWord(addrp, addrp.Addr()+uint64(i)*8, 8)
 			if e != OK {
 				setRet(&t.Frame, ^uint64(0), e)
-				return
+				return true
 			}
 			vals[i] = v
 		}
 		nc, err := k.M.Fmt.SetBounds(target.Root, vals[0], vals[1])
 		if err != nil {
 			setRet(&t.Frame, ^uint64(0), EACCES)
-			return
+			return true
 		}
 		nc = nc.AndPerms(cap.Perm(vals[3]) & target.Root.Perms())
 		nc = k.M.Fmt.SetAddr(nc, vals[2])
@@ -162,21 +161,21 @@ func (k *Kernel) sysPtrace(t *Thread) {
 			v, e := k.readUserWord(addrp, addrp.Addr()+uint64(i)*8, 8)
 			if e != OK {
 				setRet(&t.Frame, ^uint64(0), e)
-				return
+				return true
 			}
 			vals[i] = v
 		}
 		nc, err := k.M.Fmt.SetBounds(target.Root, vals[0], vals[1])
 		if err != nil {
 			setRet(&t.Frame, ^uint64(0), EACCES)
-			return
+			return true
 		}
 		nc = nc.AndPerms(cap.Perm(vals[3]) & target.Root.Perms())
 		nc = k.M.Fmt.SetAddr(nc, vals[2])
 		k.M.CPU.AS = target.AS
 		if err := k.M.CPU.StoreCapVia(targetMem(data), data, nc); err != nil {
 			setRet(&t.Frame, ^uint64(0), EFAULT)
-			return
+			return true
 		}
 		k.capCreated("ptrace", nc)
 		k.Ledger.Derive(target.Prin, target.AbsRoot, nc, core.OriginPtrace)
@@ -185,4 +184,5 @@ func (k *Kernel) sysPtrace(t *Thread) {
 	default:
 		setRet(&t.Frame, ^uint64(0), EINVAL)
 	}
+	return true
 }

@@ -16,13 +16,11 @@ type shmSeg struct {
 }
 
 // sysShmget: shmget(key, size) — key 0 always creates.
-func (k *Kernel) sysShmget(t *Thread) {
-	p := t.Proc
-	const spec = "ii"
-	size := argInt(&t.Frame, p.ABI, spec, 1)
+func sysShmget(k *Kernel, t *Thread, a *SysArgs) bool {
+	size := a.Int(1)
 	if size == 0 || size > 64<<20 {
 		setRet(&t.Frame, ^uint64(0), EINVAL)
-		return
+		return true
 	}
 	rlen := k.M.Fmt.RepresentableLength((size + vm.PageSize - 1) &^ (vm.PageSize - 1))
 	k.nextShmID++
@@ -33,20 +31,20 @@ func (k *Kernel) sysShmget(t *Thread) {
 	}
 	k.shmSegs[seg.id] = seg
 	setRet(&t.Frame, uint64(seg.id), OK)
+	return true
 }
 
 // sysShmat: shmat(id, addr) maps the segment, honouring the paper's rule:
 // a fixed address is accepted only as a valid capability carrying the
 // vmmap permission.
-func (k *Kernel) sysShmat(t *Thread) {
+func sysShmat(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ip"
-	id := int(argInt(&t.Frame, p.ABI, spec, 0))
-	hint := argPtrRaw(&t.Frame, p.ABI, spec, 1)
+	id := int(a.Int(0))
+	hint := a.Ptr(0)
 	seg := k.shmSegs[id]
 	if seg == nil {
 		setRet(&t.Frame, ^uint64(0), EINVAL)
-		return
+		return true
 	}
 	var va uint64
 	if hint.Addr() != 0 {
@@ -54,7 +52,7 @@ func (k *Kernel) sysShmat(t *Thread) {
 			k.charge(CostCheriCapCheck)
 			if !hint.Tag() || !hint.HasPerm(cap.PermVMMap) {
 				setRetCap(&t.Frame, p.ABI, cap.Null(), EACCES)
-				return
+				return true
 			}
 		}
 		va = hint.Addr() &^ (vm.PageSize - 1)
@@ -64,32 +62,33 @@ func (k *Kernel) sysShmat(t *Thread) {
 	}
 	if !validUserRange(va, seg.size) {
 		setRetCap(&t.Frame, p.ABI, cap.Null(), EINVAL)
-		return
+		return true
 	}
 	if err := p.AS.MapFrames(va, seg.frames, vm.ProtRead|vm.ProtWrite); err != nil {
 		setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
-		return
+		return true
 	}
 	if p.ABI != image.ABICheri {
 		setRet(&t.Frame, va, OK)
-		return
+		return true
 	}
 	ret, err := k.M.Fmt.SetBounds(p.Root, va, seg.size)
 	if err != nil {
 		setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
-		return
+		return true
 	}
 	ret = ret.AndPerms(cap.PermData | cap.PermVMMap)
 	k.capCreated("syscall", ret)
 	k.Ledger.Derive(p.Prin, p.AbsRoot, ret, core.OriginSyscall)
 	setRetCap(&t.Frame, p.ABI, ret, OK)
+	return true
 }
 
 // sysShmdt: shmdt(addr) requires the vmmap permission on the presented
 // capability, like munmap.
-func (k *Kernel) sysShmdt(t *Thread) {
+func sysShmdt(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	c := argPtrRaw(&t.Frame, p.ABI, "p", 0)
+	c := a.Ptr(0)
 	va := c.Addr() &^ (vm.PageSize - 1)
 	// Find the attached segment by matching frames at va.
 	var seg *shmSeg
@@ -101,15 +100,16 @@ func (k *Kernel) sysShmdt(t *Thread) {
 	}
 	if seg == nil {
 		setRet(&t.Frame, ^uint64(0), EINVAL)
-		return
+		return true
 	}
 	if e := k.checkVMAuth(p, c, va, seg.size); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
-		return
+		return true
 	}
 	if err := p.AS.Unmap(va, seg.size); err != nil {
 		setRet(&t.Frame, ^uint64(0), EINVAL)
-		return
+		return true
 	}
 	setRet(&t.Frame, 0, OK)
+	return true
 }

@@ -56,104 +56,52 @@ const (
 	MapFixed      = 0x10
 )
 
-// syscall dispatches the trapped syscall. Handlers return with advance
-// true unless they blocked the thread (the syscall instruction restarts)
-// or replaced the frame (sigreturn, execve).
-func (k *Kernel) syscall(t *Thread) {
-	p := t.Proc
-	num := int(t.Frame.X[isa.RV0])
-	k.SyscallCount[num]++
-	k.charge(CostSyscallBase)
-	advance := true
-	switch num {
-	case SysExit:
-		k.exitProc(p, int(argInt(&t.Frame, p.ABI, "i", 0))<<8)
-	case SysFork:
-		k.sysFork(t)
-	case SysRead:
-		advance = k.sysRead(t)
-	case SysWrite:
-		advance = k.sysWrite(t)
-	case SysOpen:
-		k.sysOpen(t)
-	case SysClose:
-		k.sysClose(t)
-	case SysWait4:
-		advance = k.sysWait4(t)
-	case SysPipe:
-		k.sysPipe(t)
-	case SysDup:
-		k.sysDup(t)
-	case SysGetpid:
-		setRet(&t.Frame, uint64(p.PID), OK)
-	case SysExecve:
-		advance = k.sysExecve(t)
-	case SysMmap:
-		k.sysMmap(t)
-	case SysMunmap:
-		k.sysMunmap(t)
-	case SysMprotect:
-		k.sysMprotect(t)
-	case SysSbrk:
-		k.sysSbrk(t)
-	case SysSelect:
-		advance = k.sysSelect(t)
-	case SysKqueue:
-		k.sysKqueue(t)
-	case SysKevent:
-		k.sysKevent(t)
-	case SysSigaction:
-		k.sysSigaction(t)
-	case SysSigreturn:
-		k.sigreturn(t)
-		advance = false
-	case SysKill:
-		spec := "ii"
-		if e := k.Kill(int(argInt(&t.Frame, p.ABI, spec, 0)), int(argInt(&t.Frame, p.ABI, spec, 1))); e != OK {
-			setRet(&t.Frame, ^uint64(0), e)
-		} else {
-			setRet(&t.Frame, 0, OK)
-		}
-	case SysIoctl:
-		k.sysIoctl(t)
-	case SysSysctl:
-		k.sysSysctl(t)
-	case SysPtrace:
-		k.sysPtrace(t)
-	case SysGetcwd:
-		k.sysGetcwd(t)
-	case SysChdir:
-		k.sysChdir(t)
-	case SysLseek:
-		k.sysLseek(t)
-	case SysFstat:
-		k.sysFstat(t)
-	case SysShmget:
-		k.sysShmget(t)
-	case SysShmat:
-		k.sysShmat(t)
-	case SysShmdt:
-		k.sysShmdt(t)
-	case SysYield:
-		setRet(&t.Frame, 0, OK)
-	case SysSigprocmask:
-		k.sysSigprocmask(t)
-	case SysGetTime:
-		setRet(&t.Frame, k.Now(), OK)
-	case SysUnlink:
-		k.sysUnlink(t)
-	case SysSwapSelf:
-		n := k.SwapOutProc(p)
-		setRet(&t.Frame, uint64(n), OK)
-	default:
-		setRet(&t.Frame, ^uint64(0), ENOSYS)
-	}
-	if advance && t.State != ThreadExited && p.State != ProcZombie {
-		t.Frame.PC += isa.InstSize
-	}
+// Handler bodies. Argument decode, pointer validation, cost charging,
+// and string copyin happen in the dispatcher (dispatch.go); these
+// functions implement only the semantics. Each returns true to advance
+// the PC past the syscall instruction.
+
+func sysExit(k *Kernel, t *Thread, a *SysArgs) bool {
+	k.exitProc(t.Proc, int(a.Int(0))<<8)
+	return true
 }
 
-func (k *Kernel) sysFork(t *Thread) {
+func sysGetpid(k *Kernel, t *Thread, a *SysArgs) bool {
+	setRet(&t.Frame, uint64(t.Proc.PID), OK)
+	return true
+}
+
+func sysYield(k *Kernel, t *Thread, a *SysArgs) bool {
+	setRet(&t.Frame, 0, OK)
+	return true
+}
+
+func sysGetTime(k *Kernel, t *Thread, a *SysArgs) bool {
+	setRet(&t.Frame, k.Now(), OK)
+	return true
+}
+
+func sysSwapSelf(k *Kernel, t *Thread, a *SysArgs) bool {
+	n := k.SwapOutProc(t.Proc)
+	setRet(&t.Frame, uint64(n), OK)
+	return true
+}
+
+func sysKill(k *Kernel, t *Thread, a *SysArgs) bool {
+	if e := k.Kill(int(a.Int(0)), int(a.Int(1))); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+	} else {
+		setRet(&t.Frame, 0, OK)
+	}
+	return true
+}
+
+func sysSigreturnWrap(k *Kernel, t *Thread, a *SysArgs) bool {
+	k.sigreturn(t)
+	return false // frame replaced
+}
+
+func sysFork(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
 	pages := 0
 	for _, r := range p.AS.Regions() {
@@ -189,14 +137,14 @@ func (k *Kernel) sysFork(t *Thread) {
 	setRet(&ct.Frame, 0, OK)    // child sees 0
 	ct.Frame.PC += isa.InstSize // child resumes after the syscall
 	setRet(&t.Frame, uint64(child.PID), OK)
+	return true
 }
 
-func (k *Kernel) sysRead(t *Thread) bool {
+func sysRead(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ipi"
-	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
-	buf := k.userPtr(t, spec, 1)
-	n := argInt(&t.Frame, p.ABI, spec, 2)
+	fd := int(a.Int(0))
+	buf := a.Ptr(0)
+	n := a.Int(1)
 	f := p.fd(fd)
 	if f == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
@@ -252,12 +200,11 @@ func (k *Kernel) sysRead(t *Thread) bool {
 	return true
 }
 
-func (k *Kernel) sysWrite(t *Thread) bool {
+func sysWrite(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ipi"
-	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
-	buf := k.userPtr(t, spec, 1)
-	n := argInt(&t.Frame, p.ABI, spec, 2)
+	fd := int(a.Int(0))
+	buf := a.Ptr(0)
+	n := a.Int(1)
 	f := p.fd(fd)
 	if f == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
@@ -325,19 +272,13 @@ func (k *Kernel) sysWrite(t *Thread) bool {
 	return true
 }
 
-func (k *Kernel) sysOpen(t *Thread) {
+func sysOpen(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "pii"
-	pathCap := k.userPtr(t, spec, 0)
-	flags := int(argInt(&t.Frame, p.ABI, spec, 1))
-	path, e := k.copyInStr(pathCap)
-	if e != OK {
-		setRet(&t.Frame, ^uint64(0), e)
-		return
-	}
+	path := a.Str(0)
+	flags := int(a.Int(0))
 	if len(path) == 0 {
 		setRet(&t.Frame, ^uint64(0), ENOENT)
-		return
+		return true
 	}
 	if path[0] != '/' {
 		path = p.CWD + "/" + path
@@ -346,17 +287,17 @@ func (k *Kernel) sysOpen(t *Thread) {
 	if n == nil {
 		if flags&OCreat == 0 {
 			setRet(&t.Frame, ^uint64(0), ENOENT)
-			return
+			return true
 		}
 		if err := k.FS.WriteFile(path, nil); err != nil {
 			setRet(&t.Frame, ^uint64(0), ENOENT)
-			return
+			return true
 		}
 		n = k.FS.lookup(path)
 	}
 	if n.kind == nodeDir && flags&(OWrOnly|ORdWr) != 0 {
 		setRet(&t.Frame, ^uint64(0), EISDIR)
-		return
+		return true
 	}
 	if n.kind == nodeFile && flags&OTrunc != 0 {
 		n.data = nil
@@ -366,26 +307,27 @@ func (k *Kernel) sysOpen(t *Thread) {
 		f.console = p
 	}
 	setRet(&t.Frame, uint64(p.allocFD(f)), OK)
+	return true
 }
 
-func (k *Kernel) sysClose(t *Thread) {
+func sysClose(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	fd := int(argInt(&t.Frame, p.ABI, "i", 0))
+	fd := int(a.Int(0))
 	f := p.fd(fd)
 	if f == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
-		return
+		return true
 	}
 	f.close()
 	p.FDs[fd] = nil
 	setRet(&t.Frame, 0, OK)
+	return true
 }
 
-func (k *Kernel) sysWait4(t *Thread) bool {
+func sysWait4(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ipi"
-	pid := int(int64(argInt(&t.Frame, p.ABI, spec, 0)))
-	statusPtr := k.userPtr(t, spec, 1)
+	pid := int(int64(a.Int(0)))
+	statusPtr := a.Ptr(0)
 	var zombie *Proc
 	candidates := 0
 	for _, c := range p.Children {
@@ -424,74 +366,46 @@ func (k *Kernel) sysWait4(t *Thread) bool {
 	return true
 }
 
-func (k *Kernel) sysPipe(t *Thread) {
+func sysPipe(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	fdsPtr := k.userPtr(t, "p", 0)
+	fdsPtr := a.Ptr(0)
 	pip := &pipe{readers: 1, writers: 1}
 	r := p.allocFD(&FDesc{pip: pip, refs: 1})
 	w := p.allocFD(&FDesc{pip: pip, pipeW: true, refs: 1})
 	// MiniC's int is 8 bytes, so the fds array uses 8-byte slots.
 	if e := k.writeUserWord(fdsPtr, fdsPtr.Addr(), 8, uint64(r)); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
-		return
+		return true
 	}
 	if e := k.writeUserWord(fdsPtr, fdsPtr.Addr()+8, 8, uint64(w)); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
-		return
+		return true
 	}
 	setRet(&t.Frame, 0, OK)
+	return true
 }
 
-func (k *Kernel) sysDup(t *Thread) {
+func sysDup(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	fd := int(argInt(&t.Frame, p.ABI, "i", 0))
+	fd := int(a.Int(0))
 	f := p.fd(fd)
 	if f == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
-		return
+		return true
 	}
 	setRet(&t.Frame, uint64(p.allocFD(f.incref())), OK)
+	return true
 }
 
-func (k *Kernel) sysExecve(t *Thread) bool {
+func sysExecve(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ppp"
-	pathCap := k.userPtr(t, spec, 0)
-	argvCap := k.userPtr(t, spec, 1)
-	envvCap := k.userPtr(t, spec, 2)
-	path, e := k.copyInStr(pathCap)
+	path := a.Str(0)
+	argv, e := k.readStrVec(t, a.Ptr(1))
 	if e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
 		return true
 	}
-	readVec := func(vec cap.Capability) ([]string, Errno) {
-		var out []string
-		if vec.Addr() == 0 {
-			return nil, OK
-		}
-		stride := k.ptrStride(p)
-		for i := 0; i < 256; i++ {
-			pc, e := k.copyInPtr(t, vec, vec.Addr()+uint64(i)*stride)
-			if e != OK {
-				return nil, e
-			}
-			if pc.Addr() == 0 {
-				return out, OK
-			}
-			s, e := k.copyInStr(pc)
-			if e != OK {
-				return nil, e
-			}
-			out = append(out, s)
-		}
-		return nil, E2BIG
-	}
-	argv, e := readVec(argvCap)
-	if e != OK {
-		setRet(&t.Frame, ^uint64(0), e)
-		return true
-	}
-	envv, e := readVec(envvCap)
+	envv, e := k.readStrVec(t, a.Ptr(2))
 	if e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
 		return true
@@ -509,16 +423,15 @@ func (k *Kernel) sysExecve(t *Thread) bool {
 
 // sysMmap implements the paper's mmap rules (§4, "Virtual-address
 // management APIs").
-func (k *Kernel) sysMmap(t *Thread) {
+func sysMmap(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "piii"
-	hint := argPtrRaw(&t.Frame, p.ABI, spec, 0)
-	length := argInt(&t.Frame, p.ABI, spec, 1)
-	prot := int(argInt(&t.Frame, p.ABI, spec, 2))
-	flags := int(argInt(&t.Frame, p.ABI, spec, 3))
+	hint := a.Ptr(0)
+	length := a.Int(0)
+	prot := int(a.Int(1))
+	flags := int(a.Int(2))
 	if length == 0 {
 		setRetCap(&t.Frame, p.ABI, cap.Null(), EINVAL)
-		return
+		return true
 	}
 	k.charge(CostCheriCapCheck)
 
@@ -540,7 +453,7 @@ func (k *Kernel) sysMmap(t *Thread) {
 		va = hint.Addr() &^ (vm.PageSize - 1)
 		if !validUserRange(va, rlen) {
 			setRetCap(&t.Frame, p.ABI, cap.Null(), EINVAL)
-			return
+			return true
 		}
 		replacing := p.AS.Mapped(va, rlen)
 		if p.ABI == image.ABICheri {
@@ -551,16 +464,16 @@ func (k *Kernel) sysMmap(t *Thread) {
 			// mapping."
 			if hint.Tag() && !hint.HasPerm(cap.PermVMMap) && replacing {
 				setRetCap(&t.Frame, p.ABI, cap.Null(), EACCES)
-				return
+				return true
 			}
 			if !hint.Tag() && replacing {
 				setRetCap(&t.Frame, p.ABI, cap.Null(), EACCES)
-				return
+				return true
 			}
 		}
 		if err := p.AS.Map(va, rlen, prot2, true); err != nil {
 			setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
-			return
+			return true
 		}
 	} else {
 		start := p.MmapHint
@@ -570,18 +483,18 @@ func (k *Kernel) sysMmap(t *Thread) {
 		va = p.AS.FindFree(start, rlen)
 		if !validUserRange(va, rlen) {
 			setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
-			return
+			return true
 		}
 		if err := p.AS.Map(va, rlen, prot2, false); err != nil {
 			setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
-			return
+			return true
 		}
 		p.MmapHint = va + rlen + vm.PageSize // guard gap between regions
 	}
 
 	if p.ABI != image.ABICheri {
 		setRet(&t.Frame, va, OK)
-		return
+		return true
 	}
 	// Derive the returned capability: from the hint if it is a valid
 	// capability (preserving provenance), else from the process root.
@@ -602,12 +515,13 @@ func (k *Kernel) sysMmap(t *Thread) {
 	ret, err := k.M.Fmt.SetBounds(parent, va, rlen)
 	if err != nil {
 		setRetCap(&t.Frame, p.ABI, cap.Null(), ENOMEM)
-		return
+		return true
 	}
 	ret = ret.AndPerms(perms)
 	k.capCreated("syscall", ret)
 	k.Ledger.Derive(p.Prin, p.AbsRoot, ret, core.OriginMmap)
 	setRetCap(&t.Frame, p.ABI, ret, OK)
+	return true
 }
 
 // checkVMAuth validates the capability presented to munmap/mprotect/shmdt:
@@ -625,33 +539,32 @@ func (k *Kernel) checkVMAuth(p *Proc, c cap.Capability, va, length uint64) Errno
 	return OK
 }
 
-func (k *Kernel) sysMunmap(t *Thread) {
+func sysMunmap(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "pi"
-	c := argPtrRaw(&t.Frame, p.ABI, spec, 0)
-	length := (argInt(&t.Frame, p.ABI, spec, 1) + vm.PageSize - 1) &^ (vm.PageSize - 1)
+	c := a.Ptr(0)
+	length := (a.Int(0) + vm.PageSize - 1) &^ (vm.PageSize - 1)
 	va := c.Addr() &^ (vm.PageSize - 1)
 	if e := k.checkVMAuth(p, c, va, length); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
-		return
+		return true
 	}
 	if err := p.AS.Unmap(va, length); err != nil {
 		setRet(&t.Frame, ^uint64(0), EINVAL)
-		return
+		return true
 	}
 	setRet(&t.Frame, 0, OK)
+	return true
 }
 
-func (k *Kernel) sysMprotect(t *Thread) {
+func sysMprotect(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "pii"
-	c := argPtrRaw(&t.Frame, p.ABI, spec, 0)
-	length := (argInt(&t.Frame, p.ABI, spec, 1) + vm.PageSize - 1) &^ (vm.PageSize - 1)
-	prot := int(argInt(&t.Frame, p.ABI, spec, 2))
+	c := a.Ptr(0)
+	length := (a.Int(0) + vm.PageSize - 1) &^ (vm.PageSize - 1)
+	prot := int(a.Int(1))
 	va := c.Addr() &^ (vm.PageSize - 1)
 	if e := k.checkVMAuth(p, c, va, length); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
-		return
+		return true
 	}
 	var prot2 vm.Prot
 	if prot&ProtReadFlag != 0 {
@@ -665,20 +578,21 @@ func (k *Kernel) sysMprotect(t *Thread) {
 	}
 	if err := p.AS.Protect(va, length, prot2); err != nil {
 		setRet(&t.Frame, ^uint64(0), EINVAL)
-		return
+		return true
 	}
 	setRet(&t.Frame, 0, OK)
+	return true
 }
 
 // sysSbrk: "we have excluded sbrk as a matter of principle" under
 // CheriABI; the legacy ABI keeps a minimal implementation.
-func (k *Kernel) sysSbrk(t *Thread) {
+func sysSbrk(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
 	if p.ABI == image.ABICheri {
 		setRet(&t.Frame, ^uint64(0), ENOSYS)
-		return
+		return true
 	}
-	incr := int64(argInt(&t.Frame, p.ABI, "i", 0))
+	incr := int64(a.Int(0))
 	const brkBase = 0x3000_0000
 	if p.brk == 0 {
 		p.brk = brkBase
@@ -686,25 +600,23 @@ func (k *Kernel) sysSbrk(t *Thread) {
 	old := p.brk
 	if incr > 0 {
 		grow := (uint64(incr) + vm.PageSize - 1) &^ (vm.PageSize - 1)
-		if err := p.AS.Map(old+(vm.PageSize-1)&^(vm.PageSize-1), grow, vm.ProtRead|vm.ProtWrite, true); err != nil {
+		// Map from the page the old break rounds up to (&^ binds tighter
+		// than +, so the rounding needs the explicit parens).
+		if err := p.AS.Map((old+vm.PageSize-1)&^(vm.PageSize-1), grow, vm.ProtRead|vm.ProtWrite, true); err != nil {
 			setRet(&t.Frame, ^uint64(0), ENOMEM)
-			return
+			return true
 		}
 		p.brk = old + uint64(incr)
 	}
 	setRet(&t.Frame, old, OK)
+	return true
 }
 
-func (k *Kernel) sysSelect(t *Thread) bool {
+func sysSelect(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ipppp"
-	nfds := int(argInt(&t.Frame, p.ABI, spec, 0))
+	nfds := int(a.Int(0))
 	if nfds > 64 {
 		nfds = 64
-	}
-	ptrs := make([]cap.Capability, 4)
-	for i := range ptrs {
-		ptrs[i] = k.userPtr(t, spec, i+1)
 	}
 	k.charge(uint64(nfds) * CostSelectPerFD)
 
@@ -714,8 +626,8 @@ func (k *Kernel) sysSelect(t *Thread) bool {
 		}
 		return k.readUserWord(c, c.Addr(), 8)
 	}
-	rq, e1 := readMask(ptrs[0])
-	wq, e2 := readMask(ptrs[1])
+	rq, e1 := readMask(a.Ptr(0))
+	wq, e2 := readMask(a.Ptr(1))
 	if e1 != OK || e2 != OK {
 		setRet(&t.Frame, ^uint64(0), EFAULT)
 		return true
@@ -736,7 +648,7 @@ func (k *Kernel) sysSelect(t *Thread) bool {
 			count++
 		}
 	}
-	timeoutPtr := ptrs[3]
+	timeoutPtr := a.Ptr(3)
 	if count == 0 && timeoutPtr.Addr() == 0 && (rq|wq) != 0 {
 		t.block(func() bool {
 			for fd := 0; fd < nfds; fd++ {
@@ -755,14 +667,14 @@ func (k *Kernel) sysSelect(t *Thread) bool {
 		})
 		return false
 	}
-	if ptrs[0].Addr() != 0 {
-		if e := k.writeUserWord(ptrs[0], ptrs[0].Addr(), 8, rdy); e != OK {
+	if a.Ptr(0).Addr() != 0 {
+		if e := k.writeUserWord(a.Ptr(0), a.Ptr(0).Addr(), 8, rdy); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
 		}
 	}
-	if ptrs[1].Addr() != 0 {
-		if e := k.writeUserWord(ptrs[1], ptrs[1].Addr(), 8, wdy); e != OK {
+	if a.Ptr(1).Addr() != 0 {
+		if e := k.writeUserWord(a.Ptr(1), a.Ptr(1).Addr(), 8, wdy); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
 		}
@@ -771,14 +683,13 @@ func (k *Kernel) sysSelect(t *Thread) bool {
 	return true
 }
 
-func (k *Kernel) sysSigaction(t *Thread) {
+func sysSigaction(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ip"
-	sig := int(argInt(&t.Frame, p.ABI, spec, 0))
-	handler := argPtrRaw(&t.Frame, p.ABI, spec, 1)
+	sig := int(a.Int(0))
+	handler := a.Ptr(0)
 	if sig <= 0 || sig >= NSig {
 		setRet(&t.Frame, ^uint64(0), EINVAL)
-		return
+		return true
 	}
 	if handler.Addr() == 0 && !handler.Tag() {
 		p.Sig[sig] = SigAction{}
@@ -788,13 +699,13 @@ func (k *Kernel) sysSigaction(t *Thread) {
 		p.Sig[sig] = SigAction{Handler: handler, Set: true}
 	}
 	setRet(&t.Frame, 0, OK)
+	return true
 }
 
-func (k *Kernel) sysSigprocmask(t *Thread) {
+func sysSigprocmask(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "iii"
-	how := int(argInt(&t.Frame, p.ABI, spec, 0))
-	mask := argInt(&t.Frame, p.ABI, spec, 1)
+	how := int(a.Int(0))
+	mask := a.Int(1)
 	old := p.SigMask
 	switch how {
 	case 0:
@@ -805,61 +716,57 @@ func (k *Kernel) sysSigprocmask(t *Thread) {
 		p.SigMask &^= mask
 	default:
 		setRet(&t.Frame, 0, EINVAL)
-		return
+		return true
 	}
 	setRet(&t.Frame, old, OK)
+	return true
 }
 
-func (k *Kernel) sysGetcwd(t *Thread) {
+func sysGetcwd(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "pi"
-	buf := k.userPtr(t, spec, 0)
-	length := argInt(&t.Frame, p.ABI, spec, 1)
+	buf := a.Ptr(0)
+	length := a.Int(0)
 	cwd := append([]byte(p.CWD), 0)
 	if uint64(len(cwd)) > length {
 		setRet(&t.Frame, ^uint64(0), ERANGE)
-		return
+		return true
 	}
 	// The copy is authorized by the *capability*, not the length argument:
 	// an over-stated length cannot make the kernel overrun the buffer
 	// under CheriABI (the BOdiagsuite getcwd cases).
 	if e := k.copyOut(buf, cwd); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
-		return
+		return true
 	}
 	setRet(&t.Frame, uint64(len(cwd)), OK)
+	return true
 }
 
-func (k *Kernel) sysChdir(t *Thread) {
+func sysChdir(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	pathCap := k.userPtr(t, "p", 0)
-	path, e := k.copyInStr(pathCap)
-	if e != OK {
-		setRet(&t.Frame, ^uint64(0), e)
-		return
-	}
+	path := a.Str(0)
 	if path == "" || path[0] != '/' {
 		path = p.CWD + "/" + path
 	}
 	n := k.FS.lookup(path)
 	if n == nil || n.kind != nodeDir {
 		setRet(&t.Frame, ^uint64(0), ENOENT)
-		return
+		return true
 	}
 	p.CWD = path
 	setRet(&t.Frame, 0, OK)
+	return true
 }
 
-func (k *Kernel) sysLseek(t *Thread) {
+func sysLseek(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "iii"
-	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
-	off := int64(argInt(&t.Frame, p.ABI, spec, 1))
-	whence := int(argInt(&t.Frame, p.ABI, spec, 2))
+	fd := int(a.Int(0))
+	off := int64(a.Int(1))
+	whence := int(a.Int(2))
 	f := p.fd(fd)
 	if f == nil || f.node == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
-		return
+		return true
 	}
 	switch whence {
 	case 0:
@@ -870,20 +777,20 @@ func (k *Kernel) sysLseek(t *Thread) {
 		f.off = int64(len(f.node.data)) + off
 	default:
 		setRet(&t.Frame, ^uint64(0), EINVAL)
-		return
+		return true
 	}
 	setRet(&t.Frame, uint64(f.off), OK)
+	return true
 }
 
-func (k *Kernel) sysFstat(t *Thread) {
+func sysFstat(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	const spec = "ip"
-	fd := int(argInt(&t.Frame, p.ABI, spec, 0))
-	buf := k.userPtr(t, spec, 1)
+	fd := int(a.Int(0))
+	buf := a.Ptr(0)
 	f := p.fd(fd)
 	if f == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
-		return
+		return true
 	}
 	var size, kind uint64
 	if f.node != nil {
@@ -892,29 +799,26 @@ func (k *Kernel) sysFstat(t *Thread) {
 	}
 	if e := k.writeUserWord(buf, buf.Addr(), 8, size); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
-		return
+		return true
 	}
 	if e := k.writeUserWord(buf, buf.Addr()+8, 8, kind); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
-		return
+		return true
 	}
 	setRet(&t.Frame, 0, OK)
+	return true
 }
 
-func (k *Kernel) sysUnlink(t *Thread) {
+func sysUnlink(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
-	pathCap := k.userPtr(t, "p", 0)
-	path, e := k.copyInStr(pathCap)
-	if e != OK {
-		setRet(&t.Frame, ^uint64(0), e)
-		return
-	}
+	path := a.Str(0)
 	if path == "" || path[0] != '/' {
 		path = p.CWD + "/" + path
 	}
 	if err := k.FS.Remove(path); err != nil {
 		setRet(&t.Frame, ^uint64(0), ENOENT)
-		return
+		return true
 	}
 	setRet(&t.Frame, 0, OK)
+	return true
 }

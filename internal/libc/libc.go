@@ -118,8 +118,7 @@ func (rt *Runtime) nCalloc(t *kernel.Thread) kernel.Errno {
 		return errno
 	}
 	// Freshly mapped chunks are demand-zero, but recycled blocks are not.
-	zero := make([]byte, n)
-	if err := rt.k.M.CPU.WriteBytesVia(c, c.Base(), zero); err != nil {
+	if err := rt.k.M.UA.Zero(c, c.Base(), n); err != nil {
 		rt.k.NativeRetCap(t, cap.Null())
 		return kernel.EFAULT
 	}
@@ -166,54 +165,14 @@ func (rt *Runtime) nRealloc(t *kernel.Thread) kernel.Errno {
 
 // ---- memory/string ----
 
-// copyGuest copies n bytes, preserving capability tags for aligned
-// capability-sized spans ("Architectural capabilities are maintained
-// across various low-level C idioms including explicit and implied memory
-// copies").
+// copyGuest copies n bytes through the uaccess bulk engine, preserving
+// capability tags for aligned capability-sized spans ("Architectural
+// capabilities are maintained across various low-level C idioms including
+// explicit and implied memory copies"). The copy is memmove-like
+// (overlap-safe), which is why the simulator's memcpy and memmove share
+// one implementation.
 func (rt *Runtime) copyGuest(dst cap.Capability, dstVA uint64, src cap.Capability, srcVA, n uint64) error {
-	c := rt.k.M.CPU
-	g := rt.k.M.Fmt.Bytes
-	if dstVA%g == 0 && srcVA%g == 0 && src.HasPerm(cap.PermLoadCap) && dst.HasPerm(cap.PermStoreCap) {
-		for n >= g {
-			v, err := c.LoadCapVia(src, srcVA)
-			if err != nil {
-				return err
-			}
-			if v.Tag() {
-				if err := c.StoreCapVia(dst, dstVA, v); err != nil {
-					return err
-				}
-			} else {
-				// Untagged granule: copy the raw words (the decoded
-				// capability view only preserves the cursor bits).
-				for o := uint64(0); o < g; o += 8 {
-					w, err := c.LoadVia(src, srcVA+o, 8)
-					if err != nil {
-						return err
-					}
-					if err := c.StoreVia(dst, dstVA+o, 8, w); err != nil {
-						return err
-					}
-				}
-			}
-			dstVA += g
-			srcVA += g
-			n -= g
-		}
-	}
-	for n > 0 {
-		v, err := c.LoadVia(src, srcVA, 1)
-		if err != nil {
-			return err
-		}
-		if err := c.StoreVia(dst, dstVA, 1, v); err != nil {
-			return err
-		}
-		dstVA++
-		srcVA++
-		n--
-	}
-	return nil
+	return rt.k.M.UA.Copy(dst, dstVA, src, srcVA, n)
 }
 
 // asanViolates checks the shadow of [addr, addr+n) for ASan processes,
@@ -292,11 +251,7 @@ func (rt *Runtime) nMemset(t *kernel.Thread) kernel.Errno {
 	if rt.asanIntercept(t, [2]uint64{dst.Addr(), n}) {
 		return kernel.OK
 	}
-	buf := make([]byte, n)
-	for i := range buf {
-		buf[i] = v
-	}
-	if err := rt.k.M.CPU.WriteBytesVia(dst, dst.Addr(), buf); err != nil {
+	if err := rt.k.M.UA.Fill(dst, dst.Addr(), v, n); err != nil {
 		return rt.memFault(t, err)
 	}
 	rt.k.NativeRetCap(t, dst)
@@ -326,23 +281,11 @@ func (rt *Runtime) nMemcmp(t *kernel.Thread) kernel.Errno {
 	return kernel.OK
 }
 
-// readCStr walks a guest string through its capability.
+// readCStr walks a guest string through its capability via the uaccess
+// page-run scanner (bounded at 1 MiB, standing in for an unterminated-
+// string runaway).
 func (rt *Runtime) readCStr(auth cap.Capability, va uint64) (string, error) {
-	c := rt.k.M.CPU
-	var out []byte
-	for i := uint64(0); ; i++ {
-		v, err := c.LoadVia(auth, va+i, 1)
-		if err != nil {
-			return "", err
-		}
-		if v == 0 {
-			return string(out), nil
-		}
-		out = append(out, byte(v))
-		if i > 1<<20 {
-			return "", fmt.Errorf("libc: unterminated string")
-		}
-	}
+	return rt.k.M.UA.CString(auth, va, 1<<20)
 }
 
 func (rt *Runtime) nStrlen(t *kernel.Thread) kernel.Errno {
@@ -362,7 +305,7 @@ func (rt *Runtime) nStrcpy(t *kernel.Thread) kernel.Errno {
 	if err != nil {
 		return rt.memFault(t, err)
 	}
-	if err := rt.k.M.CPU.WriteBytesVia(dst, dst.Addr(), append([]byte(str), 0)); err != nil {
+	if err := rt.k.M.UA.Write(dst, dst.Addr(), append([]byte(str), 0)); err != nil {
 		return rt.memFault(t, err)
 	}
 	rt.k.NativeRetCap(t, dst)
@@ -379,7 +322,7 @@ func (rt *Runtime) nStrncpy(t *kernel.Thread) kernel.Errno {
 	}
 	buf := make([]byte, n)
 	copy(buf, str)
-	if err := rt.k.M.CPU.WriteBytesVia(dst, dst.Addr(), buf); err != nil {
+	if err := rt.k.M.UA.Write(dst, dst.Addr(), buf); err != nil {
 		return rt.memFault(t, err)
 	}
 	rt.k.NativeRetCap(t, dst)
@@ -427,7 +370,7 @@ func (rt *Runtime) nStrcat(t *kernel.Thread) kernel.Errno {
 	if err != nil {
 		return rt.memFault(t, err)
 	}
-	if err := rt.k.M.CPU.WriteBytesVia(dst, dst.Addr()+uint64(len(d)), append([]byte(s), 0)); err != nil {
+	if err := rt.k.M.UA.Write(dst, dst.Addr()+uint64(len(d)), append([]byte(s), 0)); err != nil {
 		return rt.memFault(t, err)
 	}
 	rt.k.NativeRetCap(t, dst)
@@ -674,7 +617,7 @@ func (rt *Runtime) nSnprintf(t *kernel.Thread) kernel.Errno {
 		}
 		s = s[:n-1]
 	}
-	if err := rt.k.M.CPU.WriteBytesVia(buf, buf.Addr(), append([]byte(s), 0)); err != nil {
+	if err := rt.k.M.UA.Write(buf, buf.Addr(), append([]byte(s), 0)); err != nil {
 		return rt.memFault(t, err)
 	}
 	rt.k.NativeRet(t, uint64(full))

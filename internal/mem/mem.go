@@ -364,6 +364,55 @@ func (m *Physical) CopyTagged(dst, src, n uint64) {
 	m.touch(dst, n)
 }
 
+// WriteTagged copies buf into memory at pa and sets the overlapped
+// granule tags from tags (one per granule), used by tag-preserving bulk
+// copies staged through a host buffer. pa and len(buf) must be
+// granule-aligned and len(tags) must be len(buf)/granule.
+func (m *Physical) WriteTagged(pa uint64, buf []byte, tags []bool) {
+	n := uint64(len(buf))
+	if pa%m.granule != 0 || n%m.granule != 0 || uint64(len(tags)) != n/m.granule {
+		panic("mem: WriteTagged requires granule alignment")
+	}
+	m.check(pa, n)
+	for done := uint64(0); done < n; {
+		span := n - done
+		if r := chunkSize - (pa+done)&chunkMask; r < span {
+			span = r
+		}
+		ch, t := m.materialize(pa + done)
+		off := (pa + done) & chunkMask
+		copy(ch[off:off+span], buf[done:done+span])
+		copy(t[off/m.granule:(off+span)/m.granule], tags[done/m.granule:(done+span)/m.granule])
+		done += span
+	}
+	m.touch(pa, n)
+}
+
+// Fill stores n copies of v starting at pa, clearing overlapped tags.
+// Filling with zero leaves untouched chunks unmaterialized, like Zero.
+func (m *Physical) Fill(pa, n uint64, v byte) {
+	if v == 0 {
+		m.Zero(pa, n)
+		return
+	}
+	m.check(pa, n)
+	for done := uint64(0); done < n; {
+		p := pa + done
+		span := n - done
+		if r := chunkSize - p&chunkMask; r < span {
+			span = r
+		}
+		ch, _ := m.materialize(p)
+		off := p & chunkMask
+		for i := uint64(0); i < span; i++ {
+			ch[off+i] = v
+		}
+		done += span
+	}
+	m.clearTags(pa, n)
+	m.touch(pa, n)
+}
+
 // ExtractTags returns the tags of the n/granule granules in [pa, pa+n),
 // used by the swapper to preserve abstract capabilities across storage
 // that cannot hold tags.

@@ -23,6 +23,7 @@ import (
 	"cheriabi/internal/cap"
 	"cheriabi/internal/image"
 	"cheriabi/internal/mem"
+	"cheriabi/internal/uaccess"
 	"cheriabi/internal/vm"
 )
 
@@ -122,22 +123,10 @@ func (ld *Linker) trace(kind string, c cap.Capability) {
 	}
 }
 
-// writeBytes stores raw bytes at va (pages must already be mapped).
+// writeBytes stores raw bytes at va (pages must already be mapped),
+// through the same construction-write helper the kernel's execve uses.
 func (ld *Linker) writeBytes(va uint64, b []byte) error {
-	for len(b) > 0 {
-		pa, pf := ld.AS.Translate(va, vm.ProtRead) // prot checked at map time; data may be in RO pages
-		if pf != nil {
-			return pf
-		}
-		chunk := vm.PageSize - va%vm.PageSize
-		if chunk > uint64(len(b)) {
-			chunk = uint64(len(b))
-		}
-		ld.Mem.WriteBytes(pa, b[:chunk])
-		b = b[chunk:]
-		va += chunk
-	}
-	return nil
+	return uaccess.WriteAS(ld.Mem, ld.AS, va, b)
 }
 
 func (ld *Linker) writeWord(va uint64, v uint64) error {

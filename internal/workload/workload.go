@@ -85,6 +85,10 @@ type BuildOptions struct {
 	// execution engine for this run (host-side ablation; guest-visible
 	// results are identical either way).
 	DisableThreadedDispatch bool
+	// DisableBulkFastPath forces the uaccess subsystem's byte-at-a-time
+	// slow path for this run (host-side ablation; guest-visible results
+	// are identical either way).
+	DisableBulkFastPath bool
 }
 
 // Build compiles a workload (and its libraries) for the given options.
@@ -125,6 +129,7 @@ func Run(w Workload, opt BuildOptions, seed int64) (Measurement, error) {
 		Seed:                    seed,
 		DisableDecodeCache:      opt.DisableDecodeCache,
 		DisableThreadedDispatch: opt.DisableThreadedDispatch,
+		DisableBulkFastPath:     opt.DisableBulkFastPath,
 	})
 	var codeBytes uint64
 	for _, lib := range libs {

@@ -105,6 +105,9 @@ type Config struct {
 	MemBytes uint64
 	// Seed perturbs layout (ASLR-style variance across runs).
 	Seed int64
+	// UrandomSeed seeds the deterministic /dev/urandom stream; zero
+	// derives it from Seed, so equal-seed boots read identical bytes.
+	UrandomSeed uint64
 	// Console mirrors all process output when non-nil.
 	Console io.Writer
 	// Cap256 selects the uncompressed 256-bit capability format.
@@ -152,6 +155,7 @@ func NewSystem(cfg Config) *System {
 		MemBytes:                cfg.MemBytes,
 		Format:                  format,
 		Seed:                    cfg.Seed,
+		UrandomSeed:             cfg.UrandomSeed,
 		Console:                 cfg.Console,
 		Tracer:                  cfg.Tracer,
 		DisableDecodeCache:      cfg.DisableDecodeCache,

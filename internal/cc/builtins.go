@@ -68,6 +68,11 @@ const (
 	sysGetTime
 	sysUnlink
 	sysSwapSelf
+	sysReadv
+	sysWritev
+	sysPread
+	sysPwrite
+	sysFtruncate
 )
 
 var builtins = map[string]builtin{
@@ -107,6 +112,11 @@ var builtins = map[string]builtin{
 	"gettime":     {kind: bSyscall, num: sysGetTime, spec: ""},
 	"unlink":      {kind: bSyscall, num: sysUnlink, spec: "p"},
 	"swapself":    {kind: bSyscall, num: sysSwapSelf, spec: ""},
+	"readv":       {kind: bSyscall, num: sysReadv, spec: "ipi"},
+	"writev":      {kind: bSyscall, num: sysWritev, spec: "ipi"},
+	"pread":       {kind: bSyscall, num: sysPread, spec: "ipii"},
+	"pwrite":      {kind: bSyscall, num: sysPwrite, spec: "ipii"},
+	"ftruncate":   {kind: bSyscall, num: sysFtruncate, spec: "ii"},
 
 	// C runtime natives.
 	"malloc":  {kind: bNative, num: nat.Malloc, spec: "i", retPtr: true},

@@ -110,6 +110,11 @@ var sysTable = [...]sysDef{
 	SysGetTime:     {name: "gettime", spec: "", sig: "gettime()", fn: sysGetTime},
 	SysUnlink:      {name: "unlink", spec: "s", sig: "unlink(path:str)", fn: sysUnlink},
 	SysSwapSelf:    {name: "swapself", spec: "", sig: "swapself()", fn: sysSwapSelf},
+	SysReadv:       {name: "readv", spec: "ipi", sig: "readv(fd, iov:in[n*iovsz], n) — per-segment base caps authorize the transfers", fn: sysReadv},
+	SysWritev:      {name: "writev", spec: "ipi", sig: "writev(fd, iov:in[n*iovsz], n) — per-segment base caps authorize the transfers", fn: sysWritev},
+	SysPread:       {name: "pread", spec: "ipii", sig: "pread(fd, buf:out[len<=n], n, off)", fn: sysPread},
+	SysPwrite:      {name: "pwrite", spec: "ipii", sig: "pwrite(fd, buf:in[len<=n], n, off)", fn: sysPwrite},
+	SysFtruncate:   {name: "ftruncate", spec: "ii", sig: "ftruncate(fd, len)", fn: sysFtruncate},
 }
 
 // decodeArgs decodes the register state of the in-flight syscall per

@@ -28,7 +28,9 @@ const (
 	ENFILE  Errno = 23
 	EMFILE  Errno = 24
 	ENOTTY  Errno = 25
+	EFBIG   Errno = 27
 	ENOSPC  Errno = 28
+	ESPIPE  Errno = 29
 	EPIPE   Errno = 32
 	ERANGE  Errno = 34
 	ENOSYS  Errno = 78
@@ -42,8 +44,8 @@ var errnoNames = map[Errno]string{
 	EIO: "EIO", E2BIG: "E2BIG", ENOEXEC: "ENOEXEC", EBADF: "EBADF",
 	ECHILD: "ECHILD", ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT",
 	EBUSY: "EBUSY", EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR",
-	EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE", ENOTTY: "ENOTTY",
-	ENOSPC: "ENOSPC", EPIPE: "EPIPE", ERANGE: "ERANGE", ENOSYS: "ENOSYS",
+	EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE", ENOTTY: "ENOTTY", EFBIG: "EFBIG",
+	ENOSPC: "ENOSPC", ESPIPE: "ESPIPE", EPIPE: "EPIPE", ERANGE: "ERANGE", ENOSYS: "ENOSYS",
 	ECAPMODE: "ECAPMODE",
 }
 

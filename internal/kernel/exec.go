@@ -48,8 +48,9 @@ func (k *Kernel) Spawn(path string, argv, envv []string) (*Proc, error) {
 		k.exitProc(p, int(SIGABRT))
 		return nil, err
 	}
-	// Standard descriptors: console in/out/err.
-	tty := &FDesc{node: &fsNode{name: "tty", kind: nodeTTY}, refs: 3, console: p}
+	// Standard descriptors: console in/out/err, one shared open-file
+	// description (the same console File object behind all three).
+	tty := &FDesc{file: &ttyFile{k: k, console: p}, flags: ORdWr, refs: 3}
 	p.FDs = []*FDesc{tty, tty, tty}
 	return p, nil
 }

@@ -1,0 +1,361 @@
+package kernel
+
+import (
+	"encoding/binary"
+
+	"cheriabi/internal/cap"
+)
+
+// The pluggable open-file layer. Every object a descriptor can name —
+// regular vnodes, pipe ends, devices, kqueues, the console — implements
+// the File interface, and the syscall layer dispatches through it
+// uniformly: no payload-field or kind switches survive in syscalls.go.
+// FDesc is only the per-open-file-description state (offset, open flags,
+// reference count) that dup(2) and fork(2) share.
+//
+// Contract (see DESIGN.md, "The File interface"):
+//
+//   - File methods never block. Would-block conditions are expressed
+//     through Poll; the syscall layer parks the thread with
+//     Thread.block(Poll) and the syscall restarts on wake.
+//   - All user-memory transfer is staged by the *caller* through
+//     internal/uaccess (one capability check per transfer, page-run bulk
+//     copies); File methods move bytes between kernel scratch buffers and
+//     the object only.
+//   - Read/Write operate at the descriptor cursor (f.off) and advance it
+//     if the object is seekable; Pread/Pwrite are positional and leave
+//     the cursor alone. Non-seekable objects return ESPIPE from the
+//     positional forms and from Seek.
+//   - Close is called exactly once, when the last descriptor reference
+//     to the open-file description goes away.
+
+// PollKind selects a readiness direction for Poll.
+type PollKind int
+
+// Poll directions.
+const (
+	PollIn PollKind = iota
+	PollOut
+)
+
+// FileStat is the fstat(2) payload: size and object kind.
+type FileStat struct {
+	Size int64
+	Kind uint64
+}
+
+// Guest-visible object kinds reported in fstat's second word.
+const (
+	StatFile uint64 = iota
+	StatDir
+	StatDev
+	StatPipe
+	StatKqueue
+)
+
+// File is one open file object.
+type File interface {
+	// Read reads up to len(b) bytes at the descriptor cursor into b,
+	// advancing the cursor for seekable objects. Returns 0, OK at EOF.
+	Read(f *FDesc, b []byte) (int, Errno)
+	// Write writes b at the descriptor cursor (honouring OAppend),
+	// returning the bytes accepted — pipes may accept a short count.
+	Write(f *FDesc, b []byte) (int, Errno)
+	// Pread reads up to len(b) bytes at offset off, cursor untouched.
+	Pread(b []byte, off int64) (int, Errno)
+	// Pwrite writes b at offset off, cursor untouched.
+	Pwrite(b []byte, off int64) (int, Errno)
+	// Seek repositions the descriptor cursor and returns it.
+	Seek(f *FDesc, off int64, whence int) (int64, Errno)
+	// Truncate sets the object's size.
+	Truncate(size int64) Errno
+	// Ioctl handles object-specific control requests; argp transfers go
+	// through the caller-provided kernel's uaccess engine.
+	Ioctl(k *Kernel, t *Thread, f *FDesc, cmd uint64, argp cap.Capability) Errno
+	// Poll reports whether a transfer in the given direction would make
+	// progress without blocking (including "progress" that is an error
+	// return, e.g. EOF or EPIPE).
+	Poll(kind PollKind) bool
+	// Close releases the object; called once, at the last descriptor ref.
+	Close()
+	// Stat reports size and kind.
+	Stat() FileStat
+}
+
+// baseFile supplies stream-object defaults: unreadable/unwritable until
+// overridden, unseekable, no ioctls, always ready, nothing to release.
+type baseFile struct{}
+
+func (baseFile) Read(*FDesc, []byte) (int, Errno)  { return 0, EBADF }
+func (baseFile) Write(*FDesc, []byte) (int, Errno) { return 0, EBADF }
+func (baseFile) Pread([]byte, int64) (int, Errno)  { return 0, ESPIPE }
+func (baseFile) Pwrite([]byte, int64) (int, Errno) { return 0, ESPIPE }
+func (baseFile) Seek(*FDesc, int64, int) (int64, Errno) {
+	return 0, ESPIPE
+}
+func (baseFile) Truncate(int64) Errno { return EINVAL }
+func (baseFile) Ioctl(*Kernel, *Thread, *FDesc, uint64, cap.Capability) Errno {
+	return ENOTTY
+}
+func (baseFile) Poll(PollKind) bool { return true }
+func (baseFile) Close()             {}
+
+// ---- regular files ----
+
+// vnodeFile is an open regular file backed by an fsNode.
+type vnodeFile struct {
+	baseFile
+	node *fsNode
+}
+
+func (v *vnodeFile) Read(f *FDesc, b []byte) (int, Errno) {
+	n, e := v.Pread(b, f.off)
+	f.off += int64(n)
+	return n, e
+}
+
+func (v *vnodeFile) Pread(b []byte, off int64) (int, Errno) {
+	if off < 0 {
+		return 0, EINVAL
+	}
+	if off >= int64(len(v.node.data)) {
+		return 0, OK // EOF
+	}
+	return copy(b, v.node.data[off:]), OK
+}
+
+func (v *vnodeFile) Write(f *FDesc, b []byte) (int, Errno) {
+	if f.flags&OAppend != 0 {
+		f.off = int64(len(v.node.data))
+	}
+	n, e := v.Pwrite(b, f.off)
+	f.off += int64(n)
+	return n, e
+}
+
+// vnodeMaxBytes bounds a regular file's size. Guest-chosen offsets reach
+// grow() directly through ftruncate(2), pwrite(2), and lseek+write, so
+// an unbounded value would be an unbounded *host* allocation (or an
+// integer-overflowed slice bound) — a file-size limit is the kernel's
+// classic answer, surfaced as EFBIG.
+const vnodeMaxBytes = 1 << 30
+
+// grow extends the backing data with zeros up to end (one allocation;
+// callers have already bounds-checked end against vnodeMaxBytes).
+func (v *vnodeFile) grow(end int64) {
+	if n := end - int64(len(v.node.data)); n > 0 {
+		v.node.data = append(v.node.data, make([]byte, n)...)
+	}
+}
+
+func (v *vnodeFile) Pwrite(b []byte, off int64) (int, Errno) {
+	if off < 0 {
+		return 0, EINVAL
+	}
+	if off > vnodeMaxBytes-int64(len(b)) {
+		return 0, EFBIG
+	}
+	end := off + int64(len(b))
+	v.grow(end)
+	copy(v.node.data[off:end], b)
+	return len(b), OK
+}
+
+func (v *vnodeFile) Seek(f *FDesc, off int64, whence int) (int64, Errno) {
+	var pos int64
+	switch whence {
+	case 0:
+		pos = off
+	case 1:
+		pos = f.off + off
+	case 2:
+		pos = int64(len(v.node.data)) + off
+	default:
+		return 0, EINVAL
+	}
+	if pos < 0 {
+		return 0, EINVAL // the cursor stays where it was
+	}
+	f.off = pos
+	return pos, OK
+}
+
+func (v *vnodeFile) Truncate(size int64) Errno {
+	if size < 0 {
+		return EINVAL
+	}
+	if size > vnodeMaxBytes {
+		return EFBIG
+	}
+	v.grow(size)
+	v.node.data = v.node.data[:size]
+	return OK
+}
+
+func (v *vnodeFile) Stat() FileStat {
+	return FileStat{Size: int64(len(v.node.data)), Kind: StatFile}
+}
+
+// dirFile is an open directory (O_RDONLY only); transfers fail EISDIR.
+type dirFile struct{ baseFile }
+
+func (dirFile) Read(*FDesc, []byte) (int, Errno)  { return 0, EISDIR }
+func (dirFile) Write(*FDesc, []byte) (int, Errno) { return 0, EISDIR }
+func (dirFile) Pread([]byte, int64) (int, Errno)  { return 0, EISDIR }
+func (dirFile) Pwrite([]byte, int64) (int, Errno) { return 0, EISDIR }
+func (dirFile) Stat() FileStat                    { return FileStat{Kind: StatDir} }
+
+// ---- pipes ----
+
+// pipe is the shared unidirectional byte channel between two pipeFiles.
+type pipe struct {
+	buf     []byte
+	readers int
+	writers int
+}
+
+const pipeCap = 64 << 10
+
+// pipeFile is one end of a pipe. Poll is end-agnostic (matching select's
+// historical behaviour here); the access mode on the descriptor is what
+// stops reads on the write end and vice versa.
+type pipeFile struct {
+	baseFile
+	pip      *pipe
+	writeEnd bool
+}
+
+func (pf *pipeFile) Read(f *FDesc, b []byte) (int, Errno) {
+	if pf.writeEnd {
+		return 0, EBADF
+	}
+	if len(pf.pip.buf) == 0 {
+		return 0, OK // writers gone: EOF (Poll gates the blocking case)
+	}
+	n := copy(b, pf.pip.buf)
+	pf.pip.buf = pf.pip.buf[n:]
+	return n, OK
+}
+
+func (pf *pipeFile) Write(f *FDesc, b []byte) (int, Errno) {
+	if !pf.writeEnd {
+		return 0, EBADF
+	}
+	if pf.pip.readers == 0 {
+		return 0, EPIPE
+	}
+	n := len(b)
+	if space := pipeCap - len(pf.pip.buf); n > space {
+		n = space
+	}
+	pf.pip.buf = append(pf.pip.buf, b[:n]...)
+	return n, OK
+}
+
+func (pf *pipeFile) Poll(kind PollKind) bool {
+	if kind == PollIn {
+		return len(pf.pip.buf) > 0 || pf.pip.writers == 0
+	}
+	return len(pf.pip.buf) < pipeCap || pf.pip.readers == 0
+}
+
+func (pf *pipeFile) Close() {
+	if pf.writeEnd {
+		pf.pip.writers--
+	} else {
+		pf.pip.readers--
+	}
+}
+
+func (pf *pipeFile) Stat() FileStat {
+	return FileStat{Size: int64(len(pf.pip.buf)), Kind: StatPipe}
+}
+
+// ---- devices ----
+
+// ttyFile is the console device: writes land in the owning process's
+// Stdout (and the machine console); reads report EOF.
+type ttyFile struct {
+	baseFile
+	k       *Kernel
+	console *Proc
+}
+
+func (tf *ttyFile) Read(*FDesc, []byte) (int, Errno) { return 0, OK }
+
+func (tf *ttyFile) Write(f *FDesc, b []byte) (int, Errno) {
+	tf.console.Stdout.Write(b)
+	if tf.k.Console != nil {
+		tf.k.Console.Write(b)
+	}
+	return len(b), OK
+}
+
+func (tf *ttyFile) Ioctl(k *Kernel, t *Thread, f *FDesc, cmd uint64, argp cap.Capability) Errno {
+	if cmd != IoctlTIOCGWINSZ {
+		return ENOTTY
+	}
+	var ws [8]byte
+	binary.LittleEndian.PutUint16(ws[0:], 24)
+	binary.LittleEndian.PutUint16(ws[2:], 80)
+	return k.copyOut(argp, ws[:])
+}
+
+func (tf *ttyFile) Stat() FileStat { return FileStat{Kind: StatDev} }
+
+// nullFile is /dev/null: reads are EOF, writes vanish.
+type nullFile struct{ baseFile }
+
+func (nullFile) Read(*FDesc, []byte) (int, Errno)      { return 0, OK }
+func (nullFile) Pread([]byte, int64) (int, Errno)      { return 0, OK }
+func (nullFile) Write(f *FDesc, b []byte) (int, Errno) { return len(b), OK }
+func (nullFile) Pwrite(b []byte, off int64) (int, Errno) {
+	return len(b), OK
+}
+func (nullFile) Stat() FileStat { return FileStat{Kind: StatDev} }
+
+// zeroFile is /dev/zero: reads supply zeros, writes vanish.
+type zeroFile struct{ baseFile }
+
+func (zeroFile) Read(f *FDesc, b []byte) (int, Errno) {
+	for i := range b {
+		b[i] = 0
+	}
+	return len(b), OK
+}
+func (z zeroFile) Pread(b []byte, off int64) (int, Errno) { return z.Read(nil, b) }
+func (zeroFile) Write(f *FDesc, b []byte) (int, Errno)    { return len(b), OK }
+func (zeroFile) Pwrite(b []byte, off int64) (int, Errno)  { return len(b), OK }
+func (zeroFile) Stat() FileStat                           { return FileStat{Kind: StatDev} }
+
+// urandomFile is /dev/urandom: a per-boot-seed deterministic xorshift
+// stream (differential runs replay the same syscall sequence, so runs
+// with equal seeds stay bit-identical). Writes "add entropy" — accepted
+// and ignored, like the real device.
+type urandomFile struct {
+	baseFile
+	k *Kernel
+}
+
+func (uf *urandomFile) Read(f *FDesc, b []byte) (int, Errno) {
+	uf.k.urandomBytes(b)
+	return len(b), OK
+}
+func (uf *urandomFile) Pread(b []byte, off int64) (int, Errno) {
+	return uf.Read(nil, b)
+}
+func (uf *urandomFile) Write(f *FDesc, b []byte) (int, Errno)   { return len(b), OK }
+func (uf *urandomFile) Pwrite(b []byte, off int64) (int, Errno) { return len(b), OK }
+func (uf *urandomFile) Stat() FileStat                          { return FileStat{Kind: StatDev} }
+
+// ---- kqueues ----
+
+// kqueueFile wraps a kqueue so its descriptor flows through the same
+// layer; data transfers on it fail EBADF (baseFile), kevent(2) reaches
+// the kq through Proc.kqs.
+type kqueueFile struct {
+	baseFile
+	kq *kqueue
+}
+
+func (kf *kqueueFile) Stat() FileStat { return FileStat{Kind: StatKqueue} }

@@ -1,0 +1,271 @@
+package kernel
+
+import "testing"
+
+// Unit tests for the File implementations, below the syscall layer.
+
+func TestVnodeFileReadWriteSeekTruncate(t *testing.T) {
+	node := &fsNode{name: "f", kind: nodeFile}
+	v := &vnodeFile{node: node}
+	f := &FDesc{file: v, flags: ORdWr, refs: 1}
+
+	if n, e := v.Write(f, []byte("hello world")); n != 11 || e != OK {
+		t.Fatalf("write: %d %v", n, e)
+	}
+	if f.off != 11 {
+		t.Fatalf("cursor after write: %d", f.off)
+	}
+	if _, e := v.Seek(f, 0, 0); e != OK {
+		t.Fatal(e)
+	}
+	buf := make([]byte, 5)
+	if n, e := v.Read(f, buf); n != 5 || e != OK || string(buf) != "hello" {
+		t.Fatalf("read: %d %v %q", n, e, buf)
+	}
+	// Positional forms leave the cursor alone.
+	if n, e := v.Pread(buf, 6); n != 5 || e != OK || string(buf) != "world" {
+		t.Fatalf("pread: %d %v %q", n, e, buf)
+	}
+	if f.off != 5 {
+		t.Fatalf("cursor disturbed by pread: %d", f.off)
+	}
+	if n, e := v.Pwrite([]byte("WORLD"), 6); n != 5 || e != OK {
+		t.Fatalf("pwrite: %d %v", n, e)
+	}
+	if string(node.data) != "hello WORLD" {
+		t.Fatalf("data %q", node.data)
+	}
+	// EOF.
+	if n, e := v.Pread(buf, 100); n != 0 || e != OK {
+		t.Fatalf("pread past EOF: %d %v", n, e)
+	}
+	// Truncate shrinks and grows zero-filled.
+	if e := v.Truncate(5); e != OK {
+		t.Fatal(e)
+	}
+	if e := v.Truncate(8); e != OK {
+		t.Fatal(e)
+	}
+	if string(node.data) != "hello\x00\x00\x00" {
+		t.Fatalf("after truncate: %q", node.data)
+	}
+	if e := v.Truncate(-1); e != EINVAL {
+		t.Fatalf("negative truncate: %v", e)
+	}
+	if st := v.Stat(); st.Size != 8 || st.Kind != StatFile {
+		t.Fatalf("stat %+v", st)
+	}
+	// Append mode: the cursor snaps to the end before the write.
+	fa := &FDesc{file: v, flags: ORdWr | OAppend, refs: 1}
+	if n, e := v.Write(fa, []byte("!")); n != 1 || e != OK {
+		t.Fatalf("append write: %d %v", n, e)
+	}
+	if string(node.data) != "hello\x00\x00\x00!" {
+		t.Fatalf("append landed at %q", node.data)
+	}
+}
+
+func TestVnodeFileOffsetBounds(t *testing.T) {
+	node := &fsNode{name: "f", kind: nodeFile, data: []byte("abc")}
+	v := &vnodeFile{node: node}
+	f := &FDesc{file: v, flags: ORdWr, refs: 1}
+
+	// Guest-chosen offsets must not become unbounded host allocations or
+	// overflowed slice bounds: past the size limit is EFBIG.
+	if _, e := v.Pwrite([]byte("x"), vnodeMaxBytes); e != EFBIG {
+		t.Fatalf("pwrite past max: %v", e)
+	}
+	if _, e := v.Pwrite([]byte("xy"), int64(^uint64(0)>>1)); e != EFBIG {
+		t.Fatalf("pwrite at MaxInt64: %v", e)
+	}
+	if e := v.Truncate(vnodeMaxBytes + 1); e != EFBIG {
+		t.Fatalf("truncate past max: %v", e)
+	}
+	if len(node.data) != 3 {
+		t.Fatalf("rejected writes changed the file: %q", node.data)
+	}
+	// A negative resulting position is EINVAL and leaves the cursor.
+	f.off = 2
+	if _, e := v.Seek(f, -5, 0); e != EINVAL {
+		t.Fatalf("negative SEEK_SET: %v", e)
+	}
+	if _, e := v.Seek(f, -10, 1); e != EINVAL {
+		t.Fatalf("negative SEEK_CUR result: %v", e)
+	}
+	if _, e := v.Seek(f, -99, 2); e != EINVAL {
+		t.Fatalf("negative SEEK_END result: %v", e)
+	}
+	if f.off != 2 {
+		t.Fatalf("failed seek moved the cursor to %d", f.off)
+	}
+}
+
+func TestPipeFileSemantics(t *testing.T) {
+	pip := &pipe{readers: 1, writers: 1}
+	r := &pipeFile{pip: pip}
+	w := &pipeFile{pip: pip, writeEnd: true}
+	f := &FDesc{}
+
+	// Wrong-direction transfers fail even below the access-mode check.
+	if _, e := r.Write(f, []byte("x")); e != EBADF {
+		t.Fatalf("write to read end: %v", e)
+	}
+	if _, e := w.Read(f, make([]byte, 1)); e != EBADF {
+		t.Fatalf("read from write end: %v", e)
+	}
+	// Positional forms are ESPIPE.
+	if _, e := r.Pread(make([]byte, 1), 0); e != ESPIPE {
+		t.Fatalf("pread on pipe: %v", e)
+	}
+	if _, e := w.Pwrite([]byte("x"), 0); e != ESPIPE {
+		t.Fatalf("pwrite on pipe: %v", e)
+	}
+	// Data round trip; a full pipe accepts a short count.
+	if n, e := w.Write(f, []byte("abc")); n != 3 || e != OK {
+		t.Fatalf("write: %d %v", n, e)
+	}
+	big := make([]byte, pipeCap)
+	n, e := w.Write(f, big)
+	if e != OK || n != pipeCap-3 {
+		t.Fatalf("short write into a filling pipe: %d %v", n, e)
+	}
+	buf := make([]byte, 3)
+	if n, e := r.Read(f, buf); n != 3 || e != OK || string(buf) != "abc" {
+		t.Fatalf("read: %d %v %q", n, e, buf)
+	}
+	// Reader-less pipe: EPIPE.
+	pip.readers = 0
+	if _, e := w.Write(f, []byte("x")); e != EPIPE {
+		t.Fatalf("write to readerless pipe: %v", e)
+	}
+	// Writer close transitions EOF readiness.
+	pip2 := &pipe{readers: 1, writers: 1}
+	r2 := &pipeFile{pip: pip2}
+	w2 := &pipeFile{pip: pip2, writeEnd: true}
+	if r2.Poll(PollIn) {
+		t.Fatal("empty pipe with a writer polled readable")
+	}
+	w2.Close()
+	if pip2.writers != 0 {
+		t.Fatal("writer count not dropped")
+	}
+	if !r2.Poll(PollIn) {
+		t.Fatal("writer-less pipe must poll readable (EOF)")
+	}
+	if n, e := r2.Read(f, buf); n != 0 || e != OK {
+		t.Fatalf("EOF read: %d %v", n, e)
+	}
+	if st := r2.Stat(); st.Kind != StatPipe {
+		t.Fatalf("stat %+v", st)
+	}
+}
+
+func TestDeviceFiles(t *testing.T) {
+	f := &FDesc{}
+	b := []byte{1, 2, 3, 4}
+
+	var z zeroFile
+	if n, e := z.Read(f, b); n != 4 || e != OK {
+		t.Fatalf("zero read: %d %v", n, e)
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatalf("zero read produced %v", b)
+		}
+	}
+	if n, e := z.Write(f, b); n != 4 || e != OK {
+		t.Fatalf("zero write: %d %v", n, e)
+	}
+
+	var nl nullFile
+	if n, e := nl.Read(f, b); n != 0 || e != OK {
+		t.Fatalf("null read: %d %v", n, e)
+	}
+	if n, e := nl.Pwrite(b, 7); n != 4 || e != OK {
+		t.Fatalf("null pwrite: %d %v", n, e)
+	}
+
+	var d dirFile
+	if _, e := d.Read(f, b); e != EISDIR {
+		t.Fatalf("dir read: %v", e)
+	}
+	if _, e := d.Write(f, b); e != EISDIR {
+		t.Fatalf("dir write: %v", e)
+	}
+
+	// Streams reject seeking; kqueue descriptors reject transfers.
+	kf := &kqueueFile{kq: &kqueue{}}
+	if _, e := kf.Read(f, b); e != EBADF {
+		t.Fatalf("kqueue read: %v", e)
+	}
+	if _, e := kf.Seek(f, 0, 0); e != ESPIPE {
+		t.Fatalf("kqueue seek: %v", e)
+	}
+	if st := kf.Stat(); st.Kind != StatKqueue {
+		t.Fatalf("kqueue stat %+v", st)
+	}
+}
+
+func TestUrandomDeterministicPerSeed(t *testing.T) {
+	read16 := func(cfg Config) [16]byte {
+		m := NewMachine(cfg)
+		uf := &urandomFile{k: m.Kern}
+		var out [16]byte
+		if n, e := uf.Read(nil, out[:]); n != 16 || e != OK {
+			t.Fatalf("urandom read: %d %v", n, e)
+		}
+		return out
+	}
+	a := read16(Config{MemBytes: 16 << 20, Seed: 7})
+	b := read16(Config{MemBytes: 16 << 20, Seed: 7})
+	if a != b {
+		t.Fatal("same boot seed produced different urandom streams")
+	}
+	c := read16(Config{MemBytes: 16 << 20, Seed: 8})
+	if a == c {
+		t.Fatal("different boot seeds produced the same urandom stream")
+	}
+	d := read16(Config{MemBytes: 16 << 20, Seed: 7, UrandomSeed: 0xDEADBEEF})
+	if a == d {
+		t.Fatal("explicit UrandomSeed did not override the derived stream")
+	}
+	e := read16(Config{MemBytes: 16 << 20, Seed: 9, UrandomSeed: 0xDEADBEEF})
+	if d != e {
+		t.Fatal("explicit UrandomSeed must pin the stream across boot seeds")
+	}
+	// Adjacent even/odd seeds are distinct states (regression: the state
+	// must not be rounded onto a shared odd value).
+	ev := read16(Config{MemBytes: 16 << 20, UrandomSeed: 0xDEADBEE0})
+	od := read16(Config{MemBytes: 16 << 20, UrandomSeed: 0xDEADBEE1})
+	if ev == od {
+		t.Fatal("adjacent UrandomSeeds collapsed onto one stream")
+	}
+	// The stream advances: successive reads differ.
+	m := NewMachine(Config{MemBytes: 16 << 20, Seed: 7})
+	uf := &urandomFile{k: m.Kern}
+	var x, y [16]byte
+	uf.Read(nil, x[:])
+	uf.Read(nil, y[:])
+	if x == y {
+		t.Fatal("urandom stream did not advance between reads")
+	}
+}
+
+func TestAccessModeHelpers(t *testing.T) {
+	cases := []struct {
+		flags  int
+		rd, wr bool
+	}{
+		{ORdOnly, true, false},
+		{OWrOnly, false, true},
+		{ORdWr, true, true},
+		{ORdOnly | OCreat | OTrunc, true, false},
+		{OWrOnly | OAppend, false, true},
+	}
+	for _, c := range cases {
+		f := &FDesc{flags: c.flags}
+		if f.mayRead() != c.rd || f.mayWrite() != c.wr {
+			t.Fatalf("flags %#x: mayRead=%v mayWrite=%v", c.flags, f.mayRead(), f.mayWrite())
+		}
+	}
+}

@@ -8,22 +8,29 @@ import (
 
 // The in-memory VFS: enough of a filesystem for the userland the
 // evaluation needs (binaries and libraries under /bin and /lib, scratch
-// space under /tmp, /dev/null and a console device).
+// space under /tmp, and a device table under /dev). Devices are table
+// entries, not enum cases: each /dev node carries a constructor that
+// builds the File object for one open(2).
 
 type nodeKind int
 
 const (
 	nodeFile nodeKind = iota
 	nodeDir
-	nodeNull
-	nodeTTY
+	nodeDev
 )
+
+// DeviceOpen constructs the File object for one open(2) of a device node.
+// It receives the kernel (for device state such as the urandom stream)
+// and the opening process (the console device binds to its opener).
+type DeviceOpen func(k *Kernel, p *Proc) File
 
 type fsNode struct {
 	name     string
 	kind     nodeKind
 	children map[string]*fsNode
 	data     []byte
+	dev      DeviceOpen
 }
 
 // FS is the in-memory filesystem.
@@ -31,15 +38,39 @@ type FS struct {
 	root *fsNode
 }
 
-// NewFS returns a filesystem with the standard hierarchy.
+// NewFS returns a filesystem with the standard hierarchy and the standard
+// device table.
 func NewFS() *FS {
 	fs := &FS{root: &fsNode{name: "/", kind: nodeDir, children: map[string]*fsNode{}}}
 	for _, d := range []string{"/bin", "/lib", "/tmp", "/etc", "/dev", "/var"} {
 		fs.Mkdir(d)
 	}
-	fs.root.children["dev"].children["null"] = &fsNode{name: "null", kind: nodeNull}
-	fs.root.children["dev"].children["tty"] = &fsNode{name: "tty", kind: nodeTTY}
+	fs.RegisterDevice("/dev/null", func(k *Kernel, p *Proc) File { return nullFile{} })
+	fs.RegisterDevice("/dev/zero", func(k *Kernel, p *Proc) File { return zeroFile{} })
+	fs.RegisterDevice("/dev/tty", func(k *Kernel, p *Proc) File { return &ttyFile{k: k, console: p} })
+	fs.RegisterDevice("/dev/urandom", func(k *Kernel, p *Proc) File { return &urandomFile{k: k} })
 	return fs
+}
+
+// RegisterDevice installs (or replaces) a device node at path. Adding a
+// device to the system is one table entry here — the syscall layer never
+// learns its name.
+func (fs *FS) RegisterDevice(path string, open DeviceOpen) error {
+	parts := splitPath(path)
+	if len(parts) == 0 {
+		return fmt.Errorf("fs: bad device path %q", path)
+	}
+	dir := fs.root
+	for _, p := range parts[:len(parts)-1] {
+		next := dir.children[p]
+		if next == nil || next.kind != nodeDir {
+			return fmt.Errorf("fs: no directory %q in %q", p, path)
+		}
+		dir = next
+	}
+	name := parts[len(parts)-1]
+	dir.children[name] = &fsNode{name: name, kind: nodeDev, dev: open}
+	return nil
 }
 
 func splitPath(path string) []string {
@@ -150,33 +181,22 @@ func (fs *FS) List(path string) ([]string, error) {
 
 // Open-file flags.
 const (
-	ORdOnly = 0x0
-	OWrOnly = 0x1
-	ORdWr   = 0x2
-	OCreat  = 0x200
-	OTrunc  = 0x400
-	OAppend = 0x8
+	ORdOnly  = 0x0
+	OWrOnly  = 0x1
+	ORdWr    = 0x2
+	OAccMode = 0x3
+	OCreat   = 0x200
+	OTrunc   = 0x400
+	OAppend  = 0x8
 )
 
-// pipe is a unidirectional byte channel.
-type pipe struct {
-	buf     []byte
-	readers int
-	writers int
-}
-
-const pipeCap = 64 << 10
-
-// FDesc is one open-file description; dup and fork share it.
+// FDesc is one open-file description: the File object plus the cursor,
+// open flags, and reference count that dup(2) and fork(2) share.
 type FDesc struct {
-	node    *fsNode
-	pip     *pipe
-	pipeW   bool // this end writes
-	off     int64
-	flags   int
-	refs    int
-	kq      *kqueue
-	console *Proc // tty writes land in this process's Stdout
+	file  File
+	off   int64
+	flags int
+	refs  int
 }
 
 func (f *FDesc) incref() *FDesc { f.refs++; return f }
@@ -186,27 +206,11 @@ func (f *FDesc) close() {
 	if f.refs > 0 {
 		return
 	}
-	if f.pip != nil {
-		if f.pipeW {
-			f.pip.writers--
-		} else {
-			f.pip.readers--
-		}
-	}
+	f.file.Close()
 }
 
-// readable reports whether a read would not block.
-func (f *FDesc) readable() bool {
-	if f.pip != nil {
-		return len(f.pip.buf) > 0 || f.pip.writers == 0
-	}
-	return true
-}
+// mayRead reports whether the descriptor's access mode permits reads.
+func (f *FDesc) mayRead() bool { return f.flags&OAccMode != OWrOnly }
 
-// writable reports whether a write would not block.
-func (f *FDesc) writable() bool {
-	if f.pip != nil {
-		return len(f.pip.buf) < pipeCap || f.pip.readers == 0
-	}
-	return true
-}
+// mayWrite reports whether the descriptor's access mode permits writes.
+func (f *FDesc) mayWrite() bool { return f.flags&OAccMode != ORdOnly }

@@ -64,17 +64,34 @@ func TestFSStandardLayout(t *testing.T) {
 			t.Fatalf("missing standard directory %s", d)
 		}
 	}
-	if n := fs.lookup("/dev/null"); n == nil || n.kind != nodeNull {
-		t.Fatal("missing /dev/null")
+	for _, dev := range []string{"/dev/null", "/dev/tty", "/dev/zero", "/dev/urandom"} {
+		n := fs.lookup(dev)
+		if n == nil || n.kind != nodeDev || n.dev == nil {
+			t.Fatalf("missing device-table entry %s", dev)
+		}
 	}
-	if n := fs.lookup("/dev/tty"); n == nil || n.kind != nodeTTY {
-		t.Fatal("missing /dev/tty")
+}
+
+func TestRegisterDevice(t *testing.T) {
+	fs := NewFS()
+	if err := fs.RegisterDevice("/dev/custom", func(k *Kernel, p *Proc) File { return nullFile{} }); err != nil {
+		t.Fatal(err)
+	}
+	n := fs.lookup("/dev/custom")
+	if n == nil || n.kind != nodeDev {
+		t.Fatal("registered device not visible")
+	}
+	if n.dev(nil, nil).Stat().Kind != StatDev {
+		t.Fatal("device constructor did not build a device file")
+	}
+	if err := fs.RegisterDevice("/nodir/x", nil); err == nil {
+		t.Fatal("device registration into a missing directory succeeded")
 	}
 }
 
 func TestFDescRefcountingClosesPipeEnds(t *testing.T) {
 	pip := &pipe{readers: 1, writers: 1}
-	w := &FDesc{pip: pip, pipeW: true, refs: 1}
+	w := &FDesc{file: &pipeFile{pip: pip, writeEnd: true}, flags: OWrOnly, refs: 1}
 	dup := w.incref()
 	w.close()
 	if pip.writers != 1 {
@@ -88,24 +105,24 @@ func TestFDescRefcountingClosesPipeEnds(t *testing.T) {
 
 func TestReadableWritable(t *testing.T) {
 	pip := &pipe{readers: 1, writers: 1}
-	r := &FDesc{pip: pip, refs: 1}
-	w := &FDesc{pip: pip, pipeW: true, refs: 1}
-	if r.readable() {
+	r := &pipeFile{pip: pip}
+	w := &pipeFile{pip: pip, writeEnd: true}
+	if r.Poll(PollIn) {
 		t.Fatal("empty pipe with live writer reported readable")
 	}
 	pip.buf = []byte("x")
-	if !r.readable() {
+	if !r.Poll(PollIn) {
 		t.Fatal("non-empty pipe not readable")
 	}
-	if !w.writable() {
+	if !w.Poll(PollOut) {
 		t.Fatal("pipe with space not writable")
 	}
 	pip.buf = make([]byte, pipeCap)
-	if w.writable() {
+	if w.Poll(PollOut) {
 		t.Fatal("full pipe reported writable")
 	}
 	pip.readers = 0
-	if !w.writable() {
+	if !w.Poll(PollOut) {
 		t.Fatal("write to readerless pipe should not block (EPIPE path)")
 	}
 }
@@ -139,13 +156,13 @@ func TestProcStatusHelpers(t *testing.T) {
 
 func TestAllocFDReusesLowestSlot(t *testing.T) {
 	p := &Proc{}
-	a := p.allocFD(&FDesc{refs: 1})
-	b := p.allocFD(&FDesc{refs: 1})
+	a := p.allocFD(&FDesc{file: nullFile{}, refs: 1})
+	b := p.allocFD(&FDesc{file: nullFile{}, refs: 1})
 	if a != 0 || b != 1 {
 		t.Fatalf("fds %d %d", a, b)
 	}
 	p.FDs[0] = nil
-	if got := p.allocFD(&FDesc{refs: 1}); got != 0 {
+	if got := p.allocFD(&FDesc{file: nullFile{}, refs: 1}); got != 0 {
 		t.Fatalf("lowest free slot not reused: %d", got)
 	}
 	if p.fd(99) != nil || p.fd(-1) != nil {

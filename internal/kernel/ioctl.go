@@ -20,6 +20,11 @@ const (
 // pointers, the nested pointer is read as a capability under CheriABI
 // ("Where we have found them necessary, ioctl and sysctl interfaces
 // involving structs containing pointers have been translated").
+//
+// Commands whose semantics are descriptor-generic (FIONREAD's byte count
+// from Stat, GIFCONF's network query) are handled here; everything else
+// dispatches to the File object's Ioctl method, so device-specific
+// commands live with the device.
 func sysIoctl(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
 	fd := int(a.Int(0))
@@ -32,28 +37,16 @@ func sysIoctl(k *Kernel, t *Thread, a *SysArgs) bool {
 		return true
 	}
 	switch cmd {
-	case IoctlTIOCGWINSZ:
-		if f.node == nil || f.node.kind != nodeTTY {
-			setRet(&t.Frame, ^uint64(0), ENOTTY)
-			return true
-		}
-		var ws [8]byte
-		binary.LittleEndian.PutUint16(ws[0:], 24)
-		binary.LittleEndian.PutUint16(ws[2:], 80)
-		if e := k.copyOut(argp, ws[:]); e != OK {
-			setRet(&t.Frame, ^uint64(0), e)
-			return true
-		}
-		setRet(&t.Frame, 0, OK)
-
 	case IoctlFIONREAD:
-		var n uint64
-		if f.pip != nil {
-			n = uint64(len(f.pip.buf))
-		} else if f.node != nil && f.node.kind == nodeFile {
-			n = uint64(int64(len(f.node.data)) - f.off)
+		st := f.file.Stat()
+		avail := st.Size
+		if st.Kind == StatFile {
+			avail -= f.off
 		}
-		if e := k.writeUserWord(argp, argp.Addr(), 4, n); e != OK {
+		if avail < 0 {
+			avail = 0
+		}
+		if e := k.writeUserWord(argp, argp.Addr(), 4, uint64(avail)); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
 		}
@@ -92,7 +85,13 @@ func sysIoctl(k *Kernel, t *Thread, a *SysArgs) bool {
 		setRet(&t.Frame, 0, OK)
 
 	default:
-		setRet(&t.Frame, ^uint64(0), ENOTTY)
+		// Object-specific commands (TIOCGWINSZ on the console, future
+		// device controls) live with the File implementation.
+		if e := f.file.Ioctl(k, t, f, cmd, argp); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+		} else {
+			setRet(&t.Frame, 0, OK)
+		}
 	}
 	return true
 }

@@ -38,6 +38,10 @@ type Config struct {
 	// Seed perturbs load addresses and stack placement across boots, the
 	// way ASLR and environment differences perturb the paper's runs.
 	Seed int64
+	// UrandomSeed seeds the /dev/urandom stream (a deterministic xorshift
+	// generator, so differential runs with equal seeds stay bit-identical).
+	// Zero derives the stream seed from Seed.
+	UrandomSeed uint64
 	// Console receives all process stdout/stderr when non-nil.
 	Console io.Writer
 	// Tracer observes user-code capability derivations (Figure 5).
@@ -103,6 +107,9 @@ type Kernel struct {
 	shmSegs   map[int]*shmSeg
 	nextShmID int
 
+	// urand is the /dev/urandom xorshift64 state (per boot, never zero).
+	urand uint64
+
 	// Stats
 	ContextSwitches uint64
 	SyscallCount    map[int]uint64
@@ -148,6 +155,17 @@ func NewMachine(cfg Config) *Machine {
 		Console:      cfg.Console,
 		SyscallCount: map[int]uint64{},
 	}
+	// Seed the /dev/urandom stream: explicit UrandomSeed wins, else derive
+	// from the boot seed. Xorshift state must be nonzero, but distinct
+	// nonzero seeds must stay distinct, so only a zero state is remapped.
+	urand := cfg.UrandomSeed
+	if urand == 0 {
+		urand = uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	}
+	if urand == 0 {
+		urand = 0x9E3779B97F4A7C15
+	}
+	k.urand = urand
 	// CPU reset: a maximally permissive capability; kernel startup narrows
 	// it ("The kernel deliberately narrows these boot capabilities").
 	k.KernPrin = k.Ledger.NewPrincipal(core.KernelPrincipal, "kernel")
@@ -172,6 +190,21 @@ func (k *Kernel) capCreated(label string, c cap.Capability) {
 
 // Proc returns a process by pid.
 func (k *Kernel) Proc(pid int) *Proc { return k.procs[pid] }
+
+// urandomBytes fills b from the boot-seeded xorshift64 stream backing
+// /dev/urandom. The stream is machine-global: interleaved readers observe
+// a deterministic function of the read sequence, which differential runs
+// replay identically.
+func (k *Kernel) urandomBytes(b []byte) {
+	s := k.urand
+	for i := range b {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		b[i] = byte(s)
+	}
+	k.urand = s
+}
 
 // PostSignal marks sig pending on p; it is delivered at the next return to
 // user mode.

@@ -44,7 +44,7 @@ func keventSize(abi image.ABI, capBytes uint64) uint64 {
 func sysKqueue(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
 	kq := &kqueue{}
-	fd := p.allocFD(&FDesc{kq: kq, refs: 1})
+	fd := p.allocFD(&FDesc{file: &kqueueFile{kq: kq}, flags: ORdWr, refs: 1})
 	p.kqs[fd] = kq
 	setRet(&t.Frame, uint64(fd), OK)
 	return true
@@ -109,7 +109,7 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 		if f == nil {
 			continue
 		}
-		ready := (n.filter == EvfiltRead && f.readable()) || (n.filter == EvfiltWrite && f.writable())
+		ready := (n.filter == EvfiltRead && f.file.Poll(PollIn)) || (n.filter == EvfiltWrite && f.file.Poll(PollOut))
 		if !ready {
 			continue
 		}

@@ -46,6 +46,11 @@ const (
 	SysGetTime
 	SysUnlink
 	SysSwapSelf // simulator-specific: force the process's pages to swap
+	SysReadv
+	SysWritev
+	SysPread
+	SysPwrite
+	SysFtruncate
 )
 
 // mmap prot/flags.
@@ -140,63 +145,86 @@ func sysFork(k *Kernel, t *Thread, a *SysArgs) bool {
 	return true
 }
 
+// ioChunk caps the kernel's per-call staging buffer: streams whose length
+// is caller-invented (/dev/zero, /dev/urandom) are served in bounded
+// chunks — a short read is POSIX-legal — and a runaway length never turns
+// into a host-side allocation.
+const ioChunk = 256 << 10
+
+// ioScratch sizes one read's kernel staging buffer: the claimed length,
+// clamped to the bytes the object can currently supply (regular files:
+// size minus cursor; pipes: buffered bytes — so an EOF read stages zero
+// bytes and needs no destination authority) and to ioChunk. Devices
+// synthesize their stream, so only the chunk clamp applies.
+func ioScratch(f *FDesc, n uint64) []byte {
+	switch st := f.file.Stat(); st.Kind {
+	case StatFile:
+		avail := st.Size - f.off
+		if avail < 0 {
+			avail = 0
+		}
+		if n > uint64(avail) {
+			n = uint64(avail)
+		}
+	case StatPipe:
+		if n > uint64(st.Size) {
+			n = uint64(st.Size)
+		}
+	}
+	if n > ioChunk {
+		n = ioChunk
+	}
+	return make([]byte, n)
+}
+
+// precheckOut validates the destination capability for the bytes a read
+// is about to supply, *before* the File object is consumed: a
+// capability-level fault (tag, seal, permission, bounds — the check
+// uaccess will repeat) must not drain pipe bytes or advance the cursor.
+// It is a pure host-side check: no cycles are charged, exactly as
+// uaccess charges nothing on a failed capability check.
+func precheckOut(buf cap.Capability, n int) Errno {
+	if n == 0 {
+		return OK
+	}
+	if err := buf.CheckDeref(buf.Addr(), uint64(n), cap.PermStore); err != nil {
+		return EFAULT
+	}
+	return OK
+}
+
 func sysRead(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
 	fd := int(a.Int(0))
 	buf := a.Ptr(0)
 	n := a.Int(1)
 	f := p.fd(fd)
-	if f == nil {
+	if f == nil || !f.mayRead() {
 		setRet(&t.Frame, ^uint64(0), EBADF)
 		return true
 	}
-	if f.pip != nil {
-		if f.pipeW {
-			setRet(&t.Frame, ^uint64(0), EBADF)
-			return true
-		}
-		if len(f.pip.buf) == 0 {
-			if f.pip.writers > 0 {
-				pip := f.pip
-				t.block(func() bool { return len(pip.buf) > 0 || pip.writers == 0 })
-				return false
-			}
-			setRet(&t.Frame, 0, OK) // EOF
-			return true
-		}
-		m := n
-		if m > uint64(len(f.pip.buf)) {
-			m = uint64(len(f.pip.buf))
-		}
-		if e := k.copyOut(buf, f.pip.buf[:m]); e != OK {
-			setRet(&t.Frame, ^uint64(0), e)
-			return true
-		}
-		f.pip.buf = f.pip.buf[m:]
-		setRet(&t.Frame, m, OK)
+	if !f.file.Poll(PollIn) {
+		file := f.file
+		t.block(func() bool { return file.Poll(PollIn) })
+		return false
+	}
+	scratch := ioScratch(f, n)
+	if e := precheckOut(buf, len(scratch)); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
 		return true
 	}
-	switch f.node.kind {
-	case nodeFile:
-		if f.off >= int64(len(f.node.data)) {
-			setRet(&t.Frame, 0, OK)
-			return true
-		}
-		m := int64(n)
-		if m > int64(len(f.node.data))-f.off {
-			m = int64(len(f.node.data)) - f.off
-		}
-		if e := k.copyOut(buf, f.node.data[f.off:f.off+m]); e != OK {
+	m, e := f.file.Read(f, scratch)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	if m > 0 {
+		if e := k.copyOut(buf, scratch[:m]); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
 		}
-		f.off += m
-		setRet(&t.Frame, uint64(m), OK)
-	case nodeNull, nodeTTY:
-		setRet(&t.Frame, 0, OK)
-	default:
-		setRet(&t.Frame, ^uint64(0), EISDIR)
 	}
+	setRet(&t.Frame, uint64(m), OK)
 	return true
 }
 
@@ -206,69 +234,267 @@ func sysWrite(k *Kernel, t *Thread, a *SysArgs) bool {
 	buf := a.Ptr(0)
 	n := a.Int(1)
 	f := p.fd(fd)
-	if f == nil {
+	if f == nil || !f.mayWrite() {
 		setRet(&t.Frame, ^uint64(0), EBADF)
 		return true
 	}
-	if f.pip != nil {
-		if !f.pipeW {
-			setRet(&t.Frame, ^uint64(0), EBADF)
-			return true
-		}
-		if f.pip.readers == 0 {
-			p.SigPending |= 1 << SIGPIPE
-			setRet(&t.Frame, ^uint64(0), EPIPE)
-			return true
-		}
-		if len(f.pip.buf) >= pipeCap {
-			pip := f.pip
-			t.block(func() bool { return len(pip.buf) < pipeCap || pip.readers == 0 })
-			return false
-		}
-		m := n
-		if space := uint64(pipeCap - len(f.pip.buf)); m > space {
-			m = space
-		}
-		data, e := k.copyIn(buf, m)
-		if e != OK {
-			setRet(&t.Frame, ^uint64(0), e)
-			return true
-		}
-		f.pip.buf = append(f.pip.buf, data...)
-		setRet(&t.Frame, m, OK)
-		return true
+	if !f.file.Poll(PollOut) {
+		file := f.file
+		t.block(func() bool { return file.Poll(PollOut) })
+		return false
+	}
+	if n > ioChunk {
+		n = ioChunk // short write: bounds the kernel staging allocation
 	}
 	data, e := k.copyIn(buf, n)
 	if e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
 		return true
 	}
-	switch f.node.kind {
-	case nodeTTY:
-		target := f.console
-		if target == nil {
-			target = p
+	m, e := f.file.Write(f, data)
+	if e != OK {
+		if e == EPIPE {
+			p.SigPending |= 1 << SIGPIPE
 		}
-		target.Stdout.Write(data)
-		if k.Console != nil {
-			k.Console.Write(data)
-		}
-	case nodeNull:
-	case nodeFile:
-		if f.flags&OAppend != 0 {
-			f.off = int64(len(f.node.data))
-		}
-		end := f.off + int64(len(data))
-		for int64(len(f.node.data)) < end {
-			f.node.data = append(f.node.data, 0)
-		}
-		copy(f.node.data[f.off:end], data)
-		f.off = end
-	default:
-		setRet(&t.Frame, ^uint64(0), EISDIR)
+		setRet(&t.Frame, ^uint64(0), e)
 		return true
 	}
-	setRet(&t.Frame, n, OK)
+	setRet(&t.Frame, uint64(m), OK)
+	return true
+}
+
+func sysPread(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	fd := int(a.Int(0))
+	buf := a.Ptr(0)
+	n := a.Int(1)
+	off := int64(a.Int(2))
+	f := p.fd(fd)
+	if f == nil || !f.mayRead() {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	if n > ioChunk {
+		n = ioChunk
+	}
+	scratch := make([]byte, n)
+	if e := precheckOut(buf, len(scratch)); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	m, e := f.file.Pread(scratch, off)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	if m > 0 {
+		if e := k.copyOut(buf, scratch[:m]); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
+	}
+	setRet(&t.Frame, uint64(m), OK)
+	return true
+}
+
+func sysPwrite(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	fd := int(a.Int(0))
+	buf := a.Ptr(0)
+	n := a.Int(1)
+	off := int64(a.Int(2))
+	f := p.fd(fd)
+	if f == nil || !f.mayWrite() {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	if n > ioChunk {
+		n = ioChunk // short write: bounds the kernel staging allocation
+	}
+	data, e := k.copyIn(buf, n)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	m, e := f.file.Pwrite(data, off)
+	if e != OK {
+		if e == EPIPE {
+			p.SigPending |= 1 << SIGPIPE
+		}
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	setRet(&t.Frame, uint64(m), OK)
+	return true
+}
+
+// iovMax bounds readv/writev vectors, like a small IOV_MAX.
+const iovMax = 16
+
+// readIovec reads the i-th struct iovec {base, len} from the user vector.
+// The base pointer is read with copyInPtr — a capability under CheriABI,
+// a constructed authority under legacy — so each segment's transfer is
+// authorized by its own entry, and the length with readUserWord. The
+// guest struct is {pointer, long} padded to pointer alignment, so the
+// stride is twice the pointer size under both ABIs.
+func (k *Kernel) readIovec(t *Thread, vec cap.Capability, i uint64) (cap.Capability, uint64, Errno) {
+	stride := 2 * k.ptrStride(t.Proc)
+	base := vec.Addr() + i*stride
+	bp, e := k.copyInPtr(t, vec, base)
+	if e != OK {
+		return cap.Null(), 0, e
+	}
+	length, e := k.readUserWord(vec, base+stride/2, 8)
+	if e != OK {
+		return cap.Null(), 0, e
+	}
+	return bp, length, OK
+}
+
+func sysReadv(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	fd := int(a.Int(0))
+	vec := a.Ptr(0)
+	cnt := a.Int(1)
+	f := p.fd(fd)
+	if f == nil || !f.mayRead() {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	if cnt > iovMax {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return true
+	}
+	if !f.file.Poll(PollIn) {
+		file := f.file
+		t.block(func() bool { return file.Poll(PollIn) })
+		return false
+	}
+	// Once any segment has transferred, a later fault reports the partial
+	// count (the bytes are already in the guest's buffers); an error with
+	// nothing transferred reports the errno.
+	total := uint64(0)
+	fail := func(e Errno) {
+		if total > 0 {
+			setRet(&t.Frame, total, OK)
+		} else {
+			setRet(&t.Frame, ^uint64(0), e)
+		}
+	}
+	for i := uint64(0); i < cnt; i++ {
+		bp, n, e := k.readIovec(t, vec, i)
+		if e != OK {
+			fail(e)
+			return true
+		}
+		if n == 0 {
+			continue
+		}
+		scratch := ioScratch(f, n)
+		// Validate this segment's destination before consuming the
+		// object: a bad iovec entry must not drain bytes it cannot land.
+		if e := precheckOut(bp, len(scratch)); e != OK {
+			fail(e)
+			return true
+		}
+		m, e := f.file.Read(f, scratch)
+		if e != OK {
+			fail(e)
+			return true
+		}
+		if m > 0 {
+			if e := k.copyOut(bp, scratch[:m]); e != OK {
+				fail(e)
+				return true
+			}
+		}
+		total += uint64(m)
+		if uint64(m) < n {
+			break // short read: stop filling further segments
+		}
+	}
+	setRet(&t.Frame, total, OK)
+	return true
+}
+
+func sysWritev(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	fd := int(a.Int(0))
+	vec := a.Ptr(0)
+	cnt := a.Int(1)
+	f := p.fd(fd)
+	if f == nil || !f.mayWrite() {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	if cnt > iovMax {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return true
+	}
+	if !f.file.Poll(PollOut) {
+		file := f.file
+		t.block(func() bool { return file.Poll(PollOut) })
+		return false
+	}
+	// As with readv: bytes already accepted by the object are reported as
+	// a partial count; an error before any byte moved reports the errno
+	// (and EPIPE with nothing written raises SIGPIPE, as write(2) does).
+	total := uint64(0)
+	fail := func(e Errno) {
+		if total > 0 {
+			setRet(&t.Frame, total, OK)
+			return
+		}
+		if e == EPIPE {
+			p.SigPending |= 1 << SIGPIPE
+		}
+		setRet(&t.Frame, ^uint64(0), e)
+	}
+	for i := uint64(0); i < cnt; i++ {
+		bp, n, e := k.readIovec(t, vec, i)
+		if e != OK {
+			fail(e)
+			return true
+		}
+		if n == 0 {
+			continue
+		}
+		if n > ioChunk {
+			n = ioChunk // short write: bounds the kernel staging allocation
+		}
+		data, e := k.copyIn(bp, n)
+		if e != OK {
+			fail(e)
+			return true
+		}
+		m, e := f.file.Write(f, data)
+		if e != OK {
+			fail(e)
+			return true
+		}
+		total += uint64(m)
+		if uint64(m) < n {
+			break // short write: the object is full
+		}
+	}
+	setRet(&t.Frame, total, OK)
+	return true
+}
+
+func sysFtruncate(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	fd := int(a.Int(0))
+	size := int64(a.Int(1))
+	f := p.fd(fd)
+	if f == nil || !f.mayWrite() {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	if e := f.file.Truncate(size); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	setRet(&t.Frame, 0, OK)
 	return true
 }
 
@@ -302,10 +528,19 @@ func sysOpen(k *Kernel, t *Thread, a *SysArgs) bool {
 	if n.kind == nodeFile && flags&OTrunc != 0 {
 		n.data = nil
 	}
-	f := &FDesc{node: n, flags: flags, refs: 1}
-	if n.kind == nodeTTY {
-		f.console = p
+	// Build the File object: regular vnode, directory, or a device-table
+	// entry's constructor. The syscall layer never switches on a device
+	// identity again after this point.
+	var file File
+	switch n.kind {
+	case nodeDir:
+		file = dirFile{}
+	case nodeDev:
+		file = n.dev(k, p)
+	default:
+		file = &vnodeFile{node: n}
 	}
+	f := &FDesc{file: file, flags: flags, refs: 1}
 	setRet(&t.Frame, uint64(p.allocFD(f)), OK)
 	return true
 }
@@ -370,8 +605,8 @@ func sysPipe(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
 	fdsPtr := a.Ptr(0)
 	pip := &pipe{readers: 1, writers: 1}
-	r := p.allocFD(&FDesc{pip: pip, refs: 1})
-	w := p.allocFD(&FDesc{pip: pip, pipeW: true, refs: 1})
+	r := p.allocFD(&FDesc{file: &pipeFile{pip: pip}, flags: ORdOnly, refs: 1})
+	w := p.allocFD(&FDesc{file: &pipeFile{pip: pip, writeEnd: true}, flags: OWrOnly, refs: 1})
 	// MiniC's int is 8 bytes, so the fds array uses 8-byte slots.
 	if e := k.writeUserWord(fdsPtr, fdsPtr.Addr(), 8, uint64(r)); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
@@ -639,11 +874,11 @@ func sysSelect(k *Kernel, t *Thread, a *SysArgs) bool {
 		if f == nil {
 			continue
 		}
-		if rq&(1<<uint(fd)) != 0 && f.readable() {
+		if rq&(1<<uint(fd)) != 0 && f.file.Poll(PollIn) {
 			rdy |= 1 << uint(fd)
 			count++
 		}
-		if wq&(1<<uint(fd)) != 0 && f.writable() {
+		if wq&(1<<uint(fd)) != 0 && f.file.Poll(PollOut) {
 			wdy |= 1 << uint(fd)
 			count++
 		}
@@ -656,10 +891,10 @@ func sysSelect(k *Kernel, t *Thread, a *SysArgs) bool {
 				if f == nil {
 					continue
 				}
-				if rq&(1<<uint(fd)) != 0 && f.readable() {
+				if rq&(1<<uint(fd)) != 0 && f.file.Poll(PollIn) {
 					return true
 				}
-				if wq&(1<<uint(fd)) != 0 && f.writable() {
+				if wq&(1<<uint(fd)) != 0 && f.file.Poll(PollOut) {
 					return true
 				}
 			}
@@ -764,22 +999,16 @@ func sysLseek(k *Kernel, t *Thread, a *SysArgs) bool {
 	off := int64(a.Int(1))
 	whence := int(a.Int(2))
 	f := p.fd(fd)
-	if f == nil || f.node == nil {
+	if f == nil {
 		setRet(&t.Frame, ^uint64(0), EBADF)
 		return true
 	}
-	switch whence {
-	case 0:
-		f.off = off
-	case 1:
-		f.off += off
-	case 2:
-		f.off = int64(len(f.node.data)) + off
-	default:
-		setRet(&t.Frame, ^uint64(0), EINVAL)
+	pos, e := f.file.Seek(f, off, whence)
+	if e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
 		return true
 	}
-	setRet(&t.Frame, uint64(f.off), OK)
+	setRet(&t.Frame, uint64(pos), OK)
 	return true
 }
 
@@ -792,11 +1021,8 @@ func sysFstat(k *Kernel, t *Thread, a *SysArgs) bool {
 		setRet(&t.Frame, ^uint64(0), EBADF)
 		return true
 	}
-	var size, kind uint64
-	if f.node != nil {
-		size = uint64(len(f.node.data))
-		kind = uint64(f.node.kind)
-	}
+	st := f.file.Stat()
+	size, kind := uint64(st.Size), st.Kind
 	if e := k.writeUserWord(buf, buf.Addr(), 8, size); e != OK {
 		setRet(&t.Frame, ^uint64(0), e)
 		return true

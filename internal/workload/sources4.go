@@ -1,0 +1,154 @@
+package workload
+
+// SrcVectorIO is the vectored-I/O + device workload: a structured-log
+// writer in the style of a database WAL appender. Records are gathered
+// from header/payload/trailer segments with writev, verified positionally
+// with pread (cursor untouched), patched in place with pwrite, scanned
+// back with readv, trimmed with ftruncate, blanked from /dev/zero, and
+// streamed between processes over a pipe with scatter-gather on both
+// ends. The payload comes from /dev/urandom — a per-boot-seed
+// deterministic stream, so both ABIs and every simulator configuration
+// observe identical bytes.
+const SrcVectorIO = `
+struct iovec { char *base; long len; };
+char hdr[8]; char body[64]; char trl[8];
+char rbuf[96];
+int fds[2];
+
+int main() {
+	int i; long r;
+	int u = open("/dev/urandom", 0, 0);
+	if (u < 0) return 10;
+	if (read(u, body, 64) != 64) return 11;
+	close(u);
+	for (i = 0; i < 8; i++) { hdr[i] = 'H'; trl[i] = 'T'; }
+
+	// Gathered record append: 12 records of header|payload|trailer.
+	int fd = open("/tmp/vec.log", 0x200 | 2, 0);
+	if (fd < 0) return 12;
+	struct iovec w[3];
+	w[0].base = hdr; w[0].len = 8;
+	w[1].base = body; w[1].len = 64;
+	w[2].base = trl; w[2].len = 8;
+	long total = 0;
+	for (i = 0; i < 12; i++) {
+		r = writev(fd, w, 3);
+		if (r != 80) return 13;
+		total += r;
+	}
+
+	// Positional header scan: the append cursor must not move.
+	for (i = 0; i < 12; i++) {
+		if (pread(fd, rbuf, 8, i * 80) != 8) return 14;
+		if (rbuf[0] != 'H' || rbuf[7] != 'H') return 15;
+	}
+	if (lseek(fd, 0, 1) != total) return 16;
+
+	// Patch one record body in place.
+	if (pwrite(fd, "PATCH", 5, 3 * 80 + 8) != 5) return 17;
+
+	// Scattered read-back with a rolling checksum.
+	lseek(fd, 0, 0);
+	struct iovec rv[3];
+	rv[0].base = rbuf; rv[0].len = 8;
+	rv[1].base = rbuf + 8; rv[1].len = 64;
+	rv[2].base = rbuf + 72; rv[2].len = 8;
+	unsigned long sum = 0;
+	r = readv(fd, rv, 3);
+	while (r == 80) {
+		for (i = 0; i < 80; i++) sum = sum * 31 + (unsigned char)rbuf[i];
+		r = readv(fd, rv, 3);
+	}
+	if (r != 0) return 18;
+
+	// Trim the log, then blank a window with bytes from /dev/zero.
+	if (ftruncate(fd, 400) != 0) return 19;
+	long st[2];
+	if (fstat(fd, st) != 0 || st[0] != 400) return 20;
+	int z = open("/dev/zero", 0, 0);
+	if (read(z, rbuf, 80) != 80) return 21;
+	if (pwrite(fd, rbuf, 80, 160) != 80) return 22;
+	close(z);
+	long zsum = 0;
+	if (pread(fd, rbuf, 80, 160) != 80) return 23;
+	for (i = 0; i < 80; i++) zsum += rbuf[i];
+	if (zsum != 0) return 24;
+	close(fd);
+	unlink("/tmp/vec.log");
+
+	// Scatter-gather across a pipe: the child drains with readv until
+	// EOF; the parent gathers two segments per record.
+	if (pipe(fds) != 0) return 25;
+	int pid = fork();
+	if (pid == 0) {
+		close(fds[1]);
+		char cb[32];
+		struct iovec cv[2];
+		cv[0].base = cb; cv[0].len = 16;
+		cv[1].base = cb + 16; cv[1].len = 16;
+		long got = 0;
+		long n = readv(fds[0], cv, 2);
+		while (n > 0) { got += n; n = readv(fds[0], cv, 2); }
+		if (n != 0) exit(40);
+		exit((int)(got & 127));
+	}
+	close(fds[0]);
+	struct iovec pv[2];
+	pv[0].base = body; pv[0].len = 16;
+	pv[1].base = body + 16; pv[1].len = 16;
+	for (i = 0; i < 4; i++) {
+		if (writev(fds[1], pv, 2) != 32) return 26;
+	}
+	close(fds[1]);
+	int status = 0;
+	if (wait4(pid, &status, 0) != pid) return 27;
+	if ((status >> 8) != ((4 * 32) & 127)) return 28;
+
+	printf("vecio ok sum %d total %d\n", (int)(sum & 1048575), (int)total);
+	return 0;
+}
+`
+
+// SrcFileIOBench drives the BenchmarkFileIO kernel-boundary loops;
+// argv[1] selects the target (file | pipe | zero), argv[2] the iteration
+// count. Each iteration moves 512 bytes through the File layer: one
+// plain transfer and one two-segment vectored transfer.
+const SrcFileIOBench = `
+struct iovec { char *base; long len; };
+char buf[256];
+int main(int argc, char **argv) {
+	int n = atoi(argv[2]);
+	int i;
+	struct iovec v[2];
+	v[0].base = buf; v[0].len = 128;
+	v[1].base = buf + 128; v[1].len = 128;
+	if (strcmp(argv[1], "file") == 0) {
+		int fd = open("/tmp/bench.dat", 0x200 | 2, 0);
+		for (i = 0; i < n; i++) {
+			lseek(fd, 0, 0);
+			if (write(fd, buf, 256) != 256) return 1;
+			lseek(fd, 0, 0);
+			if (readv(fd, v, 2) != 256) return 2;
+		}
+		return 0;
+	}
+	if (strcmp(argv[1], "pipe") == 0) {
+		int fds[2];
+		pipe(fds);
+		for (i = 0; i < n; i++) {
+			if (writev(fds[1], v, 2) != 256) return 3;
+			if (read(fds[0], buf, 256) != 256) return 4;
+		}
+		return 0;
+	}
+	if (strcmp(argv[1], "zero") == 0) {
+		int fd = open("/dev/zero", 2, 0);
+		for (i = 0; i < n; i++) {
+			if (write(fd, buf, 256) != 256) return 5;
+			if (readv(fd, v, 2) != 256) return 6;
+		}
+		return 0;
+	}
+	return 9;
+}
+`

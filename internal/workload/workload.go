@@ -34,14 +34,17 @@ var Figure4 = []Workload{
 	{Name: "spec2006-astar", Src: SrcAstar},
 	{Name: "spec2006-xalancbmk", Src: SrcXalancbmk},
 	{Name: "initdb-dynamic", Src: SrcInitdb, Libs: map[string]string{"libcatalog.so": SrcLibCatalog}},
+	{Name: "posix-vectorio", Src: SrcVectorIO},
 }
 
 // ShortCorpus is the representative Figure 4 subset used by -short test
-// runs: static compute, library-heavy, and the dynamically-linked
-// macro-benchmark. The full corpus runs in the default mode.
+// runs: static compute, library-heavy, the dynamically-linked
+// macro-benchmark, and the vectored-I/O scenario (so the readv/writev/
+// pread/pwrite and device paths stay inside the short differential
+// matrix). The full corpus runs in the default mode.
 func ShortCorpus() []Workload {
 	var out []Workload
-	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic"} {
+	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic", "posix-vectorio"} {
 		w, ok := ByName(name)
 		if !ok {
 			panic("workload: short corpus names unknown workload " + name)

@@ -9,6 +9,7 @@ package cheriabi_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"cheriabi"
 	"cheriabi/internal/bodiag"
@@ -323,6 +324,87 @@ func BenchmarkFileIO(b *testing.B) {
 				syscalls += res.Stats.Syscalls
 			}
 			b.ReportMetric(float64(syscalls)/b.Elapsed().Seconds(), "syscalls/s")
+		})
+	}
+}
+
+// BenchmarkSocketEcho measures the AF_UNIX stream path end to end:
+// 512-byte records round-tripped through a socketpair to a forked echo
+// child — each round trip is two wait-queue parks, two wakes, and four
+// capability-checked transfers through uaccess — reported as guest
+// payload bytes per host second.
+func BenchmarkSocketEcho(b *testing.B) {
+	const rounds = 400
+	w := workload.Workload{
+		Name: "socket-echo",
+		Src:  workload.SrcSocketEchoBench,
+		Args: []string{fmt.Sprint(rounds)},
+	}
+	exe, _, err := workload.Build(w, workload.BuildOptions{ABI: cheriabi.ABICheri})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(2 * 512 * rounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20})
+		res, err := sys.RunImage(exe, w.Name, fmt.Sprint(rounds))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ExitCode != 0 {
+			b.Fatalf("guest exited %d (output %q)", res.ExitCode, res.Output)
+		}
+	}
+}
+
+// BenchmarkPollStorm measures wakeup cost against a crowd of idle blocked
+// threads: idle children parked forever on silent pipes while one hot
+// pipe pair echoes. Boot/fork/teardown scale with the idle count, so the
+// per-wake cost is the MARGINAL cost — the same run at two wake counts,
+// differenced — and it must stay flat as idle grows: the wait-queue
+// scheduler does O(subscribers-of-the-hot-pipe) work per wake, never
+// O(blocked) closure re-polling. sim-cycles/wake is deterministic and is
+// the gating number; marginal-wakes/s tracks the host-side cost
+// (BenchmarkSchedulerRotation in internal/kernel isolates the same
+// property allocation-free).
+func BenchmarkPollStorm(b *testing.B) {
+	const loWakes, hiWakes = 50, 350
+	for _, idle := range []int{4, 16, 60} {
+		b.Run(fmt.Sprintf("idle=%d", idle), func(b *testing.B) {
+			run := func(wakes int) (uint64, time.Duration) {
+				w := workload.Workload{
+					Name: "poll-storm",
+					Src:  workload.SrcPollStormBench,
+					Args: []string{fmt.Sprint(idle), fmt.Sprint(wakes)},
+				}
+				exe, _, err := workload.Build(w, workload.BuildOptions{ABI: cheriabi.ABICheri})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20})
+				start := time.Now()
+				res, err := sys.RunImage(exe, append([]string{w.Name}, w.Args...)...)
+				host := time.Since(start)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ExitCode != 0 {
+					b.Fatalf("guest exited %d (output %q)", res.ExitCode, res.Output)
+				}
+				return res.Stats.Cycles, host
+			}
+			var dCycles float64
+			var dHost time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cLo, hLo := run(loWakes)
+				cHi, hHi := run(hiWakes)
+				dCycles = float64(cHi - cLo)
+				dHost += hHi - hLo
+			}
+			b.ReportMetric(dCycles/(hiWakes-loWakes), "sim-cycles/wake")
+			b.ReportMetric(float64((hiWakes-loWakes)*b.N)/dHost.Seconds(), "marginal-wakes/s")
 		})
 	}
 }

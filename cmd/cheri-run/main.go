@@ -1,48 +1,102 @@
-// Command cheri-run compiles a MiniC source file and runs it on the
-// simulated machine under the selected ABI.
+// Command cheri-run compiles a MiniC source file — or builds a named
+// Figure 4 workload — and runs it on the simulated machine under the
+// selected ABI.
 //
-// Usage: cheri-run [-abi mips64|cheriabi] [-asan] [-stats] file.c [args...]
+// Usage:
+//
+//	cheri-run [-abi mips64|cheriabi] [-asan] [-stats] file.c [args...]
+//	cheri-run [flags] -workload posix-sockets
+//	cheri-run -list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cheriabi"
+	"cheriabi/internal/workload"
 )
+
+func workloadNames() []string {
+	names := make([]string, 0, len(workload.Figure4))
+	for _, w := range workload.Figure4 {
+		names = append(names, w.Name)
+	}
+	return names
+}
 
 func main() {
 	abiFlag := flag.String("abi", "cheriabi", "process ABI: mips64 or cheriabi")
 	asan := flag.Bool("asan", false, "instrument with AddressSanitizer (mips64 only)")
 	stats := flag.Bool("stats", false, "print architectural statistics")
 	seed := flag.Int64("seed", 0, "layout perturbation seed")
+	wlName := flag.String("workload", "", "run a named Figure 4 workload instead of a source file")
+	list := flag.Bool("list", false, "list the runnable workload names and exit")
 	flag.Parse()
-	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: cheri-run [-abi mips64|cheriabi] [-asan] [-stats] file.c [args...]")
-		os.Exit(2)
+	if *list {
+		fmt.Println("workloads (run with -workload <name>):")
+		for _, name := range workloadNames() {
+			fmt.Println("  " + name)
+		}
+		return
 	}
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cheri-run:", err)
-		os.Exit(1)
-	}
+
 	abi := cheriabi.ABICheri
 	if *abiFlag == "mips64" {
 		abi = cheriabi.ABILegacy
 	}
-	img, findings, err := cheriabi.Compile(cheriabi.CompileOptions{
-		Name: "a.out", ABI: abi, ASan: *asan,
-	}, string(src))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cheri-run:", err)
-		os.Exit(1)
+
+	var img *cheriabi.Image
+	var findings []cheriabi.Finding
+	var libs []*cheriabi.Image
+	var args []string
+	if *wlName != "" {
+		w, ok := workload.ByName(*wlName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cheri-run: unknown workload %q; valid names: %s\n",
+				*wlName, strings.Join(workloadNames(), ", "))
+			os.Exit(2)
+		}
+		var err error
+		img, libs, err = workload.Build(w, workload.BuildOptions{ABI: abi, ASan: *asan})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cheri-run:", err)
+			os.Exit(1)
+		}
+		args = append([]string{w.Name}, w.Args...)
+	} else {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: cheri-run [-abi mips64|cheriabi] [-asan] [-stats] file.c [args...]")
+			fmt.Fprintln(os.Stderr, "       cheri-run [flags] -workload <name>   (see -list)")
+			os.Exit(2)
+		}
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cheri-run:", err)
+			os.Exit(1)
+		}
+		img, findings, err = cheriabi.Compile(cheriabi.CompileOptions{
+			Name: "a.out", ABI: abi, ASan: *asan,
+		}, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cheri-run:", err)
+			os.Exit(1)
+		}
+		args = flag.Args()
 	}
 	for _, f := range findings {
 		fmt.Fprintf(os.Stderr, "warning: %s\n", f)
 	}
 	sys := cheriabi.NewSystem(cheriabi.Config{Seed: *seed, Console: os.Stdout})
-	res, err := sys.RunImage(img, flag.Args()...)
+	for _, lib := range libs {
+		if _, err := sys.Install(lib); err != nil {
+			fmt.Fprintln(os.Stderr, "cheri-run:", err)
+			os.Exit(1)
+		}
+	}
+	res, err := sys.RunImage(img, args...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cheri-run:", err)
 		os.Exit(1)

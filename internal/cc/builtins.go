@@ -73,6 +73,18 @@ const (
 	sysPread
 	sysPwrite
 	sysFtruncate
+	sysSocket
+	sysSocketpair
+	sysBind
+	sysListen
+	sysConnect
+	sysAccept
+	sysShutdown
+	sysSend
+	sysRecv
+	sysPoll
+	sysFcntl
+	sysGetdents
 )
 
 var builtins = map[string]builtin{
@@ -117,6 +129,20 @@ var builtins = map[string]builtin{
 	"pread":       {kind: bSyscall, num: sysPread, spec: "ipii"},
 	"pwrite":      {kind: bSyscall, num: sysPwrite, spec: "ipii"},
 	"ftruncate":   {kind: bSyscall, num: sysFtruncate, spec: "ii"},
+	"socket":      {kind: bSyscall, num: sysSocket, spec: "iii"},
+	"socketpair":  {kind: bSyscall, num: sysSocketpair, spec: "iiip"},
+	"bind":        {kind: bSyscall, num: sysBind, spec: "ip"},
+	"listen":      {kind: bSyscall, num: sysListen, spec: "ii"},
+	"connect":     {kind: bSyscall, num: sysConnect, spec: "ip"},
+	"accept":      {kind: bSyscall, num: sysAccept, spec: "i"},
+	"shutdown":    {kind: bSyscall, num: sysShutdown, spec: "ii"},
+	"send":        {kind: bSyscall, num: sysSend, spec: "ipii"},
+	"recv":        {kind: bSyscall, num: sysRecv, spec: "ipii"},
+	"poll":        {kind: bSyscall, num: sysPoll, spec: "pii"},
+	"fcntl":       {kind: bSyscall, num: sysFcntl, spec: "iii"},
+	// readdir is the getdents(2) wrapper: it fills buf with fixed 64-byte
+	// records {kind u64, name NUL-terminated} in sorted order.
+	"readdir": {kind: bSyscall, num: sysGetdents, spec: "ipi"},
 
 	// C runtime natives.
 	"malloc":  {kind: bNative, num: nat.Malloc, spec: "i", retPtr: true},

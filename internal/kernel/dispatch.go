@@ -115,6 +115,18 @@ var sysTable = [...]sysDef{
 	SysPread:       {name: "pread", spec: "ipii", sig: "pread(fd, buf:out[len<=n], n, off)", fn: sysPread},
 	SysPwrite:      {name: "pwrite", spec: "ipii", sig: "pwrite(fd, buf:in[len<=n], n, off)", fn: sysPwrite},
 	SysFtruncate:   {name: "ftruncate", spec: "ii", sig: "ftruncate(fd, len)", fn: sysFtruncate},
+	SysSocket:      {name: "socket", spec: "iii", sig: "socket(domain, type, proto)", fn: sysSocket},
+	SysSocketpair:  {name: "socketpair", spec: "iiip", sig: "socketpair(domain, type, proto, sv:out[16])", fn: sysSocketpair},
+	SysBind:        {name: "bind", spec: "is", sig: "bind(fd, path:str) — AF_UNIX address is the path", fn: sysBind},
+	SysListen:      {name: "listen", spec: "ii", sig: "listen(fd, backlog)", fn: sysListen},
+	SysConnect:     {name: "connect", spec: "is", sig: "connect(fd, path:str)", fn: sysConnect},
+	SysAccept:      {name: "accept", spec: "i", sig: "accept(fd)", fn: sysAccept},
+	SysShutdown:    {name: "shutdown", spec: "ii", sig: "shutdown(fd, how)", fn: sysShutdown},
+	SysSend:        {name: "send", spec: "ipii", sig: "send(fd, buf:in[len<=n], n, flags)", fn: sysSend},
+	SysRecv:        {name: "recv", spec: "ipii", sig: "recv(fd, buf:out[len<=n], n, flags)", fn: sysRecv},
+	SysPoll:        {name: "poll", spec: "pii", sig: "poll(fds:inout[n*24], n, timeout)", fn: sysPoll},
+	SysFcntl:       {name: "fcntl", spec: "iii", sig: "fcntl(fd, cmd, arg)", fn: sysFcntl},
+	SysGetdents:    {name: "getdents", spec: "ipi", sig: "getdents(fd, buf:out[len<=n], n) — 64-byte records", fn: sysGetdents},
 }
 
 // decodeArgs decodes the register state of the in-flight syscall per

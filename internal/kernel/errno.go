@@ -33,7 +33,17 @@ const (
 	ESPIPE  Errno = 29
 	EPIPE   Errno = 32
 	ERANGE  Errno = 34
-	ENOSYS  Errno = 78
+	// EAGAIN: a non-blocking operation would have parked the thread.
+	EAGAIN Errno = 35
+	// EINPROGRESS: a non-blocking connect was queued on the listener; its
+	// completion is observed through poll/select writability.
+	EINPROGRESS  Errno = 36
+	ENOTSOCK     Errno = 38
+	EADDRINUSE   Errno = 48
+	EISCONN      Errno = 56
+	ENOTCONN     Errno = 57
+	ECONNREFUSED Errno = 61
+	ENOSYS       Errno = 78
 	// ECAPMODE mirrors CheriBSD's capability-violation errno for syscall
 	// argument checks.
 	ECAPMODE Errno = 94
@@ -46,7 +56,10 @@ var errnoNames = map[Errno]string{
 	EBUSY: "EBUSY", EEXIST: "EEXIST", ENOTDIR: "ENOTDIR", EISDIR: "EISDIR",
 	EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE", ENOTTY: "ENOTTY", EFBIG: "EFBIG",
 	ENOSPC: "ENOSPC", ESPIPE: "ESPIPE", EPIPE: "EPIPE", ERANGE: "ERANGE", ENOSYS: "ENOSYS",
-	ECAPMODE: "ECAPMODE",
+	EAGAIN: "EAGAIN", EINPROGRESS: "EINPROGRESS", ENOTSOCK: "ENOTSOCK",
+	EADDRINUSE: "EADDRINUSE", EISCONN: "EISCONN", ENOTCONN: "ENOTCONN",
+	ECONNREFUSED: "ECONNREFUSED",
+	ECAPMODE:     "ECAPMODE",
 }
 
 func (e Errno) String() string {

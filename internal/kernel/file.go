@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"cheriabi/internal/cap"
 )
@@ -51,6 +52,7 @@ const (
 	StatDev
 	StatPipe
 	StatKqueue
+	StatSock
 )
 
 // File is one open file object.
@@ -76,8 +78,16 @@ type File interface {
 	// progress without blocking (including "progress" that is an error
 	// return, e.g. EOF or EPIPE).
 	Poll(kind PollKind) bool
+	// Queue returns the wait queue woken when the object's readiness may
+	// have changed, or nil for always-ready objects. Any File whose Poll
+	// can return false must supply a queue — it is what ends the sleep of
+	// a thread parked by the syscall layer.
+	Queue() *WaitQueue
 	// Close releases the object; called once, at the last descriptor ref.
-	Close()
+	// Implementations wake the queues of peers that can observe the close
+	// (a pipe's other end sees EOF/EPIPE, a connected socket's peer sees
+	// EOF, a listener's pending connectors see ECONNREFUSED).
+	Close(k *Kernel)
 	// Stat reports size and kind.
 	Stat() FileStat
 }
@@ -98,7 +108,8 @@ func (baseFile) Ioctl(*Kernel, *Thread, *FDesc, uint64, cap.Capability) Errno {
 	return ENOTTY
 }
 func (baseFile) Poll(PollKind) bool { return true }
-func (baseFile) Close()             {}
+func (baseFile) Queue() *WaitQueue  { return nil }
+func (baseFile) Close(*Kernel)      {}
 
 // ---- regular files ----
 
@@ -196,22 +207,100 @@ func (v *vnodeFile) Stat() FileStat {
 	return FileStat{Size: int64(len(v.node.data)), Kind: StatFile}
 }
 
-// dirFile is an open directory (O_RDONLY only); transfers fail EISDIR.
-type dirFile struct{ baseFile }
+// direntSize is the fixed size of one guest-visible directory record:
+// an 8-byte kind word (StatFile/StatDir/StatDev) followed by a
+// NUL-terminated name, padded to the record size. A fixed stride keeps
+// guest iteration trivial and the layout identical under both ABIs.
+const direntSize = 64
 
-func (dirFile) Read(*FDesc, []byte) (int, Errno)  { return 0, EISDIR }
-func (dirFile) Write(*FDesc, []byte) (int, Errno) { return 0, EISDIR }
-func (dirFile) Pread([]byte, int64) (int, Errno)  { return 0, EISDIR }
-func (dirFile) Pwrite([]byte, int64) (int, Errno) { return 0, EISDIR }
-func (dirFile) Stat() FileStat                    { return FileStat{Kind: StatDir} }
+// dirFile is an open directory (O_RDONLY only). Read and Pread serve a
+// stream of fixed-size dirent records — getdents(2) is read(2) on a
+// directory descriptor — snapshotted in sorted name order at open time,
+// so iteration is deterministic and stable against concurrent
+// creates/unlinks. Writes fail EISDIR.
+type dirFile struct {
+	baseFile
+	ents []byte
+}
+
+// newDirFile snapshots n's children as encoded dirent records.
+func newDirFile(n *fsNode) *dirFile {
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	d := &dirFile{ents: make([]byte, 0, len(names)*direntSize)}
+	for _, name := range names {
+		var rec [direntSize]byte
+		kind := StatFile
+		switch n.children[name].kind {
+		case nodeDir:
+			kind = StatDir
+		case nodeDev:
+			kind = StatDev
+		}
+		binary.LittleEndian.PutUint64(rec[0:], kind)
+		copy(rec[8:direntSize-1], name) // longer names are truncated, NUL kept
+		d.ents = append(d.ents, rec[:]...)
+	}
+	return d
+}
+
+func (d *dirFile) Read(f *FDesc, b []byte) (int, Errno) {
+	n, e := d.Pread(b, f.off)
+	f.off += int64(n)
+	return n, e
+}
+
+func (d *dirFile) Pread(b []byte, off int64) (int, Errno) {
+	if off < 0 {
+		return 0, EINVAL
+	}
+	if off >= int64(len(d.ents)) {
+		return 0, OK // end of directory
+	}
+	return copy(b, d.ents[off:]), OK
+}
+
+func (d *dirFile) Seek(f *FDesc, off int64, whence int) (int64, Errno) {
+	var pos int64
+	switch whence {
+	case 0:
+		pos = off
+	case 1:
+		pos = f.off + off
+	case 2:
+		pos = int64(len(d.ents)) + off
+	default:
+		return 0, EINVAL
+	}
+	if pos < 0 {
+		return 0, EINVAL
+	}
+	f.off = pos // lseek(fd, 0, 0) is rewinddir
+	return pos, OK
+}
+
+func (d *dirFile) Write(*FDesc, []byte) (int, Errno) { return 0, EISDIR }
+func (d *dirFile) Pwrite([]byte, int64) (int, Errno) { return 0, EISDIR }
+func (d *dirFile) Stat() FileStat {
+	return FileStat{Size: int64(len(d.ents)), Kind: StatDir}
+}
 
 // ---- pipes ----
 
 // pipe is the shared unidirectional byte channel between two pipeFiles.
+// One wait queue serves both ends: a write wakes parked readers, a read
+// (space freed) wakes parked writers, and closing either end wakes the
+// other (EOF / EPIPE are "progress"). A reader and a writer can never be
+// parked for mutually exclusive reasons at once, so sharing one queue
+// costs only harmless re-parks.
 type pipe struct {
 	buf     []byte
 	readers int
 	writers int
+	q       WaitQueue
 }
 
 const pipeCap = 64 << 10
@@ -259,12 +348,15 @@ func (pf *pipeFile) Poll(kind PollKind) bool {
 	return len(pf.pip.buf) < pipeCap || pf.pip.readers == 0
 }
 
-func (pf *pipeFile) Close() {
+func (pf *pipeFile) Queue() *WaitQueue { return &pf.pip.q }
+
+func (pf *pipeFile) Close(k *Kernel) {
 	if pf.writeEnd {
 		pf.pip.writers--
 	} else {
 		pf.pip.readers--
 	}
+	pf.pip.q.Wake(k) // the surviving end observes EOF or EPIPE
 }
 
 func (pf *pipeFile) Stat() FileStat {

@@ -145,7 +145,7 @@ func TestPipeFileSemantics(t *testing.T) {
 	if r2.Poll(PollIn) {
 		t.Fatal("empty pipe with a writer polled readable")
 	}
-	w2.Close()
+	w2.Close(nil) // nil kernel: the pipe's wait queue is empty
 	if pip2.writers != 0 {
 		t.Fatal("writer count not dropped")
 	}
@@ -185,12 +185,47 @@ func TestDeviceFiles(t *testing.T) {
 		t.Fatalf("null pwrite: %d %v", n, e)
 	}
 
-	var d dirFile
-	if _, e := d.Read(f, b); e != EISDIR {
-		t.Fatalf("dir read: %v", e)
+	// Directories read as a sorted dirent stream; writes stay EISDIR.
+	dn := &fsNode{name: "d", kind: nodeDir, children: map[string]*fsNode{
+		"zz":  {name: "zz", kind: nodeFile},
+		"aa":  {name: "aa", kind: nodeDir, children: map[string]*fsNode{}},
+		"dev": {name: "dev", kind: nodeDev},
+	}}
+	d := newDirFile(dn)
+	df := &FDesc{file: d, flags: ORdOnly, refs: 1}
+	ents := make([]byte, 4*direntSize)
+	if n, e := d.Read(df, ents); n != 3*direntSize || e != OK {
+		t.Fatalf("dir read: %d %v", n, e)
 	}
-	if _, e := d.Write(f, b); e != EISDIR {
+	names := []string{"aa", "dev", "zz"}
+	kinds := []uint64{StatDir, StatDev, StatFile}
+	for i, want := range names {
+		rec := ents[i*direntSize:]
+		end := 8
+		for rec[end] != 0 {
+			end++
+		}
+		if got := string(rec[8:end]); got != want {
+			t.Fatalf("dirent %d name %q, want %q", i, got, want)
+		}
+		if got := uint64(rec[0]); got != kinds[i] {
+			t.Fatalf("dirent %d kind %d, want %d", i, got, kinds[i])
+		}
+	}
+	if n, e := d.Read(df, ents); n != 0 || e != OK {
+		t.Fatalf("dir read at end: %d %v", n, e)
+	}
+	if pos, e := d.Seek(df, 0, 0); pos != 0 || e != OK {
+		t.Fatalf("rewinddir: %d %v", pos, e)
+	}
+	if n, _ := d.Read(df, ents[:direntSize]); n != direntSize {
+		t.Fatalf("re-read after rewind: %d", n)
+	}
+	if _, e := d.Write(df, b); e != EISDIR {
 		t.Fatalf("dir write: %v", e)
+	}
+	if st := d.Stat(); st.Kind != StatDir || st.Size != 3*direntSize {
+		t.Fatalf("dir stat %+v", st)
 	}
 
 	// Streams reject seeking; kqueue descriptors reject transfers.

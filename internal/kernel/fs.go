@@ -181,13 +181,23 @@ func (fs *FS) List(path string) ([]string, error) {
 
 // Open-file flags.
 const (
-	ORdOnly  = 0x0
-	OWrOnly  = 0x1
-	ORdWr    = 0x2
-	OAccMode = 0x3
-	OCreat   = 0x200
-	OTrunc   = 0x400
-	OAppend  = 0x8
+	ORdOnly   = 0x0
+	OWrOnly   = 0x1
+	ORdWr     = 0x2
+	OAccMode  = 0x3
+	ONonblock = 0x4 // would-block transfers return EAGAIN instead of parking
+	OAppend   = 0x8
+	OCreat    = 0x200
+	OTrunc    = 0x400
+)
+
+// fcntl(2) commands (FreeBSD numbering) and the status flags F_SETFL may
+// change. O_NONBLOCK lives on the open-file description, so dup(2) and
+// fork(2) sharers observe mode changes — exactly POSIX's sharing rule.
+const (
+	FGetFl        = 3
+	FSetFl        = 4
+	fcntlSettable = ONonblock | OAppend
 )
 
 // FDesc is one open-file description: the File object plus the cursor,
@@ -201,13 +211,16 @@ type FDesc struct {
 
 func (f *FDesc) incref() *FDesc { f.refs++; return f }
 
-func (f *FDesc) close() {
+func (f *FDesc) close(k *Kernel) {
 	f.refs--
 	if f.refs > 0 {
 		return
 	}
-	f.file.Close()
+	f.file.Close(k)
 }
+
+// nonblock reports whether the description is in non-blocking mode.
+func (f *FDesc) nonblock() bool { return f.flags&ONonblock != 0 }
 
 // mayRead reports whether the descriptor's access mode permits reads.
 func (f *FDesc) mayRead() bool { return f.flags&OAccMode != OWrOnly }

@@ -93,11 +93,11 @@ func TestFDescRefcountingClosesPipeEnds(t *testing.T) {
 	pip := &pipe{readers: 1, writers: 1}
 	w := &FDesc{file: &pipeFile{pip: pip, writeEnd: true}, flags: OWrOnly, refs: 1}
 	dup := w.incref()
-	w.close()
+	w.close(nil) // nil kernel: the pipe's wait queue is empty
 	if pip.writers != 1 {
 		t.Fatal("writer count dropped while a reference remains")
 	}
-	dup.close()
+	dup.close(nil)
 	if pip.writers != 0 {
 		t.Fatal("writer count not dropped at last close")
 	}

@@ -94,11 +94,22 @@ type Kernel struct {
 	// at boot from the reset capability.
 	kernRoot cap.Capability
 
-	procs   map[int]*Proc
-	runq    []*Thread
+	procs map[int]*Proc
+	// runq is the FIFO ring of runnable-but-not-running threads: a slice
+	// indexed from runqHead, compacted in place so steady-state rotation
+	// never allocates. Blocked threads are not in the ring — they live on
+	// the WaitQueues of the objects they sleep on.
+	runq     []*Thread
+	runqHead int
+	// parked holds runnable threads of ptrace-suspended processes until
+	// the tracer detaches.
+	parked  []*Thread
 	nextPID int
 	nextTID int
 	seed    int64
+
+	// unixNS is the AF_UNIX namespace: bound socket addresses.
+	unixNS map[string]*socketFile
 
 	Natives     map[int]NativeFunc
 	OnCapCreate CapCreateFunc
@@ -149,6 +160,7 @@ func NewMachine(cfg Config) *Machine {
 		FS:           NewFS(),
 		Ledger:       core.NewLedger(),
 		procs:        map[int]*Proc{},
+		unixNS:       map[string]*socketFile{},
 		Natives:      map[int]NativeFunc{},
 		shmSegs:      map[int]*shmSeg{},
 		seed:         cfg.Seed,
@@ -206,11 +218,25 @@ func (k *Kernel) urandomBytes(b []byte) {
 	k.urand = s
 }
 
-// PostSignal marks sig pending on p; it is delivered at the next return to
-// user mode.
+// PostSignal marks sig pending on p; it is delivered at the next return
+// to user mode. If the signal is deliverable (unmasked), any of p's
+// threads parked on a wait queue are woken: the blocked syscall restarts,
+// the handler (or default action) runs at the kernel→user transition, and
+// the syscall re-executes afterwards — BSD restart semantics.
 func (k *Kernel) PostSignal(p *Proc, sig int) {
-	if sig > 0 && sig < NSig {
-		p.SigPending |= 1 << uint(sig)
+	if sig <= 0 || sig >= NSig {
+		return
+	}
+	p.SigPending |= 1 << uint(sig)
+	if p.SigPending&^p.SigMask == 0 {
+		return
+	}
+	for _, t := range p.Threads {
+		if t.State == ThreadBlocked {
+			t.unsubscribe()
+			t.State = ThreadRunnable
+			k.runqPush(t)
+		}
 	}
 }
 
@@ -239,7 +265,7 @@ func (k *Kernel) newThread(p *Proc) *Thread {
 	k.nextTID++
 	t := &Thread{TID: k.nextTID, Proc: p, State: ThreadRunnable}
 	p.Threads = append(p.Threads, t)
-	k.runq = append(k.runq, t)
+	k.runqPush(t)
 	return t
 }
 
@@ -264,37 +290,75 @@ func (k *Kernel) saveFrom(t *Thread) {
 	t.Frame.DDC = c.DDC
 }
 
-// pickRunnable polls blocked threads and returns the next runnable thread
-// in round-robin order, or nil.
-func (k *Kernel) pickRunnable() *Thread {
-	for _, t := range k.runq {
-		if t.State != ThreadBlocked {
-			continue
-		}
-		// Wake on satisfied wait conditions or deliverable signals (the
-		// blocked syscall restarts after the handler, or termination).
-		if t.poll != nil && t.poll() || t.Proc.SigPending&^t.Proc.SigMask != 0 {
-			t.State = ThreadRunnable
-			t.poll = nil
-		}
-	}
-	for i, t := range k.runq {
-		if t.State == ThreadRunnable && !t.Proc.Suspended {
-			// Rotate for round-robin fairness.
-			k.runq = append(append(append([]*Thread{}, k.runq[i+1:]...), k.runq[:i]...), t)
-			return t
-		}
-	}
-	return nil
+// runqPush appends t to the tail of the scheduler ring.
+func (k *Kernel) runqPush(t *Thread) {
+	k.runq = append(k.runq, t)
 }
 
-func (k *Kernel) removeThread(t *Thread) {
-	for i, q := range k.runq {
-		if q == t {
-			k.runq = append(k.runq[:i], k.runq[i+1:]...)
-			return
+// runqPop removes and returns the ring head, or nil. The backing array is
+// reused: the head index advances instead of re-slicing, and the live
+// tail is periodically copied down to the front, so steady-state rotation
+// (pop, run, push) performs no allocation — the old scheduler rebuilt the
+// whole queue with three chained appends on every switch.
+func (k *Kernel) runqPop() *Thread {
+	if k.runqHead == len(k.runq) {
+		return nil
+	}
+	t := k.runq[k.runqHead]
+	k.runq[k.runqHead] = nil // release the reference for reuse hygiene
+	k.runqHead++
+	if k.runqHead == len(k.runq) {
+		k.runq = k.runq[:0]
+		k.runqHead = 0
+	} else if k.runqHead >= 64 && k.runqHead*2 >= len(k.runq) {
+		// Amortized compaction: the popped prefix pays for the copy.
+		n := copy(k.runq, k.runq[k.runqHead:])
+		k.runq = k.runq[:n]
+		k.runqHead = 0
+	}
+	return t
+}
+
+// pickRunnable pops the next schedulable thread in FIFO (round-robin)
+// order, or nil. Blocked threads never appear here — a wait-queue wake is
+// the only way back into the ring — so picking is O(1) regardless of how
+// many threads are parked. Threads that exited while queued are dropped
+// lazily; threads of ptrace-suspended processes are parked aside until
+// the tracer detaches.
+func (k *Kernel) pickRunnable() *Thread {
+	for {
+		t := k.runqPop()
+		if t == nil {
+			return nil
+		}
+		if t.State != ThreadRunnable {
+			continue
+		}
+		if t.Proc.Suspended {
+			k.parked = append(k.parked, t)
+			continue
+		}
+		return t
+	}
+}
+
+// resumeProc returns a formerly ptrace-suspended process's parked threads
+// to the scheduler ring.
+func (k *Kernel) resumeProc(p *Proc) {
+	kept := k.parked[:0]
+	for _, t := range k.parked {
+		switch {
+		case t.State != ThreadRunnable: // exited while parked
+		case t.Proc == p:
+			k.runqPush(t)
+		default:
+			kept = append(kept, t)
 		}
 	}
+	for i := len(kept); i < len(k.parked); i++ {
+		k.parked[i] = nil
+	}
+	k.parked = kept
 }
 
 // Quantum is the scheduler time slice in instructions.
@@ -322,9 +386,18 @@ func (k *Kernel) Run(budget uint64, stop func() bool) error {
 		}
 		t := k.pickRunnable()
 		if t == nil {
-			for _, q := range k.runq {
-				if q.State == ThreadBlocked && !q.Proc.Suspended {
-					return ErrDeadlock
+			// Nothing schedulable. Blocked threads with no pending wake —
+			// including threads parked on empty wait queues — mean the
+			// system can never make progress again: deadlock. (Threads of
+			// suspended processes are excluded, matching ptrace stops.)
+			for _, p := range k.procs {
+				if p.Suspended {
+					continue
+				}
+				for _, th := range p.Threads {
+					if th.State == ThreadBlocked {
+						return ErrDeadlock
+					}
 				}
 			}
 			return nil
@@ -334,14 +407,18 @@ func (k *Kernel) Run(budget uint64, stop func() bool) error {
 		k.switchTo(t)
 		// Deliver pending signals at kernel->user transition.
 		if k.deliverPending(t) {
-			continue // delivery may have killed the thread
+			continue // delivery killed the thread
 		}
 		tr := k.M.CPU.Run(Quantum)
 		k.saveFrom(t)
-		if tr == nil {
-			continue // quantum expired; rotate
+		if tr != nil {
+			k.handleTrap(t, tr)
 		}
-		k.handleTrap(t, tr)
+		// Round-robin: the thread rejoins the tail unless it blocked or
+		// exited during the quantum (a wait-queue wake re-enqueues it).
+		if t.State == ThreadRunnable {
+			k.runqPush(t)
+		}
 	}
 }
 
@@ -395,12 +472,14 @@ func (k *Kernel) exitProc(p *Proc, status int) {
 	p.State = ProcZombie
 	p.Status = status
 	for _, t := range p.Threads {
-		t.State = ThreadExited
-		k.removeThread(t)
+		if t.State == ThreadBlocked {
+			t.unsubscribe()
+		}
+		t.State = ThreadExited // ring/parked entries are dropped lazily
 	}
 	for _, f := range p.FDs {
 		if f != nil {
-			f.close()
+			f.close(k) // the last reference may wake peers (EOF, EPIPE)
 		}
 	}
 	p.FDs = nil
@@ -412,7 +491,8 @@ func (k *Kernel) exitProc(p *Proc, status int) {
 		c.Parent = nil
 	}
 	if p.Parent != nil {
-		p.Parent.SigPending |= 1 << SIGCHLD
+		k.PostSignal(p.Parent, SIGCHLD)
+		p.Parent.childq.Wake(k)
 	}
 }
 

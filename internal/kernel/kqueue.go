@@ -133,6 +133,26 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 		}
 		count++
 	}
+	if count == 0 && len(kq.notes) > 0 {
+		// Nothing ready: park on the wait queues of the watched objects,
+		// exactly as select and poll do — kevent is the third thin wrapper
+		// over the same readiness predicate and subscription path. Objects
+		// that are always ready contribute no queue (their filters would
+		// have fired above); if no watched object can transition, return 0
+		// rather than sleeping forever.
+		var qs []*WaitQueue
+		for _, n := range kq.notes {
+			if f := p.fd(int(n.ident)); f != nil {
+				if q := f.file.Queue(); q != nil {
+					qs = append(qs, q)
+				}
+			}
+		}
+		if len(qs) > 0 {
+			t.blockOn(qs...)
+			return false
+		}
+	}
 	setRet(&t.Frame, count, OK)
 	return true
 }

@@ -38,16 +38,9 @@ type Thread struct {
 	Proc  *Proc
 	Frame Frame
 	State ThreadState
-	// poll reports whether a blocked thread can resume; the blocked
-	// syscall re-executes when it does.
-	poll func() bool
-}
-
-// block parks the thread until poll returns true; the in-flight syscall
-// instruction re-executes on wake (classic restartable syscalls).
-func (t *Thread) block(poll func() bool) {
-	t.State = ThreadBlocked
-	t.poll = poll
+	// waitq lists the wait queues a blocked thread subscribes to (see
+	// wait.go); the blocked syscall re-executes when any of them wakes.
+	waitq []*WaitQueue
 }
 
 // ProcState is the lifecycle state of a process.
@@ -94,6 +87,9 @@ type Proc struct {
 	Sig        [NSig]SigAction
 	SigPending uint64
 	SigMask    uint64
+
+	// childq wakes wait4 callers when a child changes state.
+	childq WaitQueue
 
 	// Linked is the rtld view of the loaded images (debugger, trace).
 	Linked *rtld.Linked

@@ -47,6 +47,7 @@ func sysPtrace(k *Kernel, t *Thread, a *SysArgs) bool {
 		return true
 	case PtDetach:
 		target.Suspended = false
+		k.resumeProc(target) // parked threads rejoin the scheduler ring
 		setRet(&t.Frame, 0, OK)
 		return true
 	}

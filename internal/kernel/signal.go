@@ -244,7 +244,8 @@ func (k *Kernel) sigreturn(t *Thread) Errno {
 	return OK
 }
 
-// Kill posts sig to process pid.
+// Kill posts sig to process pid, waking any of its queued waiters (the
+// interrupted syscall restarts after the handler runs, or termination).
 func (k *Kernel) Kill(pid, sig int) Errno {
 	p := k.procs[pid]
 	if p == nil || p.State == ProcZombie {
@@ -253,6 +254,6 @@ func (k *Kernel) Kill(pid, sig int) Errno {
 	if sig <= 0 || sig >= NSig {
 		return EINVAL
 	}
-	p.SigPending |= 1 << uint(sig)
+	k.PostSignal(p, sig)
 	return OK
 }

@@ -1,0 +1,418 @@
+package kernel
+
+// In-kernel AF_UNIX stream sockets over the File layer. A socketFile is
+// one endpoint; a connection is a pair of endpoints joined by two
+// directional byte buffers and ONE shared wait queue — so the generic
+// post-transfer wake in the syscall layer (wakeFD) reaches the peer
+// without the File knowing who is parked. Connection establishment is a
+// two-phase handshake: connect(2) enqueues the caller on the listener's
+// accept queue and parks (or returns EINPROGRESS when non-blocking);
+// accept(2) builds the server endpoint, wires the buffers, adopts the
+// connector's wait queue as the shared connection queue, and wakes it.
+// Readiness for accept, connect completion, data, buffer space, EOF, and
+// EPIPE all flow through the same Poll predicate select/poll/kevent use.
+
+// Socket constants (FreeBSD values).
+const (
+	AFUnix     = 1
+	SockStream = 1
+	ShutRd     = 0
+	ShutWr     = 1
+	ShutRdWr   = 2
+)
+
+// sockCap bounds each direction's in-flight bytes, like pipeCap.
+const sockCap = 64 << 10
+
+// sockState is the endpoint's connection state.
+type sockState int
+
+const (
+	sockNew        sockState = iota // fresh socket(2) result; bind/connect legal
+	sockListening                   // listen(2) called; accept legal
+	sockConnecting                  // queued on a listener, awaiting accept
+	sockConnected                   // data may flow
+	sockRefused                     // the listener vanished before accept
+)
+
+// sockBuf is one direction of a connection. shut means no further bytes
+// will ever arrive (the producing side shut down or closed): consumers
+// drain what is buffered, then observe EOF.
+type sockBuf struct {
+	data []byte
+	shut bool
+}
+
+// socketFile is one AF_UNIX stream endpoint.
+type socketFile struct {
+	baseFile
+	state   sockState
+	path    string        // bound address, "" if unbound
+	backlog int           // listener: accept-queue bound
+	pending []*socketFile // listener: connectors awaiting accept, FIFO
+	q       *WaitQueue    // shared with the peer once connected
+	peer    *socketFile
+	recv    *sockBuf // bytes flowing to this endpoint
+	send    *sockBuf // bytes flowing to the peer
+	// recvShut/sendShut record shutdown(2) on this endpoint: SHUT_RD makes
+	// local reads EOF immediately; SHUT_WR makes local writes EPIPE (the
+	// peer drains, then sees EOF through send.shut).
+	recvShut bool
+	sendShut bool
+	peerGone bool // the peer endpoint closed
+	// waitingOn is the listener a sockConnecting endpoint is queued on, so
+	// closing the endpoint can withdraw it from the accept queue.
+	waitingOn *socketFile
+	// connReported distinguishes "the connect(2) that initiated this
+	// connection is reporting success (possibly restarted after parking)"
+	// from a second user connect on an established socket (EISCONN).
+	connReported bool
+}
+
+func newSocketFile() *socketFile {
+	return &socketFile{q: &WaitQueue{}}
+}
+
+func (s *socketFile) Queue() *WaitQueue { return s.q }
+
+// Poll is the single readiness predicate every blocking path shares.
+// "Progress" includes error returns: a refused connector polls ready (the
+// restarted connect reports ECONNREFUSED), an unconnected socket polls
+// ready (recv/send report ENOTCONN), and a closed peer polls ready in
+// both directions (EOF in, EPIPE out).
+func (s *socketFile) Poll(kind PollKind) bool {
+	switch s.state {
+	case sockListening:
+		return kind == PollIn && len(s.pending) > 0
+	case sockConnecting:
+		return false // completion is observed as writability after accept
+	case sockConnected:
+		if kind == PollIn {
+			return len(s.recv.data) > 0 || s.recv.shut || s.recvShut || s.peerGone
+		}
+		return len(s.send.data) < sockCap || s.sendShut || s.peerGone
+	default: // sockNew, sockRefused: operations fail immediately
+		return true
+	}
+}
+
+func (s *socketFile) Read(f *FDesc, b []byte) (int, Errno) {
+	if s.state != sockConnected {
+		return 0, ENOTCONN
+	}
+	if s.recvShut || len(s.recv.data) == 0 {
+		// Poll gated the would-block case, so an empty buffer here means
+		// the stream is finished: EOF (recv.shut or peerGone).
+		return 0, OK
+	}
+	n := copy(b, s.recv.data)
+	s.recv.data = s.recv.data[n:]
+	return n, OK
+}
+
+func (s *socketFile) Write(f *FDesc, b []byte) (int, Errno) {
+	if s.state != sockConnected {
+		return 0, ENOTCONN
+	}
+	if s.sendShut || s.peerGone {
+		return 0, EPIPE
+	}
+	n := len(b)
+	if space := sockCap - len(s.send.data); n > space {
+		n = space
+	}
+	s.send.data = append(s.send.data, b[:n]...)
+	return n, OK
+}
+
+func (s *socketFile) Close(k *Kernel) {
+	switch s.state {
+	case sockListening:
+		// Refuse every queued connector; each still waits on its own
+		// (pre-connection) queue.
+		for _, c := range s.pending {
+			c.state = sockRefused
+			c.waitingOn = nil
+			c.q.Wake(k)
+		}
+		s.pending = nil
+	case sockConnecting:
+		// Withdraw from the listener's accept queue: a closed endpoint
+		// must never be wired up by a later accept.
+		if l := s.waitingOn; l != nil {
+			for i, c := range l.pending {
+				if c == s {
+					l.pending = append(l.pending[:i], l.pending[i+1:]...)
+					break
+				}
+			}
+			s.waitingOn = nil
+		}
+	case sockConnected:
+		if s.peer != nil {
+			s.peer.peerGone = true
+		}
+		s.send.shut = true
+	}
+	if s.path != "" && k.unixNS[s.path] == s {
+		delete(k.unixNS, s.path)
+	}
+	s.state = sockRefused // any late operation fails fast
+	s.q.Wake(k)
+}
+
+func (s *socketFile) Stat() FileStat {
+	var size int64
+	if s.recv != nil {
+		size = int64(len(s.recv.data))
+	}
+	return FileStat{Size: size, Kind: StatSock}
+}
+
+// wireSockets joins two endpoints into a connection: two directional
+// buffers and one shared wait queue (q), which must already be the queue
+// any parked party subscribed to.
+func wireSockets(a, b *socketFile, q *WaitQueue) {
+	ab, ba := &sockBuf{}, &sockBuf{}
+	a.send, b.recv = ab, ab
+	b.send, a.recv = ba, ba
+	a.peer, b.peer = b, a
+	a.q, b.q = q, q
+	a.state, b.state = sockConnected, sockConnected
+}
+
+// sockFD fetches fd as a socket endpoint.
+func sockFD(p *Proc, fd int) (*FDesc, *socketFile, Errno) {
+	f := p.fd(fd)
+	if f == nil {
+		return nil, nil, EBADF
+	}
+	s, ok := f.file.(*socketFile)
+	if !ok {
+		return nil, nil, ENOTSOCK
+	}
+	return f, s, OK
+}
+
+func sockErr(t *Thread, e Errno) bool {
+	setRet(&t.Frame, ^uint64(0), e)
+	return true
+}
+
+func sysSocket(k *Kernel, t *Thread, a *SysArgs) bool {
+	if a.Int(0) != AFUnix || a.Int(1) != SockStream {
+		return sockErr(t, EINVAL) // only AF_UNIX stream sockets exist here
+	}
+	fd := t.Proc.allocFD(&FDesc{file: newSocketFile(), flags: ORdWr, refs: 1})
+	setRet(&t.Frame, uint64(fd), OK)
+	return true
+}
+
+// sysSocketpair builds an already-connected pair, like pipe(2) but
+// bidirectional; the two fds land in an 8-byte-slot array.
+func sysSocketpair(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	if a.Int(0) != AFUnix || a.Int(1) != SockStream {
+		return sockErr(t, EINVAL)
+	}
+	sv := a.Ptr(0)
+	s1, s2 := newSocketFile(), newSocketFile()
+	wireSockets(s1, s2, &WaitQueue{})
+	// No connect(2) initiated these connections, so there is no pending
+	// success to report: a user connect on either end is EISCONN.
+	s1.connReported, s2.connReported = true, true
+	fd1 := p.allocFD(&FDesc{file: s1, flags: ORdWr, refs: 1})
+	fd2 := p.allocFD(&FDesc{file: s2, flags: ORdWr, refs: 1})
+	if e := k.writeUserWord(sv, sv.Addr(), 8, uint64(fd1)); e != OK {
+		return sockErr(t, e)
+	}
+	if e := k.writeUserWord(sv, sv.Addr()+8, 8, uint64(fd2)); e != OK {
+		return sockErr(t, e)
+	}
+	setRet(&t.Frame, 0, OK)
+	return true
+}
+
+// sysBind registers the socket in the AF_UNIX namespace. The simplified
+// sockaddr is the path string itself (the address of an AF_UNIX socket IS
+// a filesystem path); relative paths resolve against the CWD like open.
+func sysBind(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	_, s, e := sockFD(p, int(a.Int(0)))
+	if e != OK {
+		return sockErr(t, e)
+	}
+	path := a.Str(0)
+	if path == "" {
+		return sockErr(t, EINVAL)
+	}
+	if path[0] != '/' {
+		path = p.CWD + "/" + path
+	}
+	if s.state != sockNew || s.path != "" {
+		return sockErr(t, EINVAL)
+	}
+	if k.unixNS[path] != nil {
+		return sockErr(t, EADDRINUSE)
+	}
+	k.unixNS[path] = s
+	s.path = path
+	setRet(&t.Frame, 0, OK)
+	return true
+}
+
+func sysListen(k *Kernel, t *Thread, a *SysArgs) bool {
+	_, s, e := sockFD(t.Proc, int(a.Int(0)))
+	if e != OK {
+		return sockErr(t, e)
+	}
+	if s.path == "" || s.state != sockNew && s.state != sockListening {
+		return sockErr(t, EINVAL)
+	}
+	backlog := int(int64(a.Int(1)))
+	if backlog <= 0 {
+		backlog = 8
+	}
+	if backlog > 64 {
+		backlog = 64
+	}
+	s.state = sockListening
+	s.backlog = backlog
+	setRet(&t.Frame, 0, OK)
+	return true
+}
+
+// sysConnect initiates (or, restarted after a wake, completes) a
+// connection. Blocking connects park on the endpoint's own queue until
+// accept adopts it as the connection queue and wakes it; non-blocking
+// connects return EINPROGRESS once queued (EAGAIN if the backlog is
+// full), and the guest observes completion as poll/select writability,
+// then calls connect again for the 0 return.
+func sysConnect(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	f, s, e := sockFD(p, int(a.Int(0)))
+	if e != OK {
+		return sockErr(t, e)
+	}
+	switch s.state {
+	case sockConnected:
+		if !s.connReported {
+			s.connReported = true
+			setRet(&t.Frame, 0, OK)
+			return true
+		}
+		return sockErr(t, EISCONN)
+	case sockConnecting:
+		if f.nonblock() {
+			return sockErr(t, EINPROGRESS)
+		}
+		t.blockOn(s.q)
+		return false
+	case sockRefused:
+		s.state = sockNew // a later retry may succeed
+		return sockErr(t, ECONNREFUSED)
+	case sockListening:
+		return sockErr(t, EINVAL)
+	}
+	path := a.Str(0)
+	if path != "" && path[0] != '/' {
+		path = p.CWD + "/" + path
+	}
+	l := k.unixNS[path]
+	if l == nil || l.state != sockListening {
+		return sockErr(t, ECONNREFUSED)
+	}
+	if len(l.pending) >= l.backlog {
+		if f.nonblock() {
+			return sockErr(t, EAGAIN)
+		}
+		// Park on the LISTENER's queue: accept draining the backlog is the
+		// transition that makes room; the restarted connect re-enqueues.
+		t.blockOn(l.q)
+		return false
+	}
+	s.state = sockConnecting
+	s.waitingOn = l
+	l.pending = append(l.pending, s)
+	l.q.Wake(k) // accept(2) waiters
+	if f.nonblock() {
+		return sockErr(t, EINPROGRESS)
+	}
+	t.blockOn(s.q)
+	return false
+}
+
+func sysAccept(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	f, s, e := sockFD(p, int(a.Int(0)))
+	if e != OK {
+		return sockErr(t, e)
+	}
+	if s.state != sockListening {
+		return sockErr(t, EINVAL)
+	}
+	if len(s.pending) == 0 {
+		if f.nonblock() {
+			return sockErr(t, EAGAIN)
+		}
+		t.blockOn(s.q)
+		return false
+	}
+	c := s.pending[0]
+	s.pending = s.pending[1:]
+	c.waitingOn = nil
+	// The connector's in-flight connect still owes a success report; the
+	// server-side endpoint never had one, so connect on it is EISCONN.
+	srv := &socketFile{connReported: true}
+	connq := c.q // the connector may be parked on it; adopt it as shared
+	wireSockets(c, srv, connq)
+	connq.Wake(k) // complete the connector's connect(2)
+	s.q.Wake(k)   // backlog space freed: parked connectors may enqueue
+	fd := p.allocFD(&FDesc{file: srv, flags: ORdWr, refs: 1})
+	setRet(&t.Frame, uint64(fd), OK)
+	return true
+}
+
+func sysShutdown(k *Kernel, t *Thread, a *SysArgs) bool {
+	_, s, e := sockFD(t.Proc, int(a.Int(0)))
+	if e != OK {
+		return sockErr(t, e)
+	}
+	if s.state != sockConnected {
+		return sockErr(t, ENOTCONN)
+	}
+	how := int(a.Int(1))
+	if how < ShutRd || how > ShutRdWr {
+		return sockErr(t, EINVAL)
+	}
+	if how == ShutRd || how == ShutRdWr {
+		s.recvShut = true
+	}
+	if how == ShutWr || how == ShutRdWr {
+		s.sendShut = true
+		s.send.shut = true // the peer drains, then observes EOF
+	}
+	s.q.Wake(k)
+	setRet(&t.Frame, 0, OK)
+	return true
+}
+
+// sysSend and sysRecv are send(fd, buf, n, flags) / recv(fd, buf, n,
+// flags): the shared read/write bodies over a socket descriptor (flags
+// are accepted and ignored — no MSG_* semantics exist here; O_NONBLOCK
+// governs blocking, as with plain read/write on the socket).
+func sysSend(k *Kernel, t *Thread, a *SysArgs) bool {
+	f, _, e := sockFD(t.Proc, int(a.Int(0)))
+	if e != OK {
+		return sockErr(t, e)
+	}
+	return doWriteFD(k, t, f, a.Ptr(0), a.Int(1))
+}
+
+func sysRecv(k *Kernel, t *Thread, a *SysArgs) bool {
+	f, _, e := sockFD(t.Proc, int(a.Int(0)))
+	if e != OK {
+		return sockErr(t, e)
+	}
+	return doReadFD(k, t, f, a.Ptr(0), a.Int(1))
+}

@@ -51,6 +51,18 @@ const (
 	SysPread
 	SysPwrite
 	SysFtruncate
+	SysSocket
+	SysSocketpair
+	SysBind
+	SysListen
+	SysConnect
+	SysAccept
+	SysShutdown
+	SysSend
+	SysRecv
+	SysPoll
+	SysFcntl
+	SysGetdents
 )
 
 // mmap prot/flags.
@@ -158,7 +170,7 @@ const ioChunk = 256 << 10
 // synthesize their stream, so only the chunk clamp applies.
 func ioScratch(f *FDesc, n uint64) []byte {
 	switch st := f.file.Stat(); st.Kind {
-	case StatFile:
+	case StatFile, StatDir:
 		avail := st.Size - f.off
 		if avail < 0 {
 			avail = 0
@@ -166,7 +178,7 @@ func ioScratch(f *FDesc, n uint64) []byte {
 		if n > uint64(avail) {
 			n = uint64(avail)
 		}
-	case StatPipe:
+	case StatPipe, StatSock:
 		if n > uint64(st.Size) {
 			n = uint64(st.Size)
 		}
@@ -193,19 +205,18 @@ func precheckOut(buf cap.Capability, n int) Errno {
 	return OK
 }
 
-func sysRead(k *Kernel, t *Thread, a *SysArgs) bool {
-	p := t.Proc
-	fd := int(a.Int(0))
-	buf := a.Ptr(0)
-	n := a.Int(1)
-	f := p.fd(fd)
-	if f == nil || !f.mayRead() {
-		setRet(&t.Frame, ^uint64(0), EBADF)
-		return true
-	}
+// doReadFD is the shared body of read(2), recv(2), and getdents(2) after
+// descriptor validation: gate on the readiness predicate (EAGAIN for
+// non-blocking descriptors, park on the object's wait queue otherwise),
+// stage through uaccess into the guest buffer, and wake threads parked on
+// the object (a drained pipe or socket has space for writers again).
+func doReadFD(k *Kernel, t *Thread, f *FDesc, buf cap.Capability, n uint64) bool {
 	if !f.file.Poll(PollIn) {
-		file := f.file
-		t.block(func() bool { return file.Poll(PollIn) })
+		if f.nonblock() {
+			setRet(&t.Frame, ^uint64(0), EAGAIN)
+			return true
+		}
+		k.blockFD(t, f)
 		return false
 	}
 	scratch := ioScratch(f, n)
@@ -219,6 +230,11 @@ func sysRead(k *Kernel, t *Thread, a *SysArgs) bool {
 		return true
 	}
 	if m > 0 {
+		// Wake before attempting the copyout: the object was drained
+		// either way, and a parked writer must learn about the space even
+		// if the destination faults past the precheck (e.g. an unmapped
+		// in-bounds page) — a skipped wake here is a lost wakeup.
+		k.wakeFD(f)
 		if e := k.copyOut(buf, scratch[:m]); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
@@ -228,19 +244,16 @@ func sysRead(k *Kernel, t *Thread, a *SysArgs) bool {
 	return true
 }
 
-func sysWrite(k *Kernel, t *Thread, a *SysArgs) bool {
-	p := t.Proc
-	fd := int(a.Int(0))
-	buf := a.Ptr(0)
-	n := a.Int(1)
-	f := p.fd(fd)
-	if f == nil || !f.mayWrite() {
-		setRet(&t.Frame, ^uint64(0), EBADF)
-		return true
-	}
+// doWriteFD is the shared body of write(2) and send(2) after descriptor
+// validation; EPIPE raises SIGPIPE, and accepted bytes wake threads
+// parked on the object (readers of the pipe or socket).
+func doWriteFD(k *Kernel, t *Thread, f *FDesc, buf cap.Capability, n uint64) bool {
 	if !f.file.Poll(PollOut) {
-		file := f.file
-		t.block(func() bool { return file.Poll(PollOut) })
+		if f.nonblock() {
+			setRet(&t.Frame, ^uint64(0), EAGAIN)
+			return true
+		}
+		k.blockFD(t, f)
 		return false
 	}
 	if n > ioChunk {
@@ -254,13 +267,50 @@ func sysWrite(k *Kernel, t *Thread, a *SysArgs) bool {
 	m, e := f.file.Write(f, data)
 	if e != OK {
 		if e == EPIPE {
-			p.SigPending |= 1 << SIGPIPE
+			k.PostSignal(t.Proc, SIGPIPE)
 		}
 		setRet(&t.Frame, ^uint64(0), e)
 		return true
 	}
+	if m > 0 {
+		k.wakeFD(f)
+	}
 	setRet(&t.Frame, uint64(m), OK)
 	return true
+}
+
+func sysRead(k *Kernel, t *Thread, a *SysArgs) bool {
+	f := t.Proc.fd(int(a.Int(0)))
+	if f == nil || !f.mayRead() {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	return doReadFD(k, t, f, a.Ptr(0), a.Int(1))
+}
+
+func sysWrite(k *Kernel, t *Thread, a *SysArgs) bool {
+	f := t.Proc.fd(int(a.Int(0)))
+	if f == nil || !f.mayWrite() {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	return doWriteFD(k, t, f, a.Ptr(0), a.Int(1))
+}
+
+// sysGetdents reads directory entries: read(2) semantics over a directory
+// descriptor's dirent stream (fixed 64-byte records: an 8-byte kind word
+// then a NUL-terminated name), in sorted-name order snapshotted at open.
+func sysGetdents(k *Kernel, t *Thread, a *SysArgs) bool {
+	f := t.Proc.fd(int(a.Int(0)))
+	if f == nil || !f.mayRead() {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	if f.file.Stat().Kind != StatDir {
+		setRet(&t.Frame, ^uint64(0), ENOTDIR)
+		return true
+	}
+	return doReadFD(k, t, f, a.Ptr(0), a.Int(1))
 }
 
 func sysPread(k *Kernel, t *Thread, a *SysArgs) bool {
@@ -319,7 +369,7 @@ func sysPwrite(k *Kernel, t *Thread, a *SysArgs) bool {
 	m, e := f.file.Pwrite(data, off)
 	if e != OK {
 		if e == EPIPE {
-			p.SigPending |= 1 << SIGPIPE
+			k.PostSignal(p, SIGPIPE)
 		}
 		setRet(&t.Frame, ^uint64(0), e)
 		return true
@@ -366,8 +416,11 @@ func sysReadv(k *Kernel, t *Thread, a *SysArgs) bool {
 		return true
 	}
 	if !f.file.Poll(PollIn) {
-		file := f.file
-		t.block(func() bool { return file.Poll(PollIn) })
+		if f.nonblock() {
+			setRet(&t.Frame, ^uint64(0), EAGAIN)
+			return true
+		}
+		k.blockFD(t, f)
 		return false
 	}
 	// Once any segment has transferred, a later fault reports the partial
@@ -381,6 +434,12 @@ func sysReadv(k *Kernel, t *Thread, a *SysArgs) bool {
 			setRet(&t.Frame, ^uint64(0), e)
 		}
 	}
+	consumed := false
+	defer func() {
+		if consumed {
+			k.wakeFD(f) // drained bytes freed object space for writers
+		}
+	}()
 	for i := uint64(0); i < cnt; i++ {
 		bp, n, e := k.readIovec(t, vec, i)
 		if e != OK {
@@ -402,6 +461,9 @@ func sysReadv(k *Kernel, t *Thread, a *SysArgs) bool {
 			fail(e)
 			return true
 		}
+		// The object gave up bytes: parked writers must be woken even if
+		// landing them in the guest faults below (lost-wakeup hazard).
+		consumed = consumed || m > 0
 		if m > 0 {
 			if e := k.copyOut(bp, scratch[:m]); e != OK {
 				fail(e)
@@ -432,8 +494,11 @@ func sysWritev(k *Kernel, t *Thread, a *SysArgs) bool {
 		return true
 	}
 	if !f.file.Poll(PollOut) {
-		file := f.file
-		t.block(func() bool { return file.Poll(PollOut) })
+		if f.nonblock() {
+			setRet(&t.Frame, ^uint64(0), EAGAIN)
+			return true
+		}
+		k.blockFD(t, f)
 		return false
 	}
 	// As with readv: bytes already accepted by the object are reported as
@@ -446,10 +511,15 @@ func sysWritev(k *Kernel, t *Thread, a *SysArgs) bool {
 			return
 		}
 		if e == EPIPE {
-			p.SigPending |= 1 << SIGPIPE
+			k.PostSignal(p, SIGPIPE)
 		}
 		setRet(&t.Frame, ^uint64(0), e)
 	}
+	defer func() {
+		if total > 0 {
+			k.wakeFD(f) // supplied bytes made the object readable
+		}
+	}()
 	for i := uint64(0); i < cnt; i++ {
 		bp, n, e := k.readIovec(t, vec, i)
 		if e != OK {
@@ -534,7 +604,7 @@ func sysOpen(k *Kernel, t *Thread, a *SysArgs) bool {
 	var file File
 	switch n.kind {
 	case nodeDir:
-		file = dirFile{}
+		file = newDirFile(n)
 	case nodeDev:
 		file = n.dev(k, p)
 	default:
@@ -553,7 +623,7 @@ func sysClose(k *Kernel, t *Thread, a *SysArgs) bool {
 		setRet(&t.Frame, ^uint64(0), EBADF)
 		return true
 	}
-	f.close()
+	f.close(k)
 	p.FDs[fd] = nil
 	setRet(&t.Frame, 0, OK)
 	return true
@@ -580,14 +650,9 @@ func sysWait4(k *Kernel, t *Thread, a *SysArgs) bool {
 			setRet(&t.Frame, ^uint64(0), ECHILD)
 			return true
 		}
-		t.block(func() bool {
-			for _, c := range p.Children {
-				if (pid <= 0 || c.PID == pid) && c.State == ProcZombie {
-					return true
-				}
-			}
-			return false
-		})
+		// Park on the process's child queue; exitProc wakes it and the
+		// restarted wait4 re-scans the children.
+		t.blockOn(&p.childq)
 		return false
 	}
 	if statusPtr.Addr() != 0 {
@@ -885,21 +950,10 @@ func sysSelect(k *Kernel, t *Thread, a *SysArgs) bool {
 	}
 	timeoutPtr := a.Ptr(3)
 	if count == 0 && timeoutPtr.Addr() == 0 && (rq|wq) != 0 {
-		t.block(func() bool {
-			for fd := 0; fd < nfds; fd++ {
-				f := p.fd(fd)
-				if f == nil {
-					continue
-				}
-				if rq&(1<<uint(fd)) != 0 && f.file.Poll(PollIn) {
-					return true
-				}
-				if wq&(1<<uint(fd)) != 0 && f.file.Poll(PollOut) {
-					return true
-				}
-			}
-			return false
-		})
+		// Every watched descriptor reported not-ready: subscribe to all of
+		// their wait queues and park. The restarted select re-evaluates the
+		// same Poll predicate the wake corresponds to.
+		k.blockFDSet(t, p, nfds, rq|wq)
 		return false
 	}
 	if a.Ptr(0).Addr() != 0 {
@@ -915,6 +969,122 @@ func sysSelect(k *Kernel, t *Thread, a *SysArgs) bool {
 		}
 	}
 	setRet(&t.Frame, uint64(count), OK)
+	return true
+}
+
+// blockFDSet subscribes t to the wait queues of every descriptor named in
+// mask and parks it — the shared subscription path select, poll, and
+// kevent all use. Always-ready objects contribute no queue; if no watched
+// object can ever transition, the park is permanent and the scheduler's
+// deadlock detection reports it.
+func (k *Kernel) blockFDSet(t *Thread, p *Proc, nfds int, mask uint64) {
+	var qs []*WaitQueue
+	for fd := 0; fd < nfds; fd++ {
+		if mask&(1<<uint(fd)) == 0 {
+			continue
+		}
+		if f := p.fd(fd); f != nil {
+			if q := f.file.Queue(); q != nil {
+				qs = append(qs, q)
+			}
+		}
+	}
+	t.blockOn(qs...)
+}
+
+// poll(2) event bits (FreeBSD values).
+const (
+	PollInEv   = 0x0001
+	PollOutEv  = 0x0004
+	PollErrEv  = 0x0008
+	PollHupEv  = 0x0010
+	PollNvalEv = 0x0020
+)
+
+// pollMax bounds the pollfd vector, like select's 64-descriptor mask.
+const pollMax = 64
+
+// sysPoll implements poll(2) over the same readiness predicate select and
+// kevent use. The guest struct pollfd is {long fd; long events; long
+// revents} — 24 bytes under both ABIs (MiniC int is 8 bytes, no
+// pointers). A negative timeout blocks until a watched object
+// transitions; any other timeout polls once and returns (the simulator
+// has no free-running clock to sleep against — timeouts degenerate to a
+// non-blocking scan, which deterministic guests pair with yield loops).
+func sysPoll(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	fds := a.Ptr(0)
+	nfds := a.Int(0)
+	timeout := int64(a.Int(1))
+	if nfds > pollMax {
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+		return true
+	}
+	k.charge(nfds * CostSelectPerFD)
+	count := uint64(0)
+	var qs []*WaitQueue
+	for i := uint64(0); i < nfds; i++ {
+		base := fds.Addr() + i*24
+		fdw, e1 := k.readUserWord(fds, base, 8)
+		events, e2 := k.readUserWord(fds, base+8, 8)
+		if e1 != OK || e2 != OK {
+			setRet(&t.Frame, ^uint64(0), EFAULT)
+			return true
+		}
+		var revents uint64
+		fd := int(int64(fdw))
+		switch f := p.fd(fd); {
+		case fd < 0:
+			// Negative fds are ignored per POSIX (revents = 0).
+		case f == nil:
+			revents = PollNvalEv
+		default:
+			if events&PollInEv != 0 && f.file.Poll(PollIn) {
+				revents |= PollInEv
+			}
+			if events&PollOutEv != 0 && f.file.Poll(PollOut) {
+				revents |= PollOutEv
+			}
+			if q := f.file.Queue(); q != nil && events&(PollInEv|PollOutEv) != 0 {
+				qs = append(qs, q)
+			}
+		}
+		if e := k.writeUserWord(fds, base+16, 8, revents); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
+		if revents != 0 {
+			count++
+		}
+	}
+	if count == 0 && timeout < 0 && len(qs) > 0 {
+		t.blockOn(qs...)
+		return false
+	}
+	setRet(&t.Frame, count, OK)
+	return true
+}
+
+// sysFcntl implements F_GETFL/F_SETFL over the open-file description.
+// O_NONBLOCK and O_APPEND are the settable status flags; because they
+// live on the shared description, a mode change through one descriptor is
+// observed by its dup(2)/fork(2) sharers, per POSIX.
+func sysFcntl(k *Kernel, t *Thread, a *SysArgs) bool {
+	p := t.Proc
+	f := p.fd(int(a.Int(0)))
+	if f == nil {
+		setRet(&t.Frame, ^uint64(0), EBADF)
+		return true
+	}
+	switch int(a.Int(1)) {
+	case FGetFl:
+		setRet(&t.Frame, uint64(f.flags&(OAccMode|fcntlSettable)), OK)
+	case FSetFl:
+		f.flags = f.flags&^fcntlSettable | int(a.Int(2))&fcntlSettable
+		setRet(&t.Frame, 0, OK)
+	default:
+		setRet(&t.Frame, ^uint64(0), EINVAL)
+	}
 	return true
 }
 

@@ -454,7 +454,8 @@ func (as *AddressSpace) Resident(va uint64) bool {
 func (as *AddressSpace) Fork() *AddressSpace {
 	child := as.sys.NewAddressSpace()
 	child.Rederive = nil // kernel installs a fresh one bound to the child root
-	for p, e := range as.pages {
+	for _, p := range as.sortedVPNs() {
+		e := as.pages[p]
 		ne := *e
 		if e.present {
 			as.sys.Frames.incref(e.frame)
@@ -484,10 +485,28 @@ func (as *AddressSpace) Fork() *AddressSpace {
 	return child
 }
 
-// Release drops every mapping (process exit).
+// sortedVPNs returns the mapped page numbers in ascending order, so page
+// walks that mutate shared allocator state never depend on Go map
+// iteration order.
+func (as *AddressSpace) sortedVPNs() []uint64 {
+	vpns := make([]uint64, 0, len(as.pages))
+	for p := range as.pages {
+		vpns = append(vpns, p)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
+}
+
+// Release drops every mapping (process exit). Pages are released in
+// ascending address order: freed frames re-enter the shared allocator in
+// a deterministic sequence, so the physical placement — and therefore the
+// cache behaviour — of every later allocation is a pure function of the
+// boot seed and the guest's actions. (Map-order frees made simulated
+// cycles flicker across identical runs once several processes exited
+// mid-run; the posix-sockets differential rows caught it.)
 func (as *AddressSpace) Release() {
-	for p, e := range as.pages {
-		as.release(e)
+	for _, p := range as.sortedVPNs() {
+		as.release(as.pages[p])
 		delete(as.pages, p)
 	}
 }

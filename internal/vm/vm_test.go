@@ -284,3 +284,30 @@ func TestFreshASIDs(t *testing.T) {
 		t.Fatal("address-space principal IDs must be unique")
 	}
 }
+
+// TestReleaseOrderDeterministic: frames freed by process exit re-enter
+// the allocator in ascending address order, never Go map iteration order
+// — otherwise the physical placement of every later allocation (and with
+// it the simulated cache behaviour) flickers across identical runs. The
+// posix-sockets differential rows caught the original map-order bug.
+func TestReleaseOrderDeterministic(t *testing.T) {
+	freeList := func() []uint64 {
+		s := newSys(t)
+		as := s.NewAddressSpace()
+		as.Map(0x10000, 40*PageSize, ProtRead|ProtWrite, false)
+		for i := uint64(0); i < 40; i++ {
+			as.Translate(0x10000+i*PageSize, ProtWrite)
+		}
+		as.Release()
+		return append([]uint64{}, s.Frames.free...)
+	}
+	a, b := freeList(), freeList()
+	if len(a) != len(b) {
+		t.Fatalf("free list lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("free list order diverged at %d: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}

@@ -35,16 +35,19 @@ var Figure4 = []Workload{
 	{Name: "spec2006-xalancbmk", Src: SrcXalancbmk},
 	{Name: "initdb-dynamic", Src: SrcInitdb, Libs: map[string]string{"libcatalog.so": SrcLibCatalog}},
 	{Name: "posix-vectorio", Src: SrcVectorIO},
+	{Name: "posix-sockets", Src: SrcPosixSockets},
 }
 
 // ShortCorpus is the representative Figure 4 subset used by -short test
 // runs: static compute, library-heavy, the dynamically-linked
-// macro-benchmark, and the vectored-I/O scenario (so the readv/writev/
+// macro-benchmark, the vectored-I/O scenario (so the readv/writev/
 // pread/pwrite and device paths stay inside the short differential
-// matrix). The full corpus runs in the default mode.
+// matrix), and the socket/poll scenario (so the wait-queue scheduler,
+// AF_UNIX stack, poll(2), O_NONBLOCK, and readdir paths do too). The full
+// corpus runs in the default mode.
 func ShortCorpus() []Workload {
 	var out []Workload
-	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic", "posix-vectorio"} {
+	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic", "posix-vectorio", "posix-sockets"} {
 		w, ok := ByName(name)
 		if !ok {
 			panic("workload: short corpus names unknown workload " + name)

@@ -17,6 +17,7 @@ import (
 	"cheriabi/internal/cap"
 	"cheriabi/internal/compat"
 	"cheriabi/internal/cpu"
+	"cheriabi/internal/driver"
 	"cheriabi/internal/mem"
 	"cheriabi/internal/testsuite"
 	"cheriabi/internal/trace"
@@ -510,6 +511,90 @@ func BenchmarkDecodeCache(b *testing.B) {
 			}
 			b.SetBytes(int64(insts))
 			b.ReportMetric(float64(cycles), "sim-cycles") // must match across modes
+		})
+	}
+}
+
+// BenchmarkBootSnapshot measures the machine checkpoint path piecewise:
+// a full cold kernel boot, capturing a post-boot snapshot, and stamping
+// one copy-on-write clone from it. Boot is already cheap here because
+// physical memory is lazily chunked (nothing is zeroed eagerly); the
+// clone's win is the remaining kernel table construction, and the
+// machines/s metric is what bounds fleet fan-out.
+func BenchmarkBootSnapshot(b *testing.B) {
+	cfg := cheriabi.Config{MemBytes: 128 << 20}
+	b.Run("cold-boot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cheriabi.NewSystem(cfg)
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "machines/s")
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		sys := cheriabi.NewSystem(cfg)
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "snapshots/s")
+	})
+	b.Run("clone", func(b *testing.B) {
+		snap, err := cheriabi.NewSystem(cfg).Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			snap.Clone(cheriabi.Config{})
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "machines/s")
+	})
+}
+
+// BenchmarkCloneFanout measures the fleet-runner path end to end: raw
+// clone fan-out throughput, and the bodiag short sweep under cold-boot
+// versus snapshot provisioning (each run on its own pristine machine
+// either way — only how the machine is stamped differs). Guest execution
+// dominates each bodiag run, so the snapshot win here is bounded by the
+// boot fraction of a run; the runs/s metrics make the actual ratio
+// visible on every CI record.
+func BenchmarkCloneFanout(b *testing.B) {
+	b.Run("clones", func(b *testing.B) {
+		snap, err := cheriabi.NewSystem(cheriabi.Config{MemBytes: 192 << 20}).Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				snap.Clone(cheriabi.Config{})
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "machines/s")
+	})
+	all := bodiag.Generate()
+	var subset []bodiag.Case
+	for i := 0; i < len(all); i += 24 {
+		subset = append(subset, all[i])
+	}
+	workers := driver.AutoWorkers(len(subset) * 4 * len(bodiag.Envs))
+	for _, mode := range []struct {
+		name     string
+		snapshot bool
+	}{
+		{"bodiag-short-cold", false},
+		{"bodiag-short-snapshot", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var res *bodiag.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = bodiag.RunParallelMode(subset, bodiag.Envs, workers, mode.snapshot)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Detected["cheriabi"][0]), "cheri-min")
+			totalRuns := float64(b.N) * float64(len(subset)*4*len(bodiag.Envs))
+			b.ReportMetric(totalRuns/b.Elapsed().Seconds(), "runs/s")
 		})
 	}
 }

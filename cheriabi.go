@@ -170,6 +170,52 @@ func NewSystem(cfg Config) *System {
 	return &System{Machine: m, Kernel: m.Kern, Runtime: rt}
 }
 
+// Snapshot is an immutable post-boot machine image. Clone stamps out
+// fresh booted Systems from it in O(touched pages) — physical memory is
+// shared copy-on-write at 1 MiB chunk granularity, kernel tables are
+// deep-copied — instead of paying full kernel boot per machine. Any
+// number of goroutines may Clone the same Snapshot concurrently; the
+// evaluation fleet runners stamp one clone per sweep row.
+type Snapshot struct {
+	ms *kernel.MachineSnapshot
+}
+
+// Snapshot captures the booted machine for cloning. The machine must be
+// quiescent: freshly booted, or with every spawned process run to
+// completion and reaped. A cloned boot from a Seed-0 template is
+// bit-identical to a cold NewSystem boot with the clone's Config — the
+// differential suite's TestSnapshotCloneDifferential enforces this across
+// the full {decode cache, threaded dispatch, bulk copy} matrix.
+func (s *System) Snapshot() (*Snapshot, error) {
+	ms, err := s.Machine.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{ms: ms}, nil
+}
+
+// Clone boots a fresh System from the snapshot. cfg.MemBytes and
+// cfg.Cap256 are fixed by the snapshot and ignored; the seed, urandom,
+// console, tracers, ablation knobs, and trap observer apply to the clone
+// exactly as they would to NewSystem.
+func (s *Snapshot) Clone(cfg Config) *System {
+	m := s.ms.Boot(kernel.Config{
+		Seed:                    cfg.Seed,
+		UrandomSeed:             cfg.UrandomSeed,
+		Console:                 cfg.Console,
+		Tracer:                  cfg.Tracer,
+		DisableDecodeCache:      cfg.DisableDecodeCache,
+		DisableThreadedDispatch: cfg.DisableThreadedDispatch,
+		DisableBulkFastPath:     cfg.DisableBulkFastPath,
+		OnTrap:                  cfg.OnTrap,
+	})
+	if cfg.OnCapCreate != nil {
+		m.Kern.OnCapCreate = cfg.OnCapCreate
+	}
+	rt := libc.Install(m.Kern)
+	return &System{Machine: m, Kernel: m.Kern, Runtime: rt}
+}
+
 // Install places an image in the VFS: executables under /bin, libraries
 // under /lib.
 func (s *System) Install(img *Image) (string, error) {

@@ -22,6 +22,8 @@ func main() {
 	seeds := flag.Int("seeds", 3, "number of layout seeds per measurement")
 	workersFlag := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"parallel evaluation workers (the default auto-calibrates to host parallelism and the sweep size)")
+	snapshot := flag.Bool("snapshot", true,
+		"clone each sweep machine from one shared pre-booted snapshot; false cold-boots per run (differential reference)")
 	flag.Parse()
 	// Figure 4's row count is the widest sweep this tool shards; it
 	// bounds the useful pool size for the auto-calibrated default.
@@ -49,7 +51,7 @@ func main() {
 		for i := 0; i < *seeds; i++ {
 			seedList = append(seedList, int64(i*7+1))
 		}
-		rows, err := workload.Figure4Rows(workload.Figure4, seedList, *workers)
+		rows, err := workload.Figure4RowsMode(workload.Figure4, seedList, *workers, *snapshot)
 		if err != nil {
 			return err
 		}
@@ -64,7 +66,7 @@ func main() {
 
 	run("table1", func() error {
 		fmt.Println("\nTable 1. Test-suite results under both ABIs")
-		rows, err := testsuite.Table1Parallel(*workers)
+		rows, err := testsuite.Table1ParallelWith(*workers, *snapshot)
 		if err != nil {
 			return err
 		}

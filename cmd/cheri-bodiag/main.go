@@ -18,6 +18,8 @@ import (
 func main() {
 	workersFlag := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"parallel evaluation workers (the default auto-calibrates to host parallelism and the sweep size)")
+	snapshot := flag.Bool("snapshot", true,
+		"clone each run's machine from one shared pre-booted snapshot; false cold-boots per run (differential reference)")
 	flag.Parse()
 
 	cases := bodiag.Generate()
@@ -26,9 +28,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cheri-bodiag:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("Running BOdiagsuite: %d cases x 4 variants x 3 environments (%d workers)\n",
-		len(cases), workers)
-	res, err := bodiag.RunParallel(cases, bodiag.Envs, workers)
+	fmt.Printf("Running BOdiagsuite: %d cases x 4 variants x 3 environments (%d workers, snapshot=%v)\n",
+		len(cases), workers, *snapshot)
+	res, err := bodiag.RunParallelMode(cases, bodiag.Envs, workers, *snapshot)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cheri-bodiag:", err)
 		os.Exit(1)

@@ -13,6 +13,7 @@ package cheriabi_test
 
 import (
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"io"
 	"sort"
@@ -81,23 +82,37 @@ type diffRecord struct {
 	trapHash uint64 // FNV-1a over the rendered trap sequence
 }
 
-// runCase executes one case on a fresh machine with the given fast-path
-// configuration, recording the full trap sequence through the OnTrap hook.
-func runCase(t *testing.T, tc diffCase, cfg simConfig) diffRecord {
-	t.Helper()
-	h := fnv.New64a()
-	var traps uint64
-	sys := cheriabi.NewSystem(cheriabi.Config{
+// diffConfig is the machine Config for one fast-path configuration; the
+// trap observer feeds the (traps, hash) cells of the returned record.
+func diffConfig(cfg simConfig, traps *uint64, h io.Writer) cheriabi.Config {
+	return cheriabi.Config{
 		MemBytes:                128 << 20,
 		DisableDecodeCache:      !cfg.decode,
 		DisableThreadedDispatch: !cfg.threaded,
 		DisableBulkFastPath:     !cfg.bulk,
 		OnTrap: func(tr *cpu.Trap) {
-			traps++
+			*traps++
 			io.WriteString(h, tr.Error())
 		},
-	})
+	}
+}
+
+// runCase executes one case on a cold-booted machine with the given
+// fast-path configuration, recording the full trap sequence through the
+// OnTrap hook.
+func runCase(t *testing.T, tc diffCase, cfg simConfig) diffRecord {
+	t.Helper()
+	h := fnv.New64a()
+	var traps uint64
+	sys := cheriabi.NewSystem(diffConfig(cfg, &traps, h))
 	sys.Kernel.FS.Mkdir(bodiag.CwdPath) // the bodiag getcwd case chdirs here
+	return runCaseOn(t, sys, tc, cfg, &traps, h)
+}
+
+// runCaseOn executes one case on the given machine (cold boot or snapshot
+// clone) and records everything a run can observe.
+func runCaseOn(t *testing.T, sys *cheriabi.System, tc diffCase, cfg simConfig, traps *uint64, h hash.Hash64) diffRecord {
+	t.Helper()
 	var needed []string
 	for name := range tc.libs {
 		needed = append(needed, name)
@@ -146,7 +161,7 @@ func runCase(t *testing.T, tc diffCase, cfg simConfig) diffRecord {
 		output:   res.Output,
 		stats:    res.Stats,
 		l2Misses: sys.L2Misses(),
-		traps:    traps,
+		traps:    *traps,
 		trapHash: h.Sum64(),
 	}
 }
@@ -281,6 +296,75 @@ func TestBodiagDifferential(t *testing.T) {
 	for _, tc := range bodiagCorpus(testing.Short()) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) { compare(t, tc) })
+	}
+}
+
+// TestSnapshotCloneDifferential is the determinism gate for machine
+// snapshot/clone: for each case, a machine cloned from a shared post-boot
+// snapshot must be bit-identical — output, Stats, termination, trap
+// sequence, L2 misses — to a cold NewSystem boot, under every fast-path
+// configuration in the {decode cache × threaded dispatch × bulk copy}
+// matrix. One plain-boot template serves all eight configurations: the
+// knobs, like the seed, are clone-time Config fields. The corpora are the
+// short workload + test-suite and bodiag sets under both ABIs (strided
+// further in -short mode).
+func TestSnapshotCloneDifferential(t *testing.T) {
+	template := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20})
+	template.Kernel.FS.Mkdir(bodiag.CwdPath)
+	snap, err := template.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := append(corpus(true), bodiagCorpus(true)...)
+	stride := 1
+	if testing.Short() {
+		stride = 5
+	}
+	for i := 0; i < len(cases); i += stride {
+		tc := cases[i]
+		t.Run(tc.name, func(t *testing.T) {
+			cold := runCase(t, tc, simConfigs[0])
+			for _, cfg := range simConfigs {
+				h := fnv.New64a()
+				var traps uint64
+				sys := snap.Clone(diffConfig(cfg, &traps, h))
+				got := runCaseOn(t, sys, tc, cfg, &traps, h)
+				if got != cold {
+					t.Errorf("clone(%s) diverged from cold boot:\nclone: %+v\n cold: %+v", cfg.name, got, cold)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRequiresQuiescence: capturing a machine with a live process
+// must be refused — in-flight CPU context, wait queues, and address
+// spaces are not checkpointable state — and must succeed again once the
+// process is run to completion and reaped.
+func TestSnapshotRequiresQuiescence(t *testing.T) {
+	img, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: "quiet", ABI: cheriabi.ABICheri},
+		`int main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 64 << 20})
+	path, err := sys.Install(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sys.Kernel.Spawn(path, []string{"quiet"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Snapshot(); err == nil {
+		t.Fatal("snapshot of a machine with a live process must fail")
+	}
+	if err := sys.Kernel.RunUntilExit(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Kernel.Reap(p)
+	if _, err := sys.Snapshot(); err != nil {
+		t.Fatalf("snapshot after reap: %v", err)
 	}
 }
 

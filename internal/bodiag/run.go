@@ -46,20 +46,39 @@ func NewRunner() *Runner {
 	return &Runner{systems: map[string]*cheriabi.System{}}
 }
 
+// memBytes is the physical-memory size every bodiag machine boots with.
+const memBytes = 192 << 20
+
+// newSystem cold-boots a machine prepared for bodiag runs.
+func newSystem() *cheriabi.System {
+	s := cheriabi.NewSystem(cheriabi.Config{MemBytes: memBytes})
+	s.Kernel.FS.Mkdir(CwdPath)
+	return s
+}
+
 func (r *Runner) system(env Env) *cheriabi.System {
 	s, ok := r.systems[env.Name]
 	if !ok {
-		s = cheriabi.NewSystem(cheriabi.Config{MemBytes: 192 << 20})
-		s.Kernel.FS.Mkdir(CwdPath)
+		s = newSystem()
 		r.systems[env.Name] = s
 	}
 	return s
 }
 
 // detected runs one case/variant in env and reports whether the violation
-// was detected: the process died on a signal, or a kernel/library path
-// refused the access (exit 99 = EFAULT observed).
+// was detected.
 func (r *Runner) detected(env Env, c Case, v Variant) (bool, error) {
+	return detectedOn(r.system(env), env, c, v)
+}
+
+// detectedOn runs one case/variant on sys and reports whether the
+// violation was detected: the process died on a signal, or a
+// kernel/library path refused the access (exit 99 = EFAULT observed).
+// Detection is an architectural outcome, invariant to the machine's
+// physical placement and reuse state, so running on a reused per-env
+// system, a fresh boot, or a snapshot clone gives the same answer — the
+// parallel determinism test and the differential suite both enforce this.
+func detectedOn(sys *cheriabi.System, env Env, c Case, v Variant) (bool, error) {
 	src := Source(c, v)
 	// The image name must be a deterministic function of (case, variant,
 	// env): it becomes the installed path and therefore argv[0], which is
@@ -75,7 +94,6 @@ func (r *Runner) detected(env Env, c Case, v Variant) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("%s/%s: compile: %w", c.Name(), v, err)
 	}
-	sys := r.system(env)
 	res, err := sys.RunImage(img)
 	if err != nil {
 		return false, fmt.Errorf("%s/%s: run: %w", c.Name(), v, err)
@@ -114,54 +132,64 @@ func (r *Runner) RunEnvs(cases []Case, envs []Env) (*Result, error) {
 	return out, nil
 }
 
-// caseOutcome is one case's detection record across environments: whether
-// the correct variant misbehaved and which faulty variants were caught.
-type caseOutcome struct {
-	okFailed map[string]bool
-	hits     map[string][3]bool
+// RunParallel evaluates cases across a worker pool, stamping each run's
+// machine as a copy-on-write clone of one shared template boot, and
+// aggregates exactly the same Table 3 a sequential RunEnvs produces:
+// detection is an architectural outcome (signal or EFAULT), not a timing
+// or placement one, so machine provisioning and worker count cannot change
+// it — the parallel determinism test compares this path against RunEnvs.
+func RunParallel(cases []Case, envs []Env, workers int) (*Result, error) {
+	return RunParallelMode(cases, envs, workers, true)
 }
 
-// RunParallel evaluates cases across a worker pool and aggregates exactly
-// the same Table 3 a sequential RunEnvs produces. Each worker owns a
-// private Runner (and therefore its own booted systems — nothing is shared
-// between goroutines), and per-case outcomes are folded in case order, so
-// the aggregate is independent of the worker count: detection is an
-// architectural outcome (signal or EFAULT), not a timing one.
-func RunParallel(cases []Case, envs []Env, workers int) (*Result, error) {
-	outcomes, err := driver.MapWith(workers, cases, NewRunner,
-		func(r *Runner, c Case) (caseOutcome, error) {
-			out := caseOutcome{okFailed: map[string]bool{}, hits: map[string][3]bool{}}
-			for _, env := range envs {
-				if ok, err := r.detected(env, c, VarOK); err != nil {
-					return out, err
-				} else if ok {
-					out.okFailed[env.Name] = true
-				}
-				var h [3]bool
-				for vi, v := range []Variant{VarMin, VarMed, VarLarge} {
-					hit, err := r.detected(env, c, v)
-					if err != nil {
-						return out, err
-					}
-					h[vi] = hit
-				}
-				out.hits[env.Name] = h
+// RunParallelMode is RunParallel with explicit machine provisioning. Every
+// (case, variant, env) run is one fleet item executed on its own pristine
+// machine — snapshot=true clones it from a shared pre-booted template,
+// false cold-boots it (the differential reference) — so no simulated state
+// leaks between runs regardless of scheduling.
+func RunParallelMode(cases []Case, envs []Env, workers int, snapshot bool) (*Result, error) {
+	type run struct {
+		ci, ei, vi int // vi indexes variants: 0 = OK, 1..3 = min/med/large
+	}
+	variants := []Variant{VarOK, VarMin, VarMed, VarLarge}
+	runs := make([]run, 0, len(cases)*len(envs)*len(variants))
+	for ci := range cases {
+		for ei := range envs {
+			for vi := range variants {
+				runs = append(runs, run{ci: ci, ei: ei, vi: vi})
 			}
-			return out, nil
+		}
+	}
+	makeSystem := func(run) (*cheriabi.System, error) { return newSystem(), nil }
+	if snapshot {
+		snap, err := newSystem().Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		makeSystem = func(run) (*cheriabi.System, error) {
+			return snap.Clone(cheriabi.Config{}), nil
+		}
+	}
+	hits, err := driver.MapFleet(workers, runs, makeSystem,
+		func(sys *cheriabi.System, r run) (bool, error) {
+			return detectedOn(sys, envs[r.ei], cases[r.ci], variants[r.vi])
 		})
 	if err != nil {
 		return nil, err
 	}
+	// Fold in RunEnvs's order (env-major, then case, then variant) so the
+	// Result — including the Failures diagnostics — matches it exactly.
+	idx := func(ci, ei, vi int) int { return (ci*len(envs)+ei)*len(variants) + vi }
 	res := &Result{Total: len(cases), Detected: map[string][3]int{}}
-	for _, env := range envs {
+	for ei, env := range envs {
 		var counts [3]int
 		for ci, c := range cases {
-			if outcomes[ci].okFailed[env.Name] {
+			if hits[idx(ci, ei, 0)] {
 				res.OKFailures++
 				res.Failures = append(res.Failures, fmt.Sprintf("%s: OK variant flagged under %s", c.Name(), env.Name))
 			}
-			for vi, hit := range outcomes[ci].hits[env.Name] {
-				if hit {
+			for vi := 0; vi < 3; vi++ {
+				if hits[idx(ci, ei, vi+1)] {
 					counts[vi]++
 				}
 			}

@@ -73,6 +73,27 @@ func Map[T, R any](workers int, items []T, fn func(T) (R, error)) ([]R, error) {
 		func(_ struct{}, item T) (R, error) { return fn(item) })
 }
 
+// MapFleet runs fn over items with a per-item machine stamped by make:
+// the fleet-runner discipline for snapshot/clone sweeps. Where MapWith
+// reuses one resource per worker across all the items it claims, MapFleet
+// gives every item a pristine machine (typically a copy-on-write clone of
+// a shared pre-booted snapshot) and drops it afterwards, so no simulated
+// state leaks between sweep rows regardless of worker scheduling — the
+// aggregate is a pure function of the item list. make runs on the worker
+// goroutine; a make error counts as the item's error, with the usual
+// lowest-index selection.
+func MapFleet[T, M, R any](workers int, items []T, make func(T) (M, error), fn func(M, T) (R, error)) ([]R, error) {
+	return MapWith(workers, items, func() struct{} { return struct{}{} },
+		func(_ struct{}, item T) (R, error) {
+			m, err := make(item)
+			if err != nil {
+				var zero R
+				return zero, err
+			}
+			return fn(m, item)
+		})
+}
+
 // MapWith is Map with per-worker state: each worker calls state once and
 // passes the value to every fn invocation it performs. Evaluation harnesses
 // use this to reuse expensive per-worker resources (a booted System, a

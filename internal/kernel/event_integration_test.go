@@ -272,7 +272,7 @@ int main() {
 func TestKeventBlocksUntilReady(t *testing.T) {
 	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
 		res := runC(t, abi, `
-struct kev { long ident; long filter; char *udata; };
+struct kev { long ident; long filter; long data; char *udata; };
 int main() {
 	int fds[2];
 	pipe(fds);
@@ -514,6 +514,125 @@ int main() {
 	if (errno() != 20) return 14;                 // ENOTDIR
 	unlink("/tmp/aa.txt");
 	unlink("/tmp/bb.txt");
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestKeventEmptyKqueueDeadlocks: a blocking kevent on a kqueue with no
+// registered filters has no wake source, so the thread must park and the
+// scheduler's empty-runq detector must report the deadlock — not return a
+// silent "no events", which would turn a programming error into a
+// spurious success the program then acts on.
+func TestKeventEmptyKqueueDeadlocks(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		src := `
+struct kev { long ident; long filter; long data; char *udata; };
+int main() {
+	int kq = kqueue();
+	if (kq < 0) return 1;
+	struct kev out;
+	kevent(kq, 0, 0, &out, 1); // no filters registered: blocks forever
+	return 2;                  // must be unreachable
+}`
+		img, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: "kqdl", ABI: abi}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 64 << 20})
+		_, err = sys.RunImage(img, "kqdl")
+		if !errors.Is(err, kernel.ErrDeadlock) {
+			t.Fatalf("want ErrDeadlock, got %v", err)
+		}
+	})
+}
+
+// TestKeventListenerBacklogDepth: EVFILT_READ on a listening AF_UNIX
+// socket reports readability with data = the pending-connection backlog
+// depth (kqueue(2)'s listen-socket rule), and the connections are
+// acceptable after the kevent returns.
+func TestKeventListenerBacklogDepth(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+struct kev { long ident; long filter; long data; char *udata; };
+int main() {
+	int l = socket(1, 1, 0);
+	if (l < 0) return 1;
+	if (bind(l, "/tmp/depth.sock") != 0) return 2;
+	if (listen(l, 4) != 0) return 3;
+	int i;
+	for (i = 0; i < 2; i++) {
+		int pid = fork();
+		if (pid == 0) {
+			int c = socket(1, 1, 0);
+			if (c < 0) exit(40);
+			// Parks inside connect until the parent accepts.
+			if (connect(c, "/tmp/depth.sock") != 0) exit(41);
+			close(c);
+			exit(0);
+		}
+	}
+	for (i = 0; i < 8; i++) yield(); // let both children queue on the backlog
+	int kq = kqueue();
+	struct kev ch;
+	ch.ident = l;
+	ch.filter = 4294967295;          // EVFILT_READ
+	ch.filter |= (long)1 << 32;      // EV_ADD
+	ch.udata = 0;
+	if (kevent(kq, &ch, 1, 0, 0) != 0) return 4;
+	struct kev out;
+	out.data = 0;
+	if (kevent(kq, 0, 0, &out, 1) != 1) return 5;
+	if (out.ident != l) return 6;
+	if (out.data != 2) return 7;     // both connectors pending
+	// accept-after-kevent: the reported connections are really there.
+	int a = accept(l);
+	int b = accept(l);
+	if (a < 0 || b < 0) return 8;
+	close(a);
+	close(b);
+	int status = 0;
+	for (i = 0; i < 2; i++) {
+		if (wait4(-1, &status, 0) < 0 || status != 0) return 9;
+	}
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestFcntlSetflOnlyTogglesStatusFlags: F_SETFL may change only the
+// status flags (O_NONBLOCK, O_APPEND) — the access mode is fixed at
+// open(2), and a F_SETFL that tries to smuggle in O_RDWR must leave it
+// untouched, so EBADF enforcement on the read-only descriptor still
+// holds afterwards.
+func TestFcntlSetflOnlyTogglesStatusFlags(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+char b[4];
+int main() {
+	int w = open("/tmp/f.txt", 0x200 | 1, 0); // O_CREAT|O_WRONLY
+	if (w < 0) return 1;
+	if (write(w, "hi", 2) != 2) return 2;
+	close(w);
+	int d = open("/tmp/f.txt", 0, 0);         // O_RDONLY
+	if (d < 0) return 3;
+	if (write(d, "x", 1) >= 0) return 4;      // read-only: write refused
+	// Attempt to flip the access mode to O_RDWR (2) alongside O_NONBLOCK.
+	if (fcntl(d, 4, 2 | 4) != 0) return 5;    // F_SETFL
+	if ((fcntl(d, 3, 0) & 3) != 0) return 6;  // access mode still O_RDONLY
+	if ((fcntl(d, 3, 0) & 4) != 4) return 7;  // O_NONBLOCK did stick
+	if (write(d, "x", 1) >= 0) return 8;      // still refused after F_SETFL
+	if (read(d, b, 2) != 2) return 9;         // reads unaffected
+	// Clearing status flags must not grant write either.
+	if (fcntl(d, 4, 0) != 0) return 10;
+	if (write(d, "x", 1) >= 0) return 11;
+	close(d);
 	return 0;
 }`)
 		if res.ExitCode != 0 {

@@ -92,6 +92,24 @@ type File interface {
 	Stat() FileStat
 }
 
+// pollDepther is implemented by files that can quantify a readiness
+// signal: how much is behind a true Poll. kevent reports it in the
+// returned event's data field, matching kqueue(2): bytes readable in a
+// pipe or socket buffer, write space available, or — on a listening
+// socket — the pending-connection backlog depth.
+type pollDepther interface {
+	PollDepth(kind PollKind) int64
+}
+
+// pollDepth returns f's readiness depth, or 0 for files that report
+// readiness without a quantity.
+func pollDepth(f File, kind PollKind) int64 {
+	if d, ok := f.(pollDepther); ok {
+		return d.PollDepth(kind)
+	}
+	return 0
+}
+
 // baseFile supplies stream-object defaults: unreadable/unwritable until
 // overridden, unseekable, no ioctls, always ready, nothing to release.
 type baseFile struct{}
@@ -346,6 +364,14 @@ func (pf *pipeFile) Poll(kind PollKind) bool {
 		return len(pf.pip.buf) > 0 || pf.pip.writers == 0
 	}
 	return len(pf.pip.buf) < pipeCap || pf.pip.readers == 0
+}
+
+// PollDepth: bytes buffered for readers, space available for writers.
+func (pf *pipeFile) PollDepth(kind PollKind) int64 {
+	if kind == PollIn {
+		return int64(len(pf.pip.buf))
+	}
+	return int64(pipeCap - len(pf.pip.buf))
 }
 
 func (pf *pipeFile) Queue() *WaitQueue { return &pf.pip.q }

@@ -52,6 +52,30 @@ func NewFS() *FS {
 	return fs
 }
 
+// Clone deep-copies the filesystem tree (machine snapshot/clone support).
+// File contents must be copied, not shared: vnodeFile writes mutate
+// node.data in place (and growth can append within a shared backing
+// array), so sharing nodes would leak one clone's file writes into its
+// siblings. Device constructors are stateless closures and are shared.
+func (fs *FS) Clone() *FS {
+	return &FS{root: fs.root.clone()}
+}
+
+func (n *fsNode) clone() *fsNode {
+	c := &fsNode{name: n.name, kind: n.kind, dev: n.dev}
+	if n.data != nil {
+		c.data = make([]byte, len(n.data))
+		copy(c.data, n.data)
+	}
+	if n.children != nil {
+		c.children = make(map[string]*fsNode, len(n.children))
+		for name, child := range n.children {
+			c.children[name] = child.clone()
+		}
+	}
+	return c
+}
+
 // RegisterDevice installs (or replaces) a device node at path. Adding a
 // device to the system is one table entry here — the syscall layer never
 // learns its name.

@@ -107,7 +107,7 @@ int main(int argc, char **argv) {
 func TestKeventStoresUserPointers(t *testing.T) {
 	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
 		res := runC(t, abi, `
-struct kev { long ident; long filter; char *udata; };
+struct kev { long ident; long filter; long data; char *udata; };
 char payload[16] = "hello-kq";
 int main() {
 	int kq = kqueue();

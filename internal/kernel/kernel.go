@@ -167,17 +167,7 @@ func NewMachine(cfg Config) *Machine {
 		Console:      cfg.Console,
 		SyscallCount: map[int]uint64{},
 	}
-	// Seed the /dev/urandom stream: explicit UrandomSeed wins, else derive
-	// from the boot seed. Xorshift state must be nonzero, but distinct
-	// nonzero seeds must stay distinct, so only a zero state is remapped.
-	urand := cfg.UrandomSeed
-	if urand == 0 {
-		urand = uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
-	}
-	if urand == 0 {
-		urand = 0x9E3779B97F4A7C15
-	}
-	k.urand = urand
+	k.urand = deriveURand(cfg)
 	// CPU reset: a maximally permissive capability; kernel startup narrows
 	// it ("The kernel deliberately narrows these boot capabilities").
 	k.KernPrin = k.Ledger.NewPrincipal(core.KernelPrincipal, "kernel")
@@ -187,6 +177,22 @@ func NewMachine(cfg Config) *Machine {
 	k.Ledger.Derive(k.KernPrin, k.resetAbs, k.kernRoot, core.OriginKernelCarve)
 	m.Kern = k
 	return m
+}
+
+// deriveURand seeds the /dev/urandom stream from a boot Config: an
+// explicit UrandomSeed wins, else derive from the boot seed. Xorshift
+// state must be nonzero, but distinct nonzero seeds must stay distinct,
+// so only a zero state is remapped. Shared by NewMachine and
+// MachineSnapshot.Boot so cloned and cold boots derive identically.
+func deriveURand(cfg Config) uint64 {
+	urand := cfg.UrandomSeed
+	if urand == 0 {
+		urand = uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	}
+	if urand == 0 {
+		urand = 0x9E3779B97F4A7C15
+	}
+	return urand
 }
 
 // Now returns simulated time in cycles.

@@ -27,18 +27,32 @@ type kqueue struct {
 	notes []knote
 }
 
-// keventLayout: the on-disk/user-memory struct kevent layout:
+// keventLayout: the user-memory struct kevent layout:
 //
 //	0  ident  u64
-//	8  filter i64 (sign-extended i16)
-//	16 udata  pointer (capability or 8-byte address)
+//	8  filter i64 (sign-extended i16; change flags packed in the high word)
+//	16 data   i64 (output only: the filter's readiness depth)
+//	24 udata  pointer (capability or 8-byte address), capability-aligned
+//	          for CheriABI — offset 32 for both capability formats
 //
-// Total: 16 + ptrsize, capability-aligned for CheriABI.
-func keventSize(abi image.ABI, capBytes uint64) uint64 {
+// This is MiniC's natural layout for
+//
+//	struct kev { long ident; long filter; long data; char *udata; };
+//
+// under each ABI: total 32 bytes for the legacy ABI, 32 + capBytes for
+// CheriABI.
+func keventUdataOff(abi image.ABI, capBytes uint64) uint64 {
 	if abi == image.ABICheri {
-		return 16 + capBytes
+		return (24 + capBytes - 1) / capBytes * capBytes
 	}
 	return 24
+}
+
+func keventSize(abi image.ABI, capBytes uint64) uint64 {
+	if abi == image.ABICheri {
+		return keventUdataOff(abi, capBytes) + capBytes
+	}
+	return 32
 }
 
 func sysKqueue(k *Kernel, t *Thread, a *SysArgs) bool {
@@ -64,6 +78,7 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 		return true
 	}
 	size := keventSize(p.ABI, k.M.Fmt.Bytes)
+	udataOff := keventUdataOff(p.ABI, k.M.Fmt.Bytes)
 
 	// Apply the changelist.
 	for i := uint64(0); i < nchanges; i++ {
@@ -76,7 +91,7 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 		}
 		filter := int16(int64(filt))
 		flags := int16(int64(filt) >> 32) // flags packed in the high word
-		udata, e := k.copyInPtr(t, changes, base+16)
+		udata, e := k.copyInPtr(t, changes, base+udataOff)
 		if e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
@@ -113,6 +128,10 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 		if !ready {
 			continue
 		}
+		kind := PollIn
+		if n.filter == EvfiltWrite {
+			kind = PollOut
+		}
 		base := events.Addr() + count*size
 		if e := k.writeUserWord(events, base, 8, n.ident); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
@@ -122,24 +141,33 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
 		}
+		if e := k.writeUserWord(events, base+16, 8, uint64(pollDepth(f.file, kind))); e != OK {
+			setRet(&t.Frame, ^uint64(0), e)
+			return true
+		}
 		if p.ABI == image.ABICheri {
-			if err := k.M.CPU.StoreCapVia(events, base+16, n.udata); err != nil {
+			if err := k.M.CPU.StoreCapVia(events, base+udataOff, n.udata); err != nil {
 				setRet(&t.Frame, ^uint64(0), EFAULT)
 				return true
 			}
-		} else if e := k.writeUserWord(events, base+16, 8, n.udata.Addr()); e != OK {
+		} else if e := k.writeUserWord(events, base+udataOff, 8, n.udata.Addr()); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
 		}
 		count++
 	}
-	if count == 0 && len(kq.notes) > 0 {
+	if count == 0 {
 		// Nothing ready: park on the wait queues of the watched objects,
 		// exactly as select and poll do — kevent is the third thin wrapper
 		// over the same readiness predicate and subscription path. Objects
 		// that are always ready contribute no queue (their filters would
-		// have fired above); if no watched object can transition, return 0
-		// rather than sleeping forever.
+		// have fired above). The park is unconditional: a kqueue with no
+		// registered filters — or none whose object can still transition —
+		// has no wake source, so the thread stays Blocked and the
+		// scheduler's empty-runq detector reports the deadlock, exactly as
+		// kqueue(2) blocks forever. (A silent 0 return here would turn a
+		// programming error into a spurious "no events".) Signals still
+		// wake the thread through the normal delivery path.
 		var qs []*WaitQueue
 		for _, n := range kq.notes {
 			if f := p.fd(int(n.ident)); f != nil {
@@ -148,10 +176,8 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 				}
 			}
 		}
-		if len(qs) > 0 {
-			t.blockOn(qs...)
-			return false
-		}
+		t.blockOn(qs...)
+		return false
 	}
 	setRet(&t.Frame, count, OK)
 	return true

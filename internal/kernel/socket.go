@@ -96,6 +96,25 @@ func (s *socketFile) Poll(kind PollKind) bool {
 	}
 }
 
+// PollDepth quantifies readiness for kevent's data field: a listener's
+// EVFILT_READ depth is its pending-connection backlog count (kqueue(2)'s
+// listen-socket rule), a connected endpoint's is the buffered byte count
+// in the polled direction (send space for EVFILT_WRITE).
+func (s *socketFile) PollDepth(kind PollKind) int64 {
+	switch s.state {
+	case sockListening:
+		if kind == PollIn {
+			return int64(len(s.pending))
+		}
+	case sockConnected:
+		if kind == PollIn {
+			return int64(len(s.recv.data))
+		}
+		return int64(sockCap - len(s.send.data))
+	}
+	return 0
+}
+
 func (s *socketFile) Read(f *FDesc, b []byte) (int, Errno) {
 	if s.state != sockConnected {
 		return 0, ENOTCONN

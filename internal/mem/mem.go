@@ -53,6 +53,12 @@ type Physical struct {
 	// store, byte copy, capability store, tagged copy, or zeroing that can
 	// change executable bytes lands here.
 	gens []uint64
+	// cow marks chunks whose backing arrays are shared with a Snapshot
+	// (and through it with sibling clones). A shared chunk is read in
+	// place; the first mutation privatizes it — copies bytes and tags into
+	// fresh arrays — so the snapshot stays immutable and siblings never
+	// observe each other's writes. nil means no chunk is shared.
+	cow []bool
 }
 
 // New returns size bytes of zeroed physical memory with one tag per
@@ -88,8 +94,9 @@ func (m *Physical) check(pa, n uint64) {
 	}
 }
 
-// materialize returns the chunk containing pa, allocating (implicitly
-// zeroed) bytes and tags on first touch.
+// materialize returns the chunk containing pa for mutation, allocating
+// (implicitly zeroed) bytes and tags on first touch and privatizing a
+// snapshot-shared chunk first.
 func (m *Physical) materialize(pa uint64) ([]byte, []bool) {
 	ci := pa >> chunkShift
 	ch := m.chunks[ci]
@@ -101,8 +108,35 @@ func (m *Physical) materialize(pa uint64) ([]byte, []bool) {
 		ch = make([]byte, csize)
 		m.chunks[ci] = ch
 		m.tags[ci] = make([]bool, csize/m.granule)
+	} else if m.cow != nil && m.cow[ci] {
+		m.privatize(ci)
 	}
-	return ch, m.tags[ci]
+	return m.chunks[ci], m.tags[ci]
+}
+
+// privatize replaces a snapshot-shared chunk's arrays with private copies.
+func (m *Physical) privatize(ci uint64) {
+	nb := make([]byte, len(m.chunks[ci]))
+	copy(nb, m.chunks[ci])
+	nt := make([]bool, len(m.tags[ci]))
+	copy(nt, m.tags[ci])
+	m.chunks[ci], m.tags[ci] = nb, nt
+	m.cow[ci] = false
+}
+
+// writable returns the chunk's arrays for in-place mutation, privatizing
+// a snapshot-shared chunk first — but unlike materialize it leaves an
+// untouched chunk unmaterialized and returns nils: callers that only
+// clear bytes or tags (Zero, clearTags, CopyTagged's zero-source branch)
+// can skip a chunk that already reads as zero.
+func (m *Physical) writable(ci uint64) ([]byte, []bool) {
+	if m.chunks[ci] == nil {
+		return nil, nil
+	}
+	if m.cow != nil && m.cow[ci] {
+		m.privatize(ci)
+	}
+	return m.chunks[ci], m.tags[ci]
 }
 
 // touch bumps the write generation of every page overlapping [pa, pa+n).
@@ -137,7 +171,7 @@ func (m *Physical) clearTags(pa, n uint64) {
 		if chunkEnd < end {
 			end = chunkEnd
 		}
-		if t := m.tags[ci]; t != nil {
+		if _, t := m.writable(ci); t != nil {
 			base := ci << chunkShift / m.granule
 			clear(t[g-base : end-base])
 		}
@@ -324,10 +358,10 @@ func (m *Physical) CopyTagged(dst, src, n uint64) {
 		if srcCh == nil {
 			// Source untouched: the destination range becomes zero bytes
 			// with clear tags; an untouched destination already is.
-			if dstCh := m.chunks[d>>chunkShift]; dstCh != nil {
+			if dstCh, dstTags := m.writable(d >> chunkShift); dstCh != nil {
 				off := d & chunkMask
 				clear(dstCh[off : off+span])
-				clear(m.tags[d>>chunkShift][off/m.granule : (off+span)/m.granule])
+				clear(dstTags[off/m.granule : (off+span)/m.granule])
 			}
 		} else {
 			dstCh, dstTags := m.materialize(d)
@@ -448,7 +482,7 @@ func (m *Physical) Zero(pa, n uint64) {
 		if r := chunkSize - p&chunkMask; r < span {
 			span = r
 		}
-		if ch := m.chunks[p>>chunkShift]; ch != nil {
+		if ch, _ := m.writable(p >> chunkShift); ch != nil {
 			off := p & chunkMask
 			clear(ch[off : off+span])
 		}
@@ -456,4 +490,70 @@ func (m *Physical) Zero(pa, n uint64) {
 	}
 	m.clearTags(pa, n)
 	m.touch(pa, n)
+}
+
+// Snapshot is an immutable image of a Physical's contents at one moment.
+// It holds references to the source's materialized chunk arrays — taking
+// it is O(materialized chunks), not O(memory) — and both the source and
+// every Clone treat those arrays as copy-on-write: reads are served in
+// place, the first mutation of a shared chunk privatizes it. The snapshot
+// itself never changes, so any number of clones can be stamped from it
+// concurrently.
+type Snapshot struct {
+	size    uint64
+	granule uint64
+	chunks  [][]byte
+	tags    [][]bool
+	gens    []uint64
+}
+
+// Snapshot freezes the current contents. The source keeps running: its
+// materialized chunks are marked copy-on-write, so its next write to each
+// one privatizes it and the frozen image stays intact.
+func (m *Physical) Snapshot() *Snapshot {
+	if m.cow == nil {
+		m.cow = make([]bool, len(m.chunks))
+	}
+	s := &Snapshot{
+		size:    m.size,
+		granule: m.granule,
+		chunks:  make([][]byte, len(m.chunks)),
+		tags:    make([][]bool, len(m.tags)),
+		gens:    make([]uint64, len(m.gens)),
+	}
+	copy(s.chunks, m.chunks)
+	copy(s.tags, m.tags)
+	copy(s.gens, m.gens)
+	for i := range m.chunks {
+		if m.chunks[i] != nil {
+			m.cow[i] = true
+		}
+	}
+	return s
+}
+
+// Clone stamps a new Physical from the snapshot in O(materialized
+// chunks): chunk arrays are shared copy-on-write, unmaterialized chunks
+// stay unmaterialized, and the page write-generation counters are copied
+// so cached views carried over conceptually from the snapshot point
+// validate exactly as they would on the source. Writes to a clone
+// privatize per chunk; the snapshot and sibling clones are unaffected.
+func (s *Snapshot) Clone() *Physical {
+	m := &Physical{
+		size:    s.size,
+		granule: s.granule,
+		chunks:  make([][]byte, len(s.chunks)),
+		tags:    make([][]bool, len(s.tags)),
+		gens:    make([]uint64, len(s.gens)),
+		cow:     make([]bool, len(s.chunks)),
+	}
+	copy(m.chunks, s.chunks)
+	copy(m.tags, s.tags)
+	copy(m.gens, s.gens)
+	for i, ch := range s.chunks {
+		if ch != nil {
+			m.cow[i] = true
+		}
+	}
+	return m
 }

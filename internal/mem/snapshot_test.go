@@ -1,0 +1,117 @@
+package mem
+
+import "testing"
+
+// Snapshot/clone unit tests: chunk-level copy-on-write sharing between a
+// snapshotted Physical and its clones. The invariants: a snapshot is
+// immutable (later writes through the source or any clone never change
+// what a fresh clone observes), and sibling clones are fully isolated
+// from each other, for data bytes, tags, and the zero/clear paths alike.
+
+// snapMem builds a small two-chunk memory with a tagged capability and a
+// data byte materialized in the first chunk.
+func snapMem() *Physical {
+	m := New(2<<chunkShift, 16)
+	m.Store(0x100, 1, 0xAB)
+	m.StoreCap(0x200, make([]byte, 16), true)
+	return m
+}
+
+func TestSnapshotImmutableUnderSourceWrites(t *testing.T) {
+	m := snapMem()
+	s := m.Snapshot()
+	// Mutate the source through every writer class: data store, byte
+	// write, tag clear via Zero, and a capability store.
+	m.Store(0x100, 1, 0xCD)
+	m.WriteBytes(0x110, []byte{1, 2, 3})
+	m.Zero(0x200, 16)
+	m.StoreCap(0x300, make([]byte, 16), true)
+	c := s.Clone()
+	if got := c.Load(0x100, 1); got != 0xAB {
+		t.Fatalf("clone sees source's post-snapshot store: %#x", got)
+	}
+	if got := c.Load(0x110, 1); got != 0 {
+		t.Fatalf("clone sees source's post-snapshot WriteBytes: %#x", got)
+	}
+	if !c.Tag(0x200) {
+		t.Fatal("clone lost the tag the source cleared after the snapshot")
+	}
+	if c.Tag(0x300) {
+		t.Fatal("clone sees the capability the source stored after the snapshot")
+	}
+}
+
+func TestSnapshotSiblingCloneIsolation(t *testing.T) {
+	s := snapMem().Snapshot()
+	a, b := s.Clone(), s.Clone()
+	a.Store(0x100, 1, 0x11)
+	b.Store(0x100, 1, 0x22)
+	if got := a.Load(0x100, 1); got != 0x11 {
+		t.Fatalf("clone a: got %#x", got)
+	}
+	if got := b.Load(0x100, 1); got != 0x22 {
+		t.Fatalf("clone b: got %#x", got)
+	}
+	// Tag mutations must not leak either: a clears via a data store, b
+	// must keep the snapshotted capability.
+	a.Store(0x208, 1, 1)
+	if a.Tag(0x200) {
+		t.Fatal("clone a: data store did not clear tag")
+	}
+	if !b.Tag(0x200) {
+		t.Fatal("clone b lost its tag to clone a's store")
+	}
+	if got := s.Clone().Load(0x100, 1); got != 0xAB {
+		t.Fatalf("fresh clone after sibling writes: got %#x", got)
+	}
+}
+
+func TestSnapshotClearOnlyPathsPrivatize(t *testing.T) {
+	// Zero and tag-clearing run through the writable() path that
+	// privatizes without materializing; they must still unshare.
+	s := snapMem().Snapshot()
+	a, b := s.Clone(), s.Clone()
+	a.Zero(0x100, 16)
+	if got := a.Load(0x100, 1); got != 0 {
+		t.Fatalf("clone a: Zero did not zero: %#x", got)
+	}
+	if got := b.Load(0x100, 1); got != 0xAB {
+		t.Fatalf("clone b sees clone a's Zero: %#x", got)
+	}
+	// CopyTagged from a never-materialized region is a clear; it must
+	// privatize the destination, not the shared chunk.
+	a.CopyTagged(0x200, 1<<chunkShift, 16)
+	if a.Tag(0x200) {
+		t.Fatal("clone a: zero-source CopyTagged kept the tag")
+	}
+	if !b.Tag(0x200) {
+		t.Fatal("clone b lost its tag to clone a's CopyTagged")
+	}
+}
+
+func TestSnapshotCloneSharesUntouchedChunks(t *testing.T) {
+	m := snapMem()
+	s := m.Snapshot()
+	c := s.Clone()
+	// Reads must not privatize: after reading everywhere, the clone's
+	// chunk arrays still alias the snapshot's.
+	_ = c.Load(0x100, 8)
+	buf := make([]byte, 64)
+	c.ReadBytes(0x200, buf)
+	for ci := range s.chunks {
+		if s.chunks[ci] == nil {
+			continue
+		}
+		if &s.chunks[ci][0] != &c.chunks[ci][0] {
+			t.Fatalf("chunk %d copied by reads", ci)
+		}
+	}
+	// One write privatizes exactly the touched chunk.
+	c.Store(0x100, 1, 9)
+	if &s.chunks[0][0] == &c.chunks[0][0] {
+		t.Fatal("written chunk still shared")
+	}
+	if len(s.chunks) > 1 && s.chunks[1] != nil && &s.chunks[1][0] != &c.chunks[1][0] {
+		t.Fatal("untouched chunk was copied")
+	}
+}

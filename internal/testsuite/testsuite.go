@@ -34,15 +34,26 @@ var Suites = []Suite{
 	{Name: "libc++", Programs: map[string]string{"libcxx_test": SrcLibcxx}},
 }
 
-// RunSuite executes one corpus under one ABI and tallies conditions.
+// memBytes is the physical-memory size every suite machine boots with.
+const memBytes = 128 << 20
+
+// RunSuite executes one corpus under one ABI on a cold-booted machine and
+// tallies conditions.
 func RunSuite(s Suite, abi cheriabi.ABI) (Tally, error) {
+	return RunSuiteOn(cheriabi.NewSystem(cheriabi.Config{MemBytes: memBytes}), s, abi)
+}
+
+// RunSuiteOn executes one corpus under one ABI on the given machine
+// (typically a snapshot clone owned by this call) and tallies conditions.
+// Programs run in sorted name order and machine state carries across the
+// row's programs, exactly as on a cold boot.
+func RunSuiteOn(sys *cheriabi.System, s Suite, abi cheriabi.ABI) (Tally, error) {
 	var tally Tally
 	names := make([]string, 0, len(s.Programs))
 	for name := range s.Programs {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20})
 	for _, name := range names {
 		img, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: name, ABI: abi}, s.Programs[name])
 		if err != nil {
@@ -72,10 +83,20 @@ type Row struct {
 // Table1 runs every suite under both ABIs.
 func Table1() ([]Row, error) { return Table1Parallel(1) }
 
-// Table1Parallel runs the six (suite, ABI) rows across a worker pool.
-// Every row boots its own System, so rows are independent; results arrive
-// in table order regardless of the worker count.
+// Table1Parallel runs the six (suite, ABI) rows across a worker pool,
+// each row's machine cloned from one shared snapshot. Rows are
+// independent; results arrive in table order regardless of the worker
+// count.
 func Table1Parallel(workers int) ([]Row, error) {
+	return Table1ParallelWith(workers, true)
+}
+
+// Table1ParallelWith is Table1Parallel with explicit machine provisioning:
+// snapshot=true stamps each row's machine as a copy-on-write clone of one
+// shared template boot; false cold-boots per row (the differential
+// reference). Tallies are identical either way — clones are bit-identical
+// to cold boots.
+func Table1ParallelWith(workers int, snapshot bool) ([]Row, error) {
 	type job struct {
 		suite Suite
 		abi   cheriabi.ABI
@@ -86,8 +107,20 @@ func Table1Parallel(workers int) ([]Row, error) {
 			jobs = append(jobs, job{suite: s, abi: abi})
 		}
 	}
-	return driver.Map(workers, jobs, func(j job) (Row, error) {
-		t, err := RunSuite(j.suite, j.abi)
+	makeSystem := func(job) (*cheriabi.System, error) {
+		return cheriabi.NewSystem(cheriabi.Config{MemBytes: memBytes}), nil
+	}
+	if snapshot {
+		snap, err := cheriabi.NewSystem(cheriabi.Config{MemBytes: memBytes}).Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		makeSystem = func(job) (*cheriabi.System, error) {
+			return snap.Clone(cheriabi.Config{}), nil
+		}
+	}
+	return driver.MapFleet(workers, jobs, makeSystem, func(sys *cheriabi.System, j job) (Row, error) {
+		t, err := RunSuiteOn(sys, j.suite, j.abi)
 		if err != nil {
 			return Row{}, err
 		}

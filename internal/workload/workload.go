@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cheriabi"
 	"cheriabi/internal/driver"
@@ -123,20 +124,34 @@ func Build(w Workload, opt BuildOptions) (exe *cheriabi.Image, libs []*cheriabi.
 	return exe, libs, nil
 }
 
-// Run executes one workload on a fresh machine with the given layout seed
-// and returns its counters.
+// memBytes is the physical-memory size every workload machine boots with.
+const memBytes = 128 << 20
+
+// Run executes one workload on a cold-booted machine with the given layout
+// seed and returns its counters. This is the uncached, snapshot-free
+// reference path; sweeps go through an Engine.
 func Run(w Workload, opt BuildOptions, seed int64) (Measurement, error) {
 	exe, libs, err := Build(w, opt)
 	if err != nil {
 		return Measurement{}, err
 	}
-	sys := cheriabi.NewSystem(cheriabi.Config{
-		MemBytes:                128 << 20,
+	sys := cheriabi.NewSystem(runConfig(opt, seed))
+	return runOn(sys, w, exe, libs)
+}
+
+// runConfig maps per-run knobs onto the machine Config.
+func runConfig(opt BuildOptions, seed int64) cheriabi.Config {
+	return cheriabi.Config{
+		MemBytes:                memBytes,
 		Seed:                    seed,
 		DisableDecodeCache:      opt.DisableDecodeCache,
 		DisableThreadedDispatch: opt.DisableThreadedDispatch,
 		DisableBulkFastPath:     opt.DisableBulkFastPath,
-	})
+	}
+}
+
+// runOn installs and executes one built workload on sys.
+func runOn(sys *cheriabi.System, w Workload, exe *cheriabi.Image, libs []*cheriabi.Image) (Measurement, error) {
 	var codeBytes uint64
 	for _, lib := range libs {
 		if _, err := sys.Install(lib); err != nil {
@@ -163,6 +178,102 @@ func Run(w Workload, opt BuildOptions, seed int64) (Measurement, error) {
 		CodeBytes:    codeBytes,
 		Output:       res.Output,
 	}, nil
+}
+
+// buildKey identifies one cached toolchain output: everything BuildOptions
+// says that affects compilation (the simulator ablation knobs do not).
+type buildKey struct {
+	name            string
+	abi             cheriabi.ABI
+	asan            bool
+	noBigCLC        bool
+	subObjectBounds bool
+}
+
+type buildVal struct {
+	exe  *cheriabi.Image
+	libs []*cheriabi.Image
+}
+
+// Engine executes workloads for a sweep. With snapshots enabled it boots
+// one Seed-0 template machine, captures it, and stamps every run's machine
+// as a copy-on-write clone — the per-run seed, like the simulator ablation
+// knobs, is a clone-time Config field, so a single snapshot serves every
+// row and seed of a sweep. Builds are cached by their compile-relevant
+// options (the compiler is deterministic, and images are immutable once
+// built). An Engine is safe for concurrent use by the driver's worker
+// pools; the shared snapshot is read-only after capture.
+type Engine struct {
+	snapshot bool
+
+	mu     sync.Mutex
+	snap   *cheriabi.Snapshot
+	builds map[buildKey]buildVal
+}
+
+// NewEngine returns an Engine. snapshot selects machine provisioning:
+// clone-from-snapshot (the fleet-runner fast path) or cold boot per run
+// (the differential reference; still build-cached).
+func NewEngine(snapshot bool) *Engine {
+	return &Engine{snapshot: snapshot, builds: map[buildKey]buildVal{}}
+}
+
+// build returns the cached toolchain output for (w, opt), compiling on
+// first use.
+func (e *Engine) build(w Workload, opt BuildOptions) (*cheriabi.Image, []*cheriabi.Image, error) {
+	key := buildKey{
+		name:            w.Name,
+		abi:             opt.ABI,
+		asan:            opt.ASan,
+		noBigCLC:        opt.NoBigCLC,
+		subObjectBounds: opt.SubObjectBounds,
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v, ok := e.builds[key]; ok {
+		return v.exe, v.libs, nil
+	}
+	exe, libs, err := Build(w, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.builds[key] = buildVal{exe: exe, libs: libs}
+	return exe, libs, nil
+}
+
+// system provisions the machine for one run.
+func (e *Engine) system(opt BuildOptions, seed int64) (*cheriabi.System, error) {
+	cfg := runConfig(opt, seed)
+	if !e.snapshot {
+		return cheriabi.NewSystem(cfg), nil
+	}
+	e.mu.Lock()
+	if e.snap == nil {
+		snap, err := cheriabi.NewSystem(cheriabi.Config{MemBytes: memBytes}).Snapshot()
+		if err != nil {
+			e.mu.Unlock()
+			return nil, err
+		}
+		e.snap = snap
+	}
+	snap := e.snap
+	e.mu.Unlock()
+	return snap.Clone(cfg), nil
+}
+
+// Run executes one workload on a machine provisioned by the engine.
+// Results are bit-identical to the package-level Run — the differential
+// suite's TestSnapshotCloneDifferential enforces this.
+func (e *Engine) Run(w Workload, opt BuildOptions, seed int64) (Measurement, error) {
+	exe, libs, err := e.build(w, opt)
+	if err != nil {
+		return Measurement{}, err
+	}
+	sys, err := e.system(opt, seed)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return runOn(sys, w, exe, libs)
 }
 
 // Overhead is one Figure 4 data point: median percentage overhead of the
@@ -195,16 +306,28 @@ func medianIQR(vals []float64) (med, iqr float64) {
 }
 
 // Figure4Row measures one workload across the given seeds and reports the
-// overhead shape (median of per-seed overheads, IQR across seeds).
+// overhead shape (median of per-seed overheads, IQR across seeds). The
+// package-level form cold-boots every machine; sweeps use the Engine
+// method.
 func Figure4Row(w Workload, seeds []int64) (Overhead, error) {
+	return figure4Row(Run, w, seeds)
+}
+
+// Figure4Row is the Engine form of the package-level Figure4Row; with
+// snapshots enabled, every measurement's machine is a clone.
+func (e *Engine) Figure4Row(w Workload, seeds []int64) (Overhead, error) {
+	return figure4Row(e.Run, w, seeds)
+}
+
+func figure4Row(run func(Workload, BuildOptions, int64) (Measurement, error), w Workload, seeds []int64) (Overhead, error) {
 	var instPcts, cyclePcts, l2Pcts []float64
 	var baseInst, baseCycles uint64
 	for _, seed := range seeds {
-		base, err := Run(w, BuildOptions{ABI: cheriabi.ABILegacy}, seed)
+		base, err := run(w, BuildOptions{ABI: cheriabi.ABILegacy}, seed)
 		if err != nil {
 			return Overhead{}, err
 		}
-		cheri, err := Run(w, BuildOptions{ABI: cheriabi.ABICheri}, seed)
+		cheri, err := run(w, BuildOptions{ABI: cheriabi.ABICheri}, seed)
 		if err != nil {
 			return Overhead{}, err
 		}
@@ -220,14 +343,24 @@ func Figure4Row(w Workload, seeds []int64) (Overhead, error) {
 	return row, nil
 }
 
-// Figure4Rows measures the given workloads across a pool of workers (each
-// row boots its own fresh machines, so rows shard perfectly) and returns
-// the rows in input order. The per-row measurements are deterministic for
-// a given seed list, so the result is independent of the worker count —
-// the parallel-driver determinism test enforces this.
+// Figure4Rows measures the given workloads across a pool of workers and
+// returns the rows in input order, provisioning machines from a shared
+// snapshot. The per-row measurements are deterministic for a given seed
+// list — and identical between snapshot and cold provisioning — so the
+// result is independent of the worker count and the mode; the
+// parallel-driver determinism test enforces the former and the
+// differential suite the latter.
 func Figure4Rows(ws []Workload, seeds []int64, workers int) ([]Overhead, error) {
+	return Figure4RowsMode(ws, seeds, workers, true)
+}
+
+// Figure4RowsMode is Figure4Rows with explicit machine provisioning:
+// snapshot=true clones every machine from one shared template, false
+// cold-boots per measurement (the differential reference).
+func Figure4RowsMode(ws []Workload, seeds []int64, workers int, snapshot bool) ([]Overhead, error) {
+	e := NewEngine(snapshot)
 	return driver.Map(workers, ws, func(w Workload) (Overhead, error) {
-		return Figure4Row(w, seeds)
+		return e.Figure4Row(w, seeds)
 	})
 }
 

@@ -18,6 +18,7 @@ import (
 	"cheriabi/internal/compat"
 	"cheriabi/internal/cpu"
 	"cheriabi/internal/driver"
+	"cheriabi/internal/kernel"
 	"cheriabi/internal/mem"
 	"cheriabi/internal/testsuite"
 	"cheriabi/internal/trace"
@@ -408,6 +409,106 @@ func BenchmarkPollStorm(b *testing.B) {
 			b.ReportMetric(float64((hiWakes-loWakes)*b.N)/dHost.Seconds(), "marginal-wakes/s")
 		})
 	}
+}
+
+// BenchmarkTimedPollStorm measures timer-expiry cost against a crowd of
+// concurrent sleepers: n children each cycling a finite-timeout poll on
+// staggered 1–4 ms intervals, so the deadline heap holds n live entries
+// in mixed order for the whole run. The virtual clock necessarily
+// advances by the slept spans, so the per-expiry cost is the MARGINAL
+// sim-cycle cost — two round counts differenced, with the pure sleep
+// span of the slowest chain subtracted — and it must stay flat as n
+// grows: each expiry is one O(log timers) heap pop plus one wake, never
+// a scan of the sleeper crowd.
+func BenchmarkTimedPollStorm(b *testing.B) {
+	const loRounds, hiRounds = 10, 40
+	const maxIntervalMS = 4 // the i&3 stagger tops out at 4 ms
+	msCycles := uint64(kernel.ClockHz / 1_000)
+	for _, n := range []int{4, 16, 48} {
+		b.Run(fmt.Sprintf("sleepers=%d", n), func(b *testing.B) {
+			run := func(rounds int) (uint64, time.Duration) {
+				w := workload.Workload{
+					Name: "timed-poll-storm",
+					Src:  workload.SrcTimedPollStormBench,
+					Args: []string{fmt.Sprint(n), fmt.Sprint(rounds)},
+				}
+				exe, _, err := workload.Build(w, workload.BuildOptions{ABI: cheriabi.ABICheri})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20})
+				start := time.Now()
+				res, err := sys.RunImage(exe, append([]string{w.Name}, w.Args...)...)
+				host := time.Since(start)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.ExitCode != 0 {
+					b.Fatalf("guest exited %d (output %q)", res.ExitCode, res.Output)
+				}
+				return res.Stats.Cycles, host
+			}
+			var dCycles float64
+			var dHost time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cLo, hLo := run(loRounds)
+				cHi, hHi := run(hiRounds)
+				dRounds := uint64(hiRounds - loRounds)
+				slept := dRounds * maxIntervalMS * msCycles
+				dCycles = float64(cHi - cLo - slept)
+				dHost += hHi - hLo
+			}
+			expiries := float64(n * (hiRounds - loRounds))
+			b.ReportMetric(dCycles/expiries, "sim-cycles/expiry")
+			b.ReportMetric(expiries*float64(b.N)/dHost.Seconds(), "marginal-expiries/s")
+		})
+	}
+}
+
+// BenchmarkNanosleepChurn measures the pure timer round trip: one thread
+// arming, parking on, and being woken by back-to-back 200 us nanosleeps
+// with an always-empty runq — every expiry is a tickless skip. The
+// reported sim-cycle cost is marginal (two sleep counts differenced,
+// slept spans subtracted): the arm/park/skip/fire overhead per sleep.
+func BenchmarkNanosleepChurn(b *testing.B) {
+	const loSleeps, hiSleeps = 100, 400
+	sleptCycles := uint64(200_000 / 10) // 200 us at 10 ns per cycle
+	run := func(sleeps int) (uint64, time.Duration) {
+		w := workload.Workload{
+			Name: "nanosleep-churn",
+			Src:  workload.SrcNanosleepChurnBench,
+			Args: []string{fmt.Sprint(sleeps)},
+		}
+		exe, _, err := workload.Build(w, workload.BuildOptions{ABI: cheriabi.ABICheri})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 128 << 20})
+		start := time.Now()
+		res, err := sys.RunImage(exe, w.Name, fmt.Sprint(sleeps))
+		host := time.Since(start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ExitCode != 0 {
+			b.Fatalf("guest exited %d (output %q)", res.ExitCode, res.Output)
+		}
+		return res.Stats.Cycles, host
+	}
+	var dCycles float64
+	var dHost time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cLo, hLo := run(loSleeps)
+		cHi, hHi := run(hiSleeps)
+		dSleeps := uint64(hiSleeps - loSleeps)
+		dCycles = float64(cHi - cLo - dSleeps*sleptCycles)
+		dHost += hHi - hLo
+	}
+	dSleeps := float64(hiSleeps - loSleeps)
+	b.ReportMetric(dCycles/dSleeps, "sim-cycles/sleep")
+	b.ReportMetric(dSleeps*float64(b.N)/dHost.Seconds(), "marginal-sleeps/s")
 }
 
 // BenchmarkSimulator measures raw simulation speed: guest instructions

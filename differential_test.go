@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"io"
 	"sort"
+	"strings"
 	"testing"
 
 	"cheriabi"
@@ -315,7 +316,16 @@ func TestSnapshotCloneDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cases := append(corpus(true), bodiagCorpus(true)...)
+	// The timed-wait row is pinned at index 0 so it runs whatever the
+	// stride: a clone must stay bit-identical to a cold boot when the
+	// workload sleeps — the snapshot restores the clock offset, so every
+	// virtual timestamp the guest reads matches.
+	tw, ok := workload.ByName("posix-timers")
+	if !ok {
+		t.Fatal("posix-timers workload missing")
+	}
+	cases := append([]diffCase{{name: "timed-wait-cheriabi", src: tw.Src, abi: cheriabi.ABICheri}},
+		append(corpus(true), bodiagCorpus(true)...)...)
 	stride := 1
 	if testing.Short() {
 		stride = 5
@@ -365,6 +375,40 @@ func TestSnapshotRequiresQuiescence(t *testing.T) {
 	sys.Kernel.Reap(p)
 	if _, err := sys.Snapshot(); err != nil {
 		t.Fatalf("snapshot after reap: %v", err)
+	}
+
+	// A pending timer is likewise non-checkpointable state: a guest parked
+	// mid-sleep must be refused — by the timer check specifically, since
+	// the deadline heap references live thread state a clone cannot carry.
+	img, _, err = cheriabi.Compile(cheriabi.CompileOptions{Name: "dozer", ABI: cheriabi.ABICheri},
+		`int main() { poll(0, 0, 50); return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err = sys.Install(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = sys.Kernel.Spawn(path, []string{"dozer"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Kernel.Run(0, func() bool { return sys.Kernel.PendingTimers() > 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Kernel.PendingTimers() == 0 {
+		t.Fatal("guest never armed a timer")
+	}
+	_, err = sys.Snapshot()
+	if err == nil || !strings.Contains(err.Error(), "pending timers") {
+		t.Fatalf("snapshot with a pending timer must fail with the timer reason, got: %v", err)
+	}
+	if err := sys.Kernel.RunUntilExit(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Kernel.Reap(p)
+	if _, err := sys.Snapshot(); err != nil {
+		t.Fatalf("snapshot after the sleeper drained: %v", err)
 	}
 }
 

@@ -85,6 +85,11 @@ const (
 	sysPoll
 	sysFcntl
 	sysGetdents
+	sysNanosleep
+	sysSleep
+	sysUsleep
+	sysClockGettime
+	sysGettimeofday
 )
 
 var builtins = map[string]builtin{
@@ -106,7 +111,7 @@ var builtins = map[string]builtin{
 	"sbrk":        {kind: bSyscall, num: sysSbrk, spec: "i"},
 	"select":      {kind: bSyscall, num: sysSelect, spec: "ipppp"},
 	"kqueue":      {kind: bSyscall, num: sysKqueue, spec: ""},
-	"kevent":      {kind: bSyscall, num: sysKevent, spec: "ipipi"},
+	"kevent":      {kind: bSyscall, num: sysKevent, spec: "ipipip"},
 	"sigaction":   {kind: bSyscall, num: sysSigaction, spec: "ip"},
 	"kill":        {kind: bSyscall, num: sysKill, spec: "ii"},
 	"ioctl":       {kind: bSyscall, num: sysIoctl, spec: "iip"},
@@ -143,6 +148,12 @@ var builtins = map[string]builtin{
 	// readdir is the getdents(2) wrapper: it fills buf with fixed 64-byte
 	// records {kind u64, name NUL-terminated} in sorted order.
 	"readdir": {kind: bSyscall, num: sysGetdents, spec: "ipi"},
+	// Timed waits on the virtual clock (1 cycle = 10 ns).
+	"nanosleep":     {kind: bSyscall, num: sysNanosleep, spec: "pp"},
+	"sleep":         {kind: bSyscall, num: sysSleep, spec: "i"},
+	"usleep":        {kind: bSyscall, num: sysUsleep, spec: "i"},
+	"clock_gettime": {kind: bSyscall, num: sysClockGettime, spec: "ip"},
+	"gettimeofday":  {kind: bSyscall, num: sysGettimeofday, spec: "p"},
 
 	// C runtime natives.
 	"malloc":  {kind: bNative, num: nat.Malloc, spec: "i", retPtr: true},

@@ -1,0 +1,35 @@
+package cc
+
+import (
+	"testing"
+
+	"cheriabi/internal/kernel"
+)
+
+// TestBuiltinSyscallNumbers: the compiler mirrors the kernel's syscall
+// numbering in builtins.go's iota block, and nothing enforces the mirror
+// at build time — a skew would make a guest call one syscall and land in
+// another. Every bSyscall builtin must resolve, by number, to the kernel
+// table entry of the same name.
+func TestBuiltinSyscallNumbers(t *testing.T) {
+	// Builtins whose guest-facing name is a libc-style wrapper over a
+	// differently named syscall.
+	alias := map[string]string{"readdir": "getdents"}
+	n := 0
+	for name, b := range builtins {
+		if b.kind != bSyscall {
+			continue
+		}
+		n++
+		want := name
+		if a, ok := alias[name]; ok {
+			want = a
+		}
+		if got := kernel.SyscallName(b.num); got != want {
+			t.Errorf("builtin %q: number %d is kernel syscall %q", name, b.num, got)
+		}
+	}
+	if n == 0 {
+		t.Fatal("no syscall builtins found")
+	}
+}

@@ -74,59 +74,75 @@ type sysDef struct {
 // Adding a syscall is one entry here plus a handler of pure semantics
 // (and a compiler builtin to expose it to MiniC).
 var sysTable = [...]sysDef{
-	SysExit:        {name: "exit", spec: "i", sig: "exit(status)", fn: sysExit},
-	SysFork:        {name: "fork", spec: "", sig: "fork()", fn: sysFork},
-	SysRead:        {name: "read", spec: "ipi", sig: "read(fd, buf:out[len<=n], n)", fn: sysRead},
-	SysWrite:       {name: "write", spec: "ipi", sig: "write(fd, buf:in[len<=n], n)", fn: sysWrite},
-	SysOpen:        {name: "open", spec: "sii", sig: "open(path:str, flags, mode)", fn: sysOpen},
-	SysClose:       {name: "close", spec: "i", sig: "close(fd)", fn: sysClose},
-	SysWait4:       {name: "wait4", spec: "ipi", sig: "wait4(pid, status:out[4], opts)", fn: sysWait4},
-	SysPipe:        {name: "pipe", spec: "p", sig: "pipe(fds:out[16])", fn: sysPipe},
-	SysDup:         {name: "dup", spec: "i", sig: "dup(fd)", fn: sysDup},
-	SysGetpid:      {name: "getpid", spec: "", sig: "getpid()", fn: sysGetpid},
-	SysExecve:      {name: "execve", spec: "spp", sig: "execve(path:str, argv:in-vec, envv:in-vec)", fn: sysExecve},
-	SysMmap:        {name: "mmap", spec: "riii", sig: "mmap(hint:raw, len, prot, flags)", fn: sysMmap},
-	SysMunmap:      {name: "munmap", spec: "ri", sig: "munmap(addr:raw-vmmap, len)", fn: sysMunmap},
-	SysMprotect:    {name: "mprotect", spec: "rii", sig: "mprotect(addr:raw-vmmap, len, prot)", fn: sysMprotect},
-	SysSbrk:        {name: "sbrk", spec: "i", sig: "sbrk(incr)", fn: sysSbrk},
-	SysSelect:      {name: "select", spec: "ipppp", sig: "select(nfds, r:inout[8], w:inout[8], e:inout[8], tmo:in[8])", fn: sysSelect},
-	SysKqueue:      {name: "kqueue", spec: "", sig: "kqueue()", fn: sysKqueue},
-	SysKevent:      {name: "kevent", spec: "ipipi", sig: "kevent(kq, changes:in[n*evsz], n, events:out[m*evsz], m)", fn: sysKevent},
-	SysSigaction:   {name: "sigaction", spec: "ir", sig: "sigaction(sig, handler:raw-stored)", fn: sysSigaction},
-	SysSigreturn:   {name: "sigreturn", spec: "", sig: "sigreturn()", fn: sysSigreturnWrap},
-	SysKill:        {name: "kill", spec: "ii", sig: "kill(pid, sig)", fn: sysKill},
-	SysIoctl:       {name: "ioctl", spec: "iip", sig: "ioctl(fd, cmd, argp:inout[cmd])", fn: sysIoctl},
-	SysSysctl:      {name: "sysctl", spec: "ippr", sig: "sysctl(id, oldp:out[*oldlenp], oldlenp:inout[8], newp:unused)", fn: sysSysctl},
-	SysPtrace:      {name: "ptrace", spec: "iipi", sig: "ptrace(req, pid, addrp:inout[req], data)", fn: sysPtrace},
-	SysGetcwd:      {name: "getcwd", spec: "pi", sig: "getcwd(buf:out[cap-bounded], len-claimed)", fn: sysGetcwd},
-	SysChdir:       {name: "chdir", spec: "s", sig: "chdir(path:str)", fn: sysChdir},
-	SysLseek:       {name: "lseek", spec: "iii", sig: "lseek(fd, off, whence)", fn: sysLseek},
-	SysFstat:       {name: "fstat", spec: "ip", sig: "fstat(fd, st:out[16])", fn: sysFstat},
-	SysShmget:      {name: "shmget", spec: "ii", sig: "shmget(key, size)", fn: sysShmget},
-	SysShmat:       {name: "shmat", spec: "ir", sig: "shmat(id, hint:raw-vmmap)", fn: sysShmat},
-	SysShmdt:       {name: "shmdt", spec: "r", sig: "shmdt(addr:raw-vmmap)", fn: sysShmdt},
-	SysYield:       {name: "yield", spec: "", sig: "yield()", fn: sysYield},
-	SysSigprocmask: {name: "sigprocmask", spec: "iii", sig: "sigprocmask(how, mask, _)", fn: sysSigprocmask},
-	SysGetTime:     {name: "gettime", spec: "", sig: "gettime()", fn: sysGetTime},
-	SysUnlink:      {name: "unlink", spec: "s", sig: "unlink(path:str)", fn: sysUnlink},
-	SysSwapSelf:    {name: "swapself", spec: "", sig: "swapself()", fn: sysSwapSelf},
-	SysReadv:       {name: "readv", spec: "ipi", sig: "readv(fd, iov:in[n*iovsz], n) — per-segment base caps authorize the transfers", fn: sysReadv},
-	SysWritev:      {name: "writev", spec: "ipi", sig: "writev(fd, iov:in[n*iovsz], n) — per-segment base caps authorize the transfers", fn: sysWritev},
-	SysPread:       {name: "pread", spec: "ipii", sig: "pread(fd, buf:out[len<=n], n, off)", fn: sysPread},
-	SysPwrite:      {name: "pwrite", spec: "ipii", sig: "pwrite(fd, buf:in[len<=n], n, off)", fn: sysPwrite},
-	SysFtruncate:   {name: "ftruncate", spec: "ii", sig: "ftruncate(fd, len)", fn: sysFtruncate},
-	SysSocket:      {name: "socket", spec: "iii", sig: "socket(domain, type, proto)", fn: sysSocket},
-	SysSocketpair:  {name: "socketpair", spec: "iiip", sig: "socketpair(domain, type, proto, sv:out[16])", fn: sysSocketpair},
-	SysBind:        {name: "bind", spec: "is", sig: "bind(fd, path:str) — AF_UNIX address is the path", fn: sysBind},
-	SysListen:      {name: "listen", spec: "ii", sig: "listen(fd, backlog)", fn: sysListen},
-	SysConnect:     {name: "connect", spec: "is", sig: "connect(fd, path:str)", fn: sysConnect},
-	SysAccept:      {name: "accept", spec: "i", sig: "accept(fd)", fn: sysAccept},
-	SysShutdown:    {name: "shutdown", spec: "ii", sig: "shutdown(fd, how)", fn: sysShutdown},
-	SysSend:        {name: "send", spec: "ipii", sig: "send(fd, buf:in[len<=n], n, flags)", fn: sysSend},
-	SysRecv:        {name: "recv", spec: "ipii", sig: "recv(fd, buf:out[len<=n], n, flags)", fn: sysRecv},
-	SysPoll:        {name: "poll", spec: "pii", sig: "poll(fds:inout[n*24], n, timeout)", fn: sysPoll},
-	SysFcntl:       {name: "fcntl", spec: "iii", sig: "fcntl(fd, cmd, arg)", fn: sysFcntl},
-	SysGetdents:    {name: "getdents", spec: "ipi", sig: "getdents(fd, buf:out[len<=n], n) — 64-byte records", fn: sysGetdents},
+	SysExit:         {name: "exit", spec: "i", sig: "exit(status)", fn: sysExit},
+	SysFork:         {name: "fork", spec: "", sig: "fork()", fn: sysFork},
+	SysRead:         {name: "read", spec: "ipi", sig: "read(fd, buf:out[len<=n], n)", fn: sysRead},
+	SysWrite:        {name: "write", spec: "ipi", sig: "write(fd, buf:in[len<=n], n)", fn: sysWrite},
+	SysOpen:         {name: "open", spec: "sii", sig: "open(path:str, flags, mode)", fn: sysOpen},
+	SysClose:        {name: "close", spec: "i", sig: "close(fd)", fn: sysClose},
+	SysWait4:        {name: "wait4", spec: "ipi", sig: "wait4(pid, status:out[4], opts)", fn: sysWait4},
+	SysPipe:         {name: "pipe", spec: "p", sig: "pipe(fds:out[16])", fn: sysPipe},
+	SysDup:          {name: "dup", spec: "i", sig: "dup(fd)", fn: sysDup},
+	SysGetpid:       {name: "getpid", spec: "", sig: "getpid()", fn: sysGetpid},
+	SysExecve:       {name: "execve", spec: "spp", sig: "execve(path:str, argv:in-vec, envv:in-vec)", fn: sysExecve},
+	SysMmap:         {name: "mmap", spec: "riii", sig: "mmap(hint:raw, len, prot, flags)", fn: sysMmap},
+	SysMunmap:       {name: "munmap", spec: "ri", sig: "munmap(addr:raw-vmmap, len)", fn: sysMunmap},
+	SysMprotect:     {name: "mprotect", spec: "rii", sig: "mprotect(addr:raw-vmmap, len, prot)", fn: sysMprotect},
+	SysSbrk:         {name: "sbrk", spec: "i", sig: "sbrk(incr)", fn: sysSbrk},
+	SysSelect:       {name: "select", spec: "ipppp", sig: "select(nfds, r:inout[8], w:inout[8], e:inout[8], tmo:in[16])", fn: sysSelect},
+	SysKqueue:       {name: "kqueue", spec: "", sig: "kqueue()", fn: sysKqueue},
+	SysKevent:       {name: "kevent", spec: "ipipip", sig: "kevent(kq, changes:in[n*evsz], n, events:out[m*evsz], m, tmo:in[16])", fn: sysKevent},
+	SysSigaction:    {name: "sigaction", spec: "ir", sig: "sigaction(sig, handler:raw-stored)", fn: sysSigaction},
+	SysSigreturn:    {name: "sigreturn", spec: "", sig: "sigreturn()", fn: sysSigreturnWrap},
+	SysKill:         {name: "kill", spec: "ii", sig: "kill(pid, sig)", fn: sysKill},
+	SysIoctl:        {name: "ioctl", spec: "iip", sig: "ioctl(fd, cmd, argp:inout[cmd])", fn: sysIoctl},
+	SysSysctl:       {name: "sysctl", spec: "ippr", sig: "sysctl(id, oldp:out[*oldlenp], oldlenp:inout[8], newp:unused)", fn: sysSysctl},
+	SysPtrace:       {name: "ptrace", spec: "iipi", sig: "ptrace(req, pid, addrp:inout[req], data)", fn: sysPtrace},
+	SysGetcwd:       {name: "getcwd", spec: "pi", sig: "getcwd(buf:out[cap-bounded], len-claimed)", fn: sysGetcwd},
+	SysChdir:        {name: "chdir", spec: "s", sig: "chdir(path:str)", fn: sysChdir},
+	SysLseek:        {name: "lseek", spec: "iii", sig: "lseek(fd, off, whence)", fn: sysLseek},
+	SysFstat:        {name: "fstat", spec: "ip", sig: "fstat(fd, st:out[16])", fn: sysFstat},
+	SysShmget:       {name: "shmget", spec: "ii", sig: "shmget(key, size)", fn: sysShmget},
+	SysShmat:        {name: "shmat", spec: "ir", sig: "shmat(id, hint:raw-vmmap)", fn: sysShmat},
+	SysShmdt:        {name: "shmdt", spec: "r", sig: "shmdt(addr:raw-vmmap)", fn: sysShmdt},
+	SysYield:        {name: "yield", spec: "", sig: "yield()", fn: sysYield},
+	SysSigprocmask:  {name: "sigprocmask", spec: "iii", sig: "sigprocmask(how, mask, _)", fn: sysSigprocmask},
+	SysGetTime:      {name: "gettime", spec: "", sig: "gettime()", fn: sysGetTime},
+	SysUnlink:       {name: "unlink", spec: "s", sig: "unlink(path:str)", fn: sysUnlink},
+	SysSwapSelf:     {name: "swapself", spec: "", sig: "swapself()", fn: sysSwapSelf},
+	SysReadv:        {name: "readv", spec: "ipi", sig: "readv(fd, iov:in[n*iovsz], n) — per-segment base caps authorize the transfers", fn: sysReadv},
+	SysWritev:       {name: "writev", spec: "ipi", sig: "writev(fd, iov:in[n*iovsz], n) — per-segment base caps authorize the transfers", fn: sysWritev},
+	SysPread:        {name: "pread", spec: "ipii", sig: "pread(fd, buf:out[len<=n], n, off)", fn: sysPread},
+	SysPwrite:       {name: "pwrite", spec: "ipii", sig: "pwrite(fd, buf:in[len<=n], n, off)", fn: sysPwrite},
+	SysFtruncate:    {name: "ftruncate", spec: "ii", sig: "ftruncate(fd, len)", fn: sysFtruncate},
+	SysSocket:       {name: "socket", spec: "iii", sig: "socket(domain, type, proto)", fn: sysSocket},
+	SysSocketpair:   {name: "socketpair", spec: "iiip", sig: "socketpair(domain, type, proto, sv:out[16])", fn: sysSocketpair},
+	SysBind:         {name: "bind", spec: "is", sig: "bind(fd, path:str) — AF_UNIX address is the path", fn: sysBind},
+	SysListen:       {name: "listen", spec: "ii", sig: "listen(fd, backlog)", fn: sysListen},
+	SysConnect:      {name: "connect", spec: "is", sig: "connect(fd, path:str)", fn: sysConnect},
+	SysAccept:       {name: "accept", spec: "i", sig: "accept(fd)", fn: sysAccept},
+	SysShutdown:     {name: "shutdown", spec: "ii", sig: "shutdown(fd, how)", fn: sysShutdown},
+	SysSend:         {name: "send", spec: "ipii", sig: "send(fd, buf:in[len<=n], n, flags)", fn: sysSend},
+	SysRecv:         {name: "recv", spec: "ipii", sig: "recv(fd, buf:out[len<=n], n, flags)", fn: sysRecv},
+	SysPoll:         {name: "poll", spec: "pii", sig: "poll(fds:inout[n*24], n, timeout-ms)", fn: sysPoll},
+	SysFcntl:        {name: "fcntl", spec: "iii", sig: "fcntl(fd, cmd, arg)", fn: sysFcntl},
+	SysGetdents:     {name: "getdents", spec: "ipi", sig: "getdents(fd, buf:out[len<=n], n) — 64-byte records", fn: sysGetdents},
+	SysNanosleep:    {name: "nanosleep", spec: "pp", sig: "nanosleep(req:in[16], rem:out[16])", fn: sysNanosleep},
+	SysSleep:        {name: "sleep", spec: "i", sig: "sleep(seconds)", fn: sysSleep},
+	SysUsleep:       {name: "usleep", spec: "i", sig: "usleep(micros)", fn: sysUsleep},
+	SysClockGettime: {name: "clock_gettime", spec: "ip", sig: "clock_gettime(clk, tp:out[16])", fn: sysClockGettime},
+	SysGettimeofday: {name: "gettimeofday", spec: "p", sig: "gettimeofday(tv:out[16])", fn: sysGettimeofday},
+}
+
+// SyscallName returns the kernel's name for syscall number num, or ""
+// when the number names no syscall. The compiler's builtin table mirrors
+// these numbers; its TestBuiltinSyscallNumbers keeps the two in sync
+// through this accessor.
+func SyscallName(num int) string {
+	if num <= 0 || num >= len(sysTable) {
+		return ""
+	}
+	return sysTable[num].name
 }
 
 // decodeArgs decodes the register state of the in-flight syscall per
@@ -200,6 +216,13 @@ func (k *Kernel) syscall(t *Thread) {
 		} else {
 			advance = d.fn(k, t, &a)
 		}
+	}
+	if advance {
+		// A completed syscall consumes its timed-park state; the next
+		// timed syscall arms a fresh deadline. Blocking handlers return
+		// false, so a re-park keeps deadline/timedOut/interrupted intact
+		// across restarts.
+		t.deadline, t.timedOut, t.interrupted = 0, false, false
 	}
 	if advance && t.State != ThreadExited && p.State != ProcZombie {
 		t.Frame.PC += isa.InstSize

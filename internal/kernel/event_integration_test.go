@@ -282,7 +282,7 @@ int main() {
 	ch.filter = 4294967295;          // EVFILT_READ
 	ch.filter |= (long)1 << 32;      // EV_ADD
 	ch.udata = 0;
-	if (kevent(kq, &ch, 1, 0, 0) != 0) return 1;
+	if (kevent(kq, &ch, 1, 0, 0, 0) != 0) return 1;
 	int pid = fork();
 	if (pid == 0) {
 		int i;
@@ -291,7 +291,7 @@ int main() {
 		exit(0);
 	}
 	struct kev out;
-	if (kevent(kq, 0, 0, &out, 1) != 1) return 2; // parks until the write
+	if (kevent(kq, 0, 0, &out, 1, 0) != 1) return 2; // parks until the write
 	if (out.ident != fds[0]) return 3;
 	wait4(pid, 0, 0);
 	return 0;
@@ -535,7 +535,7 @@ int main() {
 	int kq = kqueue();
 	if (kq < 0) return 1;
 	struct kev out;
-	kevent(kq, 0, 0, &out, 1); // no filters registered: blocks forever
+	kevent(kq, 0, 0, &out, 1, 0); // no filters registered: blocks forever
 	return 2;                  // must be unreachable
 }`
 		img, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: "kqdl", ABI: abi}, src)
@@ -582,10 +582,10 @@ int main() {
 	ch.filter = 4294967295;          // EVFILT_READ
 	ch.filter |= (long)1 << 32;      // EV_ADD
 	ch.udata = 0;
-	if (kevent(kq, &ch, 1, 0, 0) != 0) return 4;
+	if (kevent(kq, &ch, 1, 0, 0, 0) != 0) return 4;
 	struct kev out;
 	out.data = 0;
-	if (kevent(kq, 0, 0, &out, 1) != 1) return 5;
+	if (kevent(kq, 0, 0, &out, 1, 0) != 1) return 5;
 	if (out.ident != l) return 6;
 	if (out.data != 2) return 7;     // both connectors pending
 	// accept-after-kevent: the reported connections are really there.

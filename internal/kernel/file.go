@@ -33,10 +33,15 @@ import (
 // PollKind selects a readiness direction for Poll.
 type PollKind int
 
-// Poll directions.
+// Poll directions. PollHup is not a direction but a condition: the
+// object's far end is gone (pipe peer closed, socket peer disconnected).
+// poll(2) reports it unconditionally as POLLHUP, select(2) folds it into
+// the read set, kevent(2) flags EV_EOF; objects with no notion of a far
+// end report false.
 const (
 	PollIn PollKind = iota
 	PollOut
+	PollHup
 )
 
 // FileStat is the fstat(2) payload: size and object kind.
@@ -125,9 +130,9 @@ func (baseFile) Truncate(int64) Errno { return EINVAL }
 func (baseFile) Ioctl(*Kernel, *Thread, *FDesc, uint64, cap.Capability) Errno {
 	return ENOTTY
 }
-func (baseFile) Poll(PollKind) bool { return true }
-func (baseFile) Queue() *WaitQueue  { return nil }
-func (baseFile) Close(*Kernel)      {}
+func (baseFile) Poll(kind PollKind) bool { return kind != PollHup }
+func (baseFile) Queue() *WaitQueue       { return nil }
+func (baseFile) Close(*Kernel)           {}
 
 // ---- regular files ----
 
@@ -360,10 +365,17 @@ func (pf *pipeFile) Write(f *FDesc, b []byte) (int, Errno) {
 }
 
 func (pf *pipeFile) Poll(kind PollKind) bool {
-	if kind == PollIn {
+	switch kind {
+	case PollIn:
 		return len(pf.pip.buf) > 0 || pf.pip.writers == 0
+	case PollOut:
+		return len(pf.pip.buf) < pipeCap || pf.pip.readers == 0
+	default: // PollHup: the far end of this descriptor's direction is gone
+		if pf.writeEnd {
+			return pf.pip.readers == 0
+		}
+		return pf.pip.writers == 0
 	}
-	return len(pf.pip.buf) < pipeCap || pf.pip.readers == 0
 }
 
 // PollDepth: bytes buffered for readers, space available for writers.

@@ -121,9 +121,9 @@ int main() {
 	ch.filter = 4294967295;
 	ch.filter |= (long)1 << 32;
 	ch.udata = payload;
-	if (kevent(kq, &ch, 1, 0, 0) != 0) return 2;
+	if (kevent(kq, &ch, 1, 0, 0, 0) != 0) return 2;
 	struct kev out;
-	int n = kevent(kq, 0, 0, &out, 1);
+	int n = kevent(kq, 0, 0, &out, 1, 0);
 	if (n != 1) return 3;
 	if (out.ident != fds[0]) return 4;
 	// The stored pointer must come back dereferenceable.

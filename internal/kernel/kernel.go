@@ -111,6 +111,12 @@ type Kernel struct {
 	// unixNS is the AF_UNIX namespace: bound socket addresses.
 	unixNS map[string]*socketFile
 
+	// timers is the deadline min-heap of timed waiters, ordered by
+	// (deadline, seq); timerSeq is the arm counter supplying the
+	// determinism tiebreak (see timer.go).
+	timers   []*timerEntry
+	timerSeq uint64
+
 	Natives     map[int]NativeFunc
 	OnCapCreate CapCreateFunc
 	Console     io.Writer
@@ -390,12 +396,22 @@ func (k *Kernel) Run(budget uint64, stop func() bool) error {
 		if k.M.CPU.Stats.Instructions-start > budget {
 			return ErrBudget
 		}
+		// Timed waiters whose deadline arrived during the last quantum
+		// wake here, so a sleeper's expiry is observed even while other
+		// threads keep the runq busy.
+		k.fireDueTimers()
 		t := k.pickRunnable()
 		if t == nil {
-			// Nothing schedulable. Blocked threads with no pending wake —
-			// including threads parked on empty wait queues — mean the
-			// system can never make progress again: deadlock. (Threads of
-			// suspended processes are excluded, matching ptrace stops.)
+			// Runq empty but timers pending: advance virtual time straight
+			// to the earliest deadline (tickless skip) and reschedule.
+			if k.timerSkip() {
+				continue
+			}
+			// Nothing schedulable and no timer armed. Blocked threads with
+			// no pending wake — including threads parked on empty wait
+			// queues — mean the system can never make progress again:
+			// deadlock. (Threads of suspended processes are excluded,
+			// matching ptrace stops.)
 			for _, p := range k.procs {
 				if p.Suspended {
 					continue

@@ -11,6 +11,10 @@ const (
 	EvfiltWrite = -2
 	EvAdd       = 1
 	EvDelete    = 2
+	// EvEOF is reported in the returned flags (high word of the filter
+	// slot) when the watched object has hung up — the peer or the far end
+	// of the pipe is gone.
+	EvEOF = 0x8000
 )
 
 // knote is one registered event. The user-supplied udata pointer is a
@@ -71,6 +75,7 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 	nchanges := a.Int(1)
 	events := a.Ptr(1)
 	nevents := a.Int(2)
+	tmo := a.Ptr(2)
 
 	kq := p.kqs[kqfd]
 	if kq == nil {
@@ -124,7 +129,11 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 		if f == nil {
 			continue
 		}
-		ready := (n.filter == EvfiltRead && f.file.Poll(PollIn)) || (n.filter == EvfiltWrite && f.file.Poll(PollOut))
+		// A hang-up satisfies any filter: a read on a drained, hung-up
+		// object returns EOF immediately, and a write raises EPIPE — both
+		// are "the operation will not block", which is what readiness means.
+		hup := f.file.Poll(PollHup)
+		ready := hup || (n.filter == EvfiltRead && f.file.Poll(PollIn)) || (n.filter == EvfiltWrite && f.file.Poll(PollOut))
 		if !ready {
 			continue
 		}
@@ -137,7 +146,14 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
 		}
-		if e := k.writeUserWord(events, base+8, 8, uint64(int64(n.filter))); e != OK {
+		// The output filter slot mirrors the input convention: the filter
+		// in the low 32 bits (truncated, not sign-extended across the whole
+		// word) and flags — here EV_EOF on hang-up — in the high word.
+		outFilt := uint64(uint32(int32(n.filter)))
+		if hup {
+			outFilt |= uint64(EvEOF) << 32
+		}
+		if e := k.writeUserWord(events, base+8, 8, outFilt); e != OK {
 			setRet(&t.Frame, ^uint64(0), e)
 			return true
 		}
@@ -157,17 +173,38 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 		count++
 	}
 	if count == 0 {
-		// Nothing ready: park on the wait queues of the watched objects,
-		// exactly as select and poll do — kevent is the third thin wrapper
-		// over the same readiness predicate and subscription path. Objects
-		// that are always ready contribute no queue (their filters would
-		// have fired above). The park is unconditional: a kqueue with no
-		// registered filters — or none whose object can still transition —
-		// has no wake source, so the thread stays Blocked and the
-		// scheduler's empty-runq detector reports the deadlock, exactly as
-		// kqueue(2) blocks forever. (A silent 0 return here would turn a
-		// programming error into a spurious "no events".) Signals still
-		// wake the thread through the normal delivery path.
+		// Nothing ready. With a NULL timeout, park on the wait queues of
+		// the watched objects, exactly as select and poll do — kevent is
+		// the third thin wrapper over the same readiness predicate and
+		// subscription path. Objects that are always ready contribute no
+		// queue (their filters would have fired above). The park is
+		// unconditional: a kqueue with no registered filters — or none
+		// whose object can still transition — has no wake source, so the
+		// thread stays Blocked and the scheduler's empty-runq detector
+		// reports the deadlock, exactly as kqueue(2) blocks forever. (A
+		// silent 0 return here would turn a programming error into a
+		// spurious "no events".) Signals still wake the thread through the
+		// normal delivery path.
+		//
+		// A non-NULL timespec bounds the wait on the virtual clock: a zero
+		// timespec is the classic non-blocking scan, a positive one parks
+		// with a deadline and returns 0 if it fires first.
+		block, deadline := tmo.Addr() == 0, uint64(0)
+		if !block {
+			sec, e1 := k.readUserWord(tmo, tmo.Addr(), 8)
+			nsec, e2 := k.readUserWord(tmo, tmo.Addr()+8, 8)
+			if e1 != OK || e2 != OK {
+				setRet(&t.Frame, ^uint64(0), EFAULT)
+				return true
+			}
+			if delta := sec*ClockHz + nsToCycles(nsec); delta > 0 && !k.deadlineExpired(t) {
+				block, deadline = true, k.parkDeadline(t, delta)
+			}
+		}
+		if !block {
+			setRet(&t.Frame, 0, OK)
+			return true
+		}
 		var qs []*WaitQueue
 		for _, n := range kq.notes {
 			if f := p.fd(int(n.ident)); f != nil {
@@ -176,7 +213,11 @@ func sysKevent(k *Kernel, t *Thread, a *SysArgs) bool {
 				}
 			}
 		}
-		t.blockOn(qs...)
+		if deadline != 0 {
+			k.blockOnDeadline(t, deadline, qs...)
+		} else {
+			t.blockOn(qs...)
+		}
 		return false
 	}
 	setRet(&t.Frame, count, OK)

@@ -41,6 +41,20 @@ type Thread struct {
 	// waitq lists the wait queues a blocked thread subscribes to (see
 	// wait.go); the blocked syscall re-executes when any of them wakes.
 	waitq []*WaitQueue
+	// deadline is the in-flight timed syscall's absolute deadline in
+	// cycles (0 = none). It survives spurious wakes and re-parks; the
+	// dispatcher clears it when the syscall completes (see timer.go).
+	deadline uint64
+	// timedOut records that the deadline fired; the restarted syscall
+	// reads it through Kernel.deadlineExpired.
+	timedOut bool
+	// timer is the live heap entry backing deadline, nil when none is
+	// armed; unsubscribe nils the entry's thread pointer (lazy cancel).
+	timer *timerEntry
+	// interrupted records that a signal handler frame was pushed while
+	// this thread's syscall was in flight — the cue for nanosleep's
+	// EINTR (sleeps must not restart). blockOn clears it.
+	interrupted bool
 }
 
 // ProcState is the lifecycle state of a process.

@@ -149,7 +149,12 @@ func (k *Kernel) deliverSignal(t *Thread, sig int) bool {
 	}
 
 	// Enter the handler: handler(sig, frame). Further instances of sig are
-	// masked until sigreturn restores the saved mask.
+	// masked until sigreturn restores the saved mask. The interrupted mark
+	// tells a restarted sleep that a handler ran during its park — the one
+	// family that must fail EINTR instead of restarting (default-ignored
+	// signals like an unhandled SIGCHLD wake the sleeper but deliver
+	// nothing, so the sleep quietly re-parks).
+	t.interrupted = true
 	p.SigMask |= 1 << uint(sig)
 	t.Frame.X[isa.RA0] = uint64(sig)
 	if cheri {

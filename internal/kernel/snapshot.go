@@ -62,6 +62,7 @@ type MachineSnapshot struct {
 	nextTID   int
 
 	ctxSwitches uint64
+	cycles      uint64
 
 	format cap.Format
 	feat   isa.Features
@@ -76,6 +77,8 @@ type MachineSnapshot struct {
 func (m *Machine) Snapshot() (*MachineSnapshot, error) {
 	k := m.Kern
 	switch {
+	case k.PendingTimers() != 0:
+		return nil, fmt.Errorf("kernel: snapshot requires a quiescent machine: %d pending timers", k.PendingTimers())
 	case len(k.procs) != 0:
 		return nil, fmt.Errorf("kernel: snapshot requires a quiescent machine: %d live processes", len(k.procs))
 	case k.runqHead != len(k.runq) || len(k.parked) != 0:
@@ -104,6 +107,7 @@ func (m *Machine) Snapshot() (*MachineSnapshot, error) {
 		nextPID:     k.nextPID,
 		nextTID:     k.nextTID,
 		ctxSwitches: k.ContextSwitches,
+		cycles:      m.CPU.Stats.Cycles,
 		format:      m.Fmt,
 		feat:        m.Feat,
 	}, nil
@@ -128,6 +132,10 @@ func (s *MachineSnapshot) Boot(cfg Config) *Machine {
 		m.VM.AllocFrames(n)
 	}
 	m.CPU = cpu.New(m.Mem, m.Hier, m.Fmt)
+	// The virtual clock is machine state: guests read it through
+	// clock_gettime, so a clone must resume the snapshot's cycle count to
+	// stay bit-identical to the machine it was taken from.
+	m.CPU.Stats.Cycles = s.cycles
 	m.CPU.Tracer = cfg.Tracer
 	m.CPU.NoDecodeCache = cfg.DisableDecodeCache
 	m.CPU.NoThreadedDispatch = cfg.DisableThreadedDispatch

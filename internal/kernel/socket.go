@@ -87,12 +87,21 @@ func (s *socketFile) Poll(kind PollKind) bool {
 	case sockConnecting:
 		return false // completion is observed as writability after accept
 	case sockConnected:
-		if kind == PollIn {
+		switch kind {
+		case PollIn:
 			return len(s.recv.data) > 0 || s.recv.shut || s.recvShut || s.peerGone
+		case PollOut:
+			return len(s.send.data) < sockCap || s.sendShut || s.peerGone
+		default:
+			// PollHup only when the peer endpoint is gone. A half-close
+			// (peer SHUT_WR) is orderly EOF, not a hang-up: the local end
+			// can still write.
+			return s.peerGone
 		}
-		return len(s.send.data) < sockCap || s.sendShut || s.peerGone
-	default: // sockNew, sockRefused: operations fail immediately
-		return true
+	case sockRefused:
+		return true // the failed connect is observable every way
+	default: // sockNew: operations fail immediately, but nothing hung up
+		return kind != PollHup
 	}
 }
 

@@ -63,6 +63,11 @@ const (
 	SysPoll
 	SysFcntl
 	SysGetdents
+	SysNanosleep
+	SysSleep
+	SysUsleep
+	SysClockGettime
+	SysGettimeofday
 )
 
 // mmap prot/flags.
@@ -939,7 +944,9 @@ func sysSelect(k *Kernel, t *Thread, a *SysArgs) bool {
 		if f == nil {
 			continue
 		}
-		if rq&(1<<uint(fd)) != 0 && f.file.Poll(PollIn) {
+		// A hung-up descriptor is readable per select(2): the read that
+		// follows observes EOF without blocking.
+		if rq&(1<<uint(fd)) != 0 && (f.file.Poll(PollIn) || f.file.Poll(PollHup)) {
 			rdy |= 1 << uint(fd)
 			count++
 		}
@@ -948,13 +955,34 @@ func sysSelect(k *Kernel, t *Thread, a *SysArgs) bool {
 			count++
 		}
 	}
-	timeoutPtr := a.Ptr(3)
-	if count == 0 && timeoutPtr.Addr() == 0 && (rq|wq) != 0 {
-		// Every watched descriptor reported not-ready: subscribe to all of
-		// their wait queues and park. The restarted select re-evaluates the
-		// same Poll predicate the wake corresponds to.
-		k.blockFDSet(t, p, nfds, rq|wq)
-		return false
+	if count == 0 {
+		// The timeout is a timeval {sec, usec}: NULL blocks until a watched
+		// object transitions, a zero value is a pure non-blocking scan, and
+		// a finite value parks with a deadline — so select(0, 0, 0, 0, &tv)
+		// is the portable sub-second sleep. With nothing watched and NULL,
+		// the park has no wake source and the deadlock detector reports it.
+		tmo := a.Ptr(3)
+		block, deadline := tmo.Addr() == 0, uint64(0)
+		if !block {
+			sec, e1 := k.readUserWord(tmo, tmo.Addr(), 8)
+			usec, e2 := k.readUserWord(tmo, tmo.Addr()+8, 8)
+			if e1 != OK || e2 != OK {
+				setRet(&t.Frame, ^uint64(0), EFAULT)
+				return true
+			}
+			if delta := sec*ClockHz + usToCycles(usec); delta > 0 && !k.deadlineExpired(t) {
+				block, deadline = true, k.parkDeadline(t, delta)
+			}
+		}
+		if block {
+			qs := k.collectFDSet(p, nfds, rq|wq)
+			if deadline != 0 {
+				k.blockOnDeadline(t, deadline, qs...)
+			} else {
+				t.blockOn(qs...)
+			}
+			return false
+		}
 	}
 	if a.Ptr(0).Addr() != 0 {
 		if e := k.writeUserWord(a.Ptr(0), a.Ptr(0).Addr(), 8, rdy); e != OK {
@@ -972,12 +1000,11 @@ func sysSelect(k *Kernel, t *Thread, a *SysArgs) bool {
 	return true
 }
 
-// blockFDSet subscribes t to the wait queues of every descriptor named in
-// mask and parks it — the shared subscription path select, poll, and
-// kevent all use. Always-ready objects contribute no queue; if no watched
-// object can ever transition, the park is permanent and the scheduler's
-// deadlock detection reports it.
-func (k *Kernel) blockFDSet(t *Thread, p *Proc, nfds int, mask uint64) {
+// collectFDSet gathers the wait queues of every descriptor named in mask
+// — the shared subscription set select-style parks use. Always-ready
+// objects contribute no queue; a park with an empty set (and no deadline)
+// is permanent, and the scheduler's deadlock detection reports it.
+func (k *Kernel) collectFDSet(p *Proc, nfds int, mask uint64) []*WaitQueue {
 	var qs []*WaitQueue
 	for fd := 0; fd < nfds; fd++ {
 		if mask&(1<<uint(fd)) == 0 {
@@ -989,7 +1016,7 @@ func (k *Kernel) blockFDSet(t *Thread, p *Proc, nfds int, mask uint64) {
 			}
 		}
 	}
-	t.blockOn(qs...)
+	return qs
 }
 
 // poll(2) event bits (FreeBSD values).
@@ -1008,9 +1035,11 @@ const pollMax = 64
 // kevent use. The guest struct pollfd is {long fd; long events; long
 // revents} — 24 bytes under both ABIs (MiniC int is 8 bytes, no
 // pointers). A negative timeout blocks until a watched object
-// transitions; any other timeout polls once and returns (the simulator
-// has no free-running clock to sleep against — timeouts degenerate to a
-// non-blocking scan, which deterministic guests pair with yield loops).
+// transitions; a positive timeout is milliseconds on the virtual clock
+// (the thread parks with a deadline and returns 0 when it fires first);
+// zero is a non-blocking scan. poll(0, 0, ms) is therefore a portable
+// millisecond sleep, and poll(0, 0, -1) a park with no wake source,
+// which the scheduler's deadlock detector reports.
 func sysPoll(k *Kernel, t *Thread, a *SysArgs) bool {
 	p := t.Proc
 	fds := a.Ptr(0)
@@ -1045,7 +1074,19 @@ func sysPoll(k *Kernel, t *Thread, a *SysArgs) bool {
 			if events&PollOutEv != 0 && f.file.Poll(PollOut) {
 				revents |= PollOutEv
 			}
-			if q := f.file.Queue(); q != nil && events&(PollInEv|PollOutEv) != 0 {
+			// POLLHUP — and POLLERR on writable descriptors, where the
+			// hang-up means a write would raise EPIPE — are reported
+			// unconditionally: POSIX says they are not maskable through
+			// events. The queue subscription is likewise unconditional (not
+			// gated on events bits), since a hang-up transition must wake a
+			// parked poller whatever it asked for.
+			if f.file.Poll(PollHup) {
+				revents |= PollHupEv
+				if f.mayWrite() {
+					revents |= PollErrEv
+				}
+			}
+			if q := f.file.Queue(); q != nil {
 				qs = append(qs, q)
 			}
 		}
@@ -1057,11 +1098,187 @@ func sysPoll(k *Kernel, t *Thread, a *SysArgs) bool {
 			count++
 		}
 	}
-	if count == 0 && timeout < 0 && len(qs) > 0 {
+	if count == 0 && timeout != 0 {
+		if timeout > 0 {
+			if k.deadlineExpired(t) {
+				setRet(&t.Frame, 0, OK)
+				return true
+			}
+			k.blockOnDeadline(t, k.parkDeadline(t, msToCycles(uint64(timeout))), qs...)
+			return false
+		}
+		// Infinite timeout: park even with an empty subscription set — a
+		// poll with nothing that can ever wake it is a genuine deadlock,
+		// not a spurious 0 return.
 		t.blockOn(qs...)
 		return false
 	}
 	setRet(&t.Frame, count, OK)
+	return true
+}
+
+// sleepState classifies the in-flight timed-sleep syscall on (re)entry.
+type sleepState int
+
+const (
+	sleepArm    sleepState = iota // fresh call: arm the deadline and park
+	sleepDone                     // deadline reached: complete successfully
+	sleepIntr                     // a signal handler ran during the park: EINTR
+	sleepRepark                   // spurious wake: park again, same deadline
+)
+
+// sleepCheck drives the shared sleep state machine. A fresh call has no
+// deadline (the dispatcher cleared it when the previous syscall
+// completed); a restarted one consults the expiry and the
+// handler-interruption mark. Sleeps are the one family that must NOT
+// restart after a handler runs (BSD restart semantics explicitly exclude
+// them): they fail EINTR with the balance reported to the caller.
+func (k *Kernel) sleepCheck(t *Thread) sleepState {
+	switch {
+	case t.deadline == 0:
+		return sleepArm
+	case k.deadlineExpired(t):
+		return sleepDone
+	case t.interrupted:
+		return sleepIntr
+	default:
+		return sleepRepark
+	}
+}
+
+// sleepLeft is the unslept balance of the in-flight sleep, in cycles.
+func (k *Kernel) sleepLeft(t *Thread) uint64 {
+	if t.deadline > k.Now() {
+		return t.deadline - k.Now()
+	}
+	return 0
+}
+
+// sysNanosleep sleeps for a timespec {sec, nsec} on the virtual clock.
+// Interrupted by a caught signal, it returns EINTR with the remaining
+// virtual time written through rem (when non-NULL).
+func sysNanosleep(k *Kernel, t *Thread, a *SysArgs) bool {
+	req, rem := a.Ptr(0), a.Ptr(1)
+	switch k.sleepCheck(t) {
+	case sleepArm:
+		sec, e1 := k.readUserWord(req, req.Addr(), 8)
+		nsec, e2 := k.readUserWord(req, req.Addr()+8, 8)
+		if e1 != OK || e2 != OK {
+			setRet(&t.Frame, ^uint64(0), EFAULT)
+			return true
+		}
+		if int64(sec) < 0 || int64(nsec) < 0 || nsec >= 1_000_000_000 {
+			setRet(&t.Frame, ^uint64(0), EINVAL)
+			return true
+		}
+		delta := sec*ClockHz + nsToCycles(nsec)
+		if delta == 0 {
+			setRet(&t.Frame, 0, OK)
+			return true
+		}
+		k.blockOnDeadline(t, k.Now()+delta)
+		return false
+	case sleepIntr:
+		if rem.Addr() != 0 {
+			ns := cyclesToNs(k.sleepLeft(t))
+			if e := k.writeUserWord(rem, rem.Addr(), 8, ns/1_000_000_000); e != OK {
+				setRet(&t.Frame, ^uint64(0), e)
+				return true
+			}
+			if e := k.writeUserWord(rem, rem.Addr()+8, 8, ns%1_000_000_000); e != OK {
+				setRet(&t.Frame, ^uint64(0), e)
+				return true
+			}
+		}
+		setRet(&t.Frame, ^uint64(0), EINTR)
+		return true
+	case sleepDone:
+		setRet(&t.Frame, 0, OK)
+		return true
+	default:
+		k.blockOnDeadline(t, t.deadline)
+		return false
+	}
+}
+
+// sysSleep sleeps whole seconds; like libc sleep(3) it returns the
+// number of unslept seconds when a caught signal cut it short, else 0.
+func sysSleep(k *Kernel, t *Thread, a *SysArgs) bool {
+	switch k.sleepCheck(t) {
+	case sleepArm:
+		sec := a.Int(0)
+		if sec == 0 {
+			setRet(&t.Frame, 0, OK)
+			return true
+		}
+		k.blockOnDeadline(t, k.Now()+sec*ClockHz)
+		return false
+	case sleepIntr:
+		setRet(&t.Frame, (k.sleepLeft(t)+ClockHz-1)/ClockHz, OK)
+		return true
+	case sleepDone:
+		setRet(&t.Frame, 0, OK)
+		return true
+	default:
+		k.blockOnDeadline(t, t.deadline)
+		return false
+	}
+}
+
+// sysUsleep sleeps microseconds; EINTR when a caught signal interrupts.
+func sysUsleep(k *Kernel, t *Thread, a *SysArgs) bool {
+	switch k.sleepCheck(t) {
+	case sleepArm:
+		us := a.Int(0)
+		if us == 0 {
+			setRet(&t.Frame, 0, OK)
+			return true
+		}
+		k.blockOnDeadline(t, k.Now()+usToCycles(us))
+		return false
+	case sleepIntr:
+		setRet(&t.Frame, ^uint64(0), EINTR)
+		return true
+	case sleepDone:
+		setRet(&t.Frame, 0, OK)
+		return true
+	default:
+		k.blockOnDeadline(t, t.deadline)
+		return false
+	}
+}
+
+// sysClockGettime writes the virtual clock as a timespec {sec, nsec}.
+// Every clock id reads the same clock: the cycle counter is the only
+// time source the machine has, and it is monotonic by construction.
+func sysClockGettime(k *Kernel, t *Thread, a *SysArgs) bool {
+	tp := a.Ptr(0)
+	ns := cyclesToNs(k.Now())
+	if e := k.writeUserWord(tp, tp.Addr(), 8, ns/1_000_000_000); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	if e := k.writeUserWord(tp, tp.Addr()+8, 8, ns%1_000_000_000); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	setRet(&t.Frame, 0, OK)
+	return true
+}
+
+// sysGettimeofday writes the virtual clock as a timeval {sec, usec}.
+func sysGettimeofday(k *Kernel, t *Thread, a *SysArgs) bool {
+	tv := a.Ptr(0)
+	ns := cyclesToNs(k.Now())
+	if e := k.writeUserWord(tv, tv.Addr(), 8, ns/1_000_000_000); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	if e := k.writeUserWord(tv, tv.Addr()+8, 8, ns%1_000_000_000/1_000); e != OK {
+		setRet(&t.Frame, ^uint64(0), e)
+		return true
+	}
+	setRet(&t.Frame, 0, OK)
 	return true
 }
 

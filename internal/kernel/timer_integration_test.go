@@ -1,0 +1,329 @@
+package kernel_test
+
+import (
+	"errors"
+	"testing"
+
+	"cheriabi"
+	"cheriabi/internal/kernel"
+)
+
+// Integration tests for the virtual clock and the timed-wait paths:
+// nanosleep/sleep/usleep, finite poll/select/kevent timeouts, the
+// portable-sleep spellings, POLLHUP/POLLERR/EV_EOF reporting, and the
+// interplay between deadlines and the deadlock detector — all exercised
+// from compiled C under both ABIs.
+
+// TestSleepFamilyElapses: nanosleep, usleep, and the poll/select
+// portable-sleep spellings all advance the virtual clock by at least the
+// requested span — and, with nothing else runnable, by not much more
+// (the scheduler skips straight to the deadline instead of spinning).
+func TestSleepFamilyElapses(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+long t0[2]; long t1[2];
+long elapse_ns() {
+	long ns = (t1[0] - t0[0]) * 1000000000 + (t1[1] - t0[1]);
+	return ns;
+}
+int main() {
+	long req[2]; long rem[2];
+	req[0] = 0; req[1] = 30000000;          // 30 ms
+	clock_gettime(0, t0);
+	if (nanosleep(req, rem) != 0) return 1;
+	clock_gettime(0, t1);
+	if (elapse_ns() < 30000000) return 2;
+	if (elapse_ns() > 31000000) return 3;   // idle: skip lands on the deadline
+
+	clock_gettime(0, t0);
+	if (usleep(10000) != 0) return 4;       // 10 ms
+	clock_gettime(0, t1);
+	if (elapse_ns() < 10000000) return 5;
+
+	clock_gettime(0, t0);
+	if (poll(0, 0, 20) != 0) return 6;      // 20 ms, no fds: portable sleep
+	clock_gettime(0, t1);
+	if (elapse_ns() < 20000000) return 7;
+
+	long tv[2];
+	tv[0] = 0; tv[1] = 15000;               // 15 ms
+	clock_gettime(0, t0);
+	if (select(0, 0, 0, 0, tv) != 0) return 8;
+	clock_gettime(0, t1);
+	if (elapse_ns() < 15000000) return 9;
+
+	clock_gettime(0, t0);
+	if (sleep(1) != 0) return 10;           // one whole virtual second
+	clock_gettime(0, t1);
+	if (elapse_ns() < 1000000000) return 11;
+
+	// gettimeofday reads the same clock, microsecond-truncated.
+	long gtv[2];
+	gettimeofday(gtv);
+	if (gtv[0] * 1000000 + gtv[1] < t1[0] * 1000000 + t1[1] / 1000) return 12;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestNanosleepEINTRWritesRemaining: a caught signal posted at a
+// sleeping thread makes nanosleep fail EINTR — sleeps are the one family
+// BSD restart semantics exclude — with the unslept balance written
+// through rem: nearly all of the 2 s remains after the child's
+// microsecond-scale kill.
+func TestNanosleepEINTRWritesRemaining(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+int gotsig;
+int handler(int sig, char *frame) { gotsig = sig; return 0; }
+int main() {
+	int pid = fork();
+	if (pid == 0) {
+		int i;
+		for (i = 0; i < 3; i++) yield();    // let the parent park
+		kill(getpid() - 1, 30);             // SIGUSR1 at the sleeper
+		exit(0);
+	}
+	sigaction(30, handler);
+	long req[2]; long rem[2];
+	req[0] = 2; req[1] = 0;                 // 2 s: far past the kill
+	rem[0] = 0; rem[1] = 0;
+	if (nanosleep(req, rem) != -1) return 1; // must NOT restart or finish
+	if (errno() != 4) return 2;              // EINTR
+	if (gotsig != 30) return 3;              // the handler did run
+	long remns = rem[0] * 1000000000 + rem[1];
+	if (remns <= 0) return 4;                // the balance was written
+	if (remns > 2000000000) return 5;        // and is sane
+	if (remns < 1900000000) return 6;        // the kill came microseconds in
+	wait4(pid, 0, 0);
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestSleepResumesAfterIgnoredSignal: a default-ignored SIGCHLD wakes
+// the sleeper's park but delivers no handler, so the sleep re-parks at
+// the same deadline and completes its full span — an ignored signal is
+// not EINTR.
+func TestSleepResumesAfterIgnoredSignal(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+long t0[2]; long t1[2];
+int main() {
+	int pid = fork();
+	if (pid == 0) exit(0);                  // SIGCHLD mid-sleep, no handler
+	long req[2];
+	req[0] = 0; req[1] = 40000000;          // 40 ms
+	clock_gettime(0, t0);
+	if (nanosleep(req, 0) != 0) return 1;   // ignored signal: full sleep
+	clock_gettime(0, t1);
+	if ((t1[0] - t0[0]) * 1000000000 + (t1[1] - t0[1]) < 40000000) return 2;
+	wait4(pid, 0, 0);
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestPollTimeoutElapsesThenZero: a finite poll timeout on a quiet pipe
+// really parks the thread for the requested span — the old
+// implementation degenerated any finite timeout to a non-blocking scan —
+// and returns 0 with revents cleared.
+func TestPollTimeoutElapsesThenZero(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+struct pollfd { int fd; int events; int revents; };
+int main() {
+	int fds[2];
+	pipe(fds);                              // both ends held: quiet, no HUP
+	struct pollfd pf[1];
+	long t0[2]; long t1[2];
+	pf[0].fd = fds[0]; pf[0].events = 1; pf[0].revents = 7;
+	clock_gettime(0, t0);
+	if (poll(pf, 1, 50) != 0) return 1;     // no writer activity: times out
+	clock_gettime(0, t1);
+	long el = (t1[0] - t0[0]) * 1000000000 + (t1[1] - t0[1]);
+	if (el < 50000000) return 2;            // at least the 50 ms asked for
+	if (el > 51000000) return 3;            // idle: skip lands on the deadline
+	if (pf[0].revents != 0) return 4;
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestPollInfiniteNoFdsDeadlocks: poll with no descriptors and a
+// negative timeout has no wake source, so the thread must park and trip
+// the deadlock detector — the old implementation's `len(qs) > 0` guard
+// silently returned 0 instead, turning a forever-wait into a busy loop.
+func TestPollInfiniteNoFdsDeadlocks(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		src := `
+int main() {
+	poll(0, 0, -1); // nothing to wake us, ever
+	return 2;       // must be unreachable
+}`
+		img, _, err := cheriabi.Compile(cheriabi.CompileOptions{Name: "polldl", ABI: abi}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := cheriabi.NewSystem(cheriabi.Config{MemBytes: 64 << 20})
+		_, err = sys.RunImage(img, "polldl")
+		if !errors.Is(err, kernel.ErrDeadlock) {
+			t.Fatalf("want ErrDeadlock, got %v", err)
+		}
+	})
+}
+
+// TestPollReportsHupUnmasked: POLLHUP — and POLLERR on writable
+// descriptors — are reported even when events asks for nothing, per
+// POSIX: hang-up is not maskable through the events field.
+func TestPollReportsHupUnmasked(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+struct pollfd { int fd; int events; int revents; };
+int main() {
+	int fds[2];
+	pipe(fds);
+	int pid = fork();
+	if (pid == 0) { close(fds[0]); close(fds[1]); exit(0); }
+	close(fds[1]);
+	wait4(pid, 0, 0);                       // every writer is gone now
+	struct pollfd pf[1];
+	pf[0].fd = fds[0]; pf[0].events = 0; pf[0].revents = 0;
+	if (poll(pf, 1, -1) != 1) return 1;     // HUP ends the infinite wait
+	if ((pf[0].revents & 0x10) == 0) return 2; // POLLHUP despite events==0
+	if (pf[0].revents & 8) return 3;        // read end: no POLLERR
+	// The write end of a reader-less pipe: POLLHUP plus POLLERR, since a
+	// write would raise EPIPE.
+	int f2[2];
+	pipe(f2);
+	close(f2[0]);
+	pf[0].fd = f2[1]; pf[0].events = 0; pf[0].revents = 0;
+	if (poll(pf, 1, 0) != 1) return 4;
+	if ((pf[0].revents & 0x10) == 0) return 5; // POLLHUP
+	if ((pf[0].revents & 8) == 0) return 6;    // POLLERR
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestSocketPollHupOnPeerClose: a connected socket reports POLLHUP only
+// when the peer endpoint is gone — a half-close (peer SHUT_WR) is
+// orderly EOF, not a hang-up, and must not raise it.
+func TestSocketPollHupOnPeerClose(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+struct pollfd { int fd; int events; int revents; };
+char b[8];
+int main() {
+	int sv[2];
+	if (socketpair(1, 1, 0, sv) != 0) return 1;
+	shutdown(sv[1], 1);                     // peer SHUT_WR: half-close
+	struct pollfd pf[1];
+	pf[0].fd = sv[0]; pf[0].events = 1; pf[0].revents = 0;
+	if (poll(pf, 1, 0) != 1) return 2;      // readable (EOF pending)
+	if (pf[0].revents & 0x10) return 3;     // but NOT hung up
+	if (recv(sv[0], b, 8, 0) != 0) return 4; // the EOF
+	close(sv[1]);                           // now the peer is gone
+	pf[0].events = 0; pf[0].revents = 0;
+	if (poll(pf, 1, 0) != 1) return 5;
+	if ((pf[0].revents & 0x10) == 0) return 6; // POLLHUP
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestKeventTimeoutAndEVEOF: kevent's sixth argument bounds the wait —
+// a zero timespec is a non-blocking scan, a finite one really elapses —
+// and a hang-up on the watched object is delivered with EV_EOF in the
+// returned flags word.
+func TestKeventTimeoutAndEVEOF(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+struct kev { long ident; long filter; long data; char *udata; };
+int main() {
+	int fds[2];
+	pipe(fds);
+	int kq = kqueue();
+	if (kq < 0) return 1;
+	struct kev ch;
+	ch.ident = fds[0];
+	ch.filter = 4294967295;                 // EVFILT_READ
+	ch.filter |= (long)1 << 32;             // EV_ADD
+	ch.udata = 0;
+	if (kevent(kq, &ch, 1, 0, 0, 0) != 0) return 2;
+	struct kev out;
+	long ts[2]; long t0[2]; long t1[2];
+	ts[0] = 0; ts[1] = 0;                   // zero timespec: just scan
+	if (kevent(kq, 0, 0, &out, 1, ts) != 0) return 3;
+	ts[1] = 40000000;                       // 40 ms
+	clock_gettime(0, t0);
+	if (kevent(kq, 0, 0, &out, 1, ts) != 0) return 4; // quiet pipe: times out
+	clock_gettime(0, t1);
+	if ((t1[0] - t0[0]) * 1000000000 + (t1[1] - t0[1]) < 40000000) return 5;
+	close(fds[1]);                          // writer gone: hang-up
+	if (kevent(kq, 0, 0, &out, 1, 0) != 1) return 6;
+	if (out.ident != fds[0]) return 7;
+	if ((out.filter & 4294967295) != 4294967295) return 8; // EVFILT_READ back
+	if (((out.filter >> 32) & 0x8000) == 0) return 9;      // EV_EOF
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}
+
+// TestTimedPollWakesEarlyOnData: a finite timeout is a bound, not a
+// pause — data arriving first wins the race and the poll reports it long
+// before the deadline.
+func TestTimedPollWakesEarlyOnData(t *testing.T) {
+	bothABIs(t, func(t *testing.T, abi cheriabi.ABI) {
+		res := runC(t, abi, `
+struct pollfd { int fd; int events; int revents; };
+char b[4];
+int main() {
+	int fds[2];
+	pipe(fds);
+	int pid = fork();
+	if (pid == 0) {
+		if (usleep(5000) != 0) exit(40);    // 5 ms, well inside the bound
+		write(fds[1], "x", 1);
+		exit(0);
+	}
+	struct pollfd pf[1];
+	long t0[2]; long t1[2];
+	pf[0].fd = fds[0]; pf[0].events = 1; pf[0].revents = 0;
+	clock_gettime(0, t0);
+	if (poll(pf, 1, 1000) != 1) return 1;   // the write, not the second
+	clock_gettime(0, t1);
+	if ((pf[0].revents & 1) == 0) return 2;
+	long el = (t1[0] - t0[0]) * 1000000000 + (t1[1] - t0[1]);
+	if (el < 5000000) return 3;             // after the child's sleep
+	if (el > 100000000) return 4;           // far before the 1 s deadline
+	if (read(fds[0], b, 4) != 1) return 5;
+	wait4(pid, 0, 0);
+	return 0;
+}`)
+		if res.ExitCode != 0 {
+			t.Fatalf("exit %d signal %d output %q", res.ExitCode, res.Signal, res.Output)
+		}
+	})
+}

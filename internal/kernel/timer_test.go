@@ -1,0 +1,101 @@
+package kernel
+
+import "testing"
+
+// White-box tests for the deadline queue: heap ordering, determinism of
+// same-deadline ties, lazy cancellation through unsubscribe, and the
+// tickless skip. As in sched_test.go, threads never execute guest code —
+// the tests drive the timer structures and the scheduler by hand.
+
+func TestTimerSkipAdvancesToEarliestDeadline(t *testing.T) {
+	k := schedKernel(t)
+	a, b, c := schedThread(k), schedThread(k), schedThread(k)
+	var q WaitQueue
+	for _, th := range []*Thread{a, b, c} {
+		th.blockOn(&q)
+	}
+	k.armTimer(a, 300)
+	k.armTimer(b, 100)
+	k.armTimer(c, 200)
+	if got := k.PendingTimers(); got != 3 {
+		t.Fatalf("PendingTimers = %d, want 3", got)
+	}
+	if !k.timerSkip() {
+		t.Fatal("timerSkip found no timer with three armed")
+	}
+	if now := k.Now(); now != 100 {
+		t.Fatalf("skipped to cycle %d, want the earliest deadline 100", now)
+	}
+	if b.State != ThreadRunnable || a.State != ThreadBlocked || c.State != ThreadBlocked {
+		t.Fatalf("wrong thread woken: a=%v b=%v c=%v", a.State, b.State, c.State)
+	}
+	if got := k.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers after first expiry = %d, want 2", got)
+	}
+}
+
+func TestTimerTiesFireInArmOrder(t *testing.T) {
+	k := schedKernel(t)
+	a, b := schedThread(k), schedThread(k)
+	var q WaitQueue
+	a.blockOn(&q)
+	b.blockOn(&q)
+	k.armTimer(a, 50)
+	k.armTimer(b, 50)
+	k.M.CPU.Stats.Cycles = 50
+	k.fireDueTimers()
+	if first := k.pickRunnable(); first != a {
+		t.Fatalf("tie broke against arm order: got %p, want the first-armed thread %p", first, a)
+	}
+	if second := k.pickRunnable(); second != b {
+		t.Fatal("second-armed thread not runnable after its tie fired")
+	}
+	if !a.timedOut || !b.timedOut {
+		t.Fatal("expiry did not mark timedOut")
+	}
+}
+
+func TestTimerCancelledByQueueWake(t *testing.T) {
+	k := schedKernel(t)
+	a := schedThread(k)
+	var q WaitQueue
+	k.blockOnDeadline(a, 100, &q)
+	if got := k.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", got)
+	}
+	q.Wake(k) // the race the timer was bounding: cancels it lazily
+	if got := k.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers after wake = %d, want 0 (lazy cancel)", got)
+	}
+	if k.timerSkip() {
+		t.Fatal("timerSkip advanced the clock on a cancelled entry")
+	}
+	k.M.CPU.Stats.Cycles = 100
+	k.fireDueTimers()
+	if a.timedOut {
+		t.Fatal("cancelled timer still marked its thread timedOut")
+	}
+}
+
+func TestDeadlineExpiredAndParkDeadline(t *testing.T) {
+	k := schedKernel(t)
+	a := schedThread(k)
+	if k.deadlineExpired(a) {
+		t.Fatal("thread with no deadline reported expired")
+	}
+	k.M.CPU.Stats.Cycles = 40
+	if got := k.parkDeadline(a, 60); got != 100 {
+		t.Fatalf("parkDeadline fresh = %d, want Now()+delta = 100", got)
+	}
+	a.deadline = 100
+	if got := k.parkDeadline(a, 999); got != 100 {
+		t.Fatalf("parkDeadline re-park = %d, want the existing deadline 100", got)
+	}
+	if k.deadlineExpired(a) {
+		t.Fatal("deadline 100 reported expired at cycle 40")
+	}
+	k.M.CPU.Stats.Cycles = 100
+	if !k.deadlineExpired(a) {
+		t.Fatal("deadline 100 not expired at cycle 100")
+	}
+}

@@ -68,6 +68,7 @@ func (q *WaitQueue) Wake(k *Kernel) {
 // stored: the scheduler does zero readiness work for parked threads.
 func (t *Thread) blockOn(qs ...*WaitQueue) {
 	t.State = ThreadBlocked
+	t.interrupted = false // set again if a handler runs during this park
 	t.waitq = t.waitq[:0]
 	for _, q := range qs {
 		if q == nil {
@@ -78,12 +79,19 @@ func (t *Thread) blockOn(qs ...*WaitQueue) {
 	}
 }
 
-// unsubscribe removes the thread from every queue it is parked on.
+// unsubscribe removes the thread from every queue it is parked on and
+// lazily cancels its armed timer, if any: every wake path (queue wake,
+// signal post, timer expiry, exit) funnels through here, so a woken
+// thread never leaves a live heap entry behind.
 func (t *Thread) unsubscribe() {
 	for _, q := range t.waitq {
 		q.remove(t)
 	}
 	t.waitq = t.waitq[:0]
+	if t.timer != nil {
+		t.timer.thread = nil
+		t.timer = nil
+	}
 }
 
 // wakeFD wakes threads parked on f's object, if it has a queue. The

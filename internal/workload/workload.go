@@ -37,18 +37,20 @@ var Figure4 = []Workload{
 	{Name: "initdb-dynamic", Src: SrcInitdb, Libs: map[string]string{"libcatalog.so": SrcLibCatalog}},
 	{Name: "posix-vectorio", Src: SrcVectorIO},
 	{Name: "posix-sockets", Src: SrcPosixSockets},
+	{Name: "posix-timers", Src: SrcPosixTimers},
 }
 
 // ShortCorpus is the representative Figure 4 subset used by -short test
 // runs: static compute, library-heavy, the dynamically-linked
 // macro-benchmark, the vectored-I/O scenario (so the readv/writev/
 // pread/pwrite and device paths stay inside the short differential
-// matrix), and the socket/poll scenario (so the wait-queue scheduler,
-// AF_UNIX stack, poll(2), O_NONBLOCK, and readdir paths do too). The full
-// corpus runs in the default mode.
+// matrix), the socket/poll scenario (so the wait-queue scheduler,
+// AF_UNIX stack, poll(2), O_NONBLOCK, and readdir paths do too), and the
+// timed-wait scenario (virtual clock, deadline queue, finite poll/select
+// timeouts, the sleep family). The full corpus runs in the default mode.
 func ShortCorpus() []Workload {
 	var out []Workload
-	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic", "posix-vectorio", "posix-sockets"} {
+	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic", "posix-vectorio", "posix-sockets", "posix-timers"} {
 		w, ok := ByName(name)
 		if !ok {
 			panic("workload: short corpus names unknown workload " + name)

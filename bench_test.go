@@ -558,6 +558,77 @@ func BenchmarkThreadedDispatch(b *testing.B) {
 	}
 }
 
+// BenchmarkSuperblocks ablates superblock chaining on a program whose
+// loop body straddles several code pages, so every iteration crosses
+// page boundaries in both directions: with chaining the threaded engine
+// follows the crossings block-to-block; without it every crossing exits
+// to Step. Guest-visible results are bit-identical (the differential
+// matrix runs the same straddle program); only host throughput changes.
+// MB/s stands in for guest instructions/s.
+func BenchmarkSuperblocks(b *testing.B) {
+	img, _, err := cheriabi.Compile(cheriabi.CompileOptions{
+		Name: "straddle", ABI: cheriabi.ABICheri,
+	}, straddleSrc())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"on", false},
+		{"off", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var insts, cycles, chains uint64
+			for i := 0; i < b.N; i++ {
+				sys := cheriabi.NewSystem(cheriabi.Config{
+					MemBytes:           128 << 20,
+					DisableSuperblocks: mode.disable,
+				})
+				res, err := sys.RunImage(img, "straddle")
+				if err != nil {
+					b.Fatal(err)
+				}
+				insts, cycles = res.Stats.Instructions, res.Stats.Cycles
+				chains = sys.DecodeCacheStats().Chains
+			}
+			if !mode.disable && chains == 0 {
+				b.Fatal("straddle workload never chained; the ablation is vacuous")
+			}
+			b.SetBytes(int64(insts))
+			b.ReportMetric(float64(cycles), "sim-cycles") // must match across modes
+		})
+	}
+}
+
+// BenchmarkMiniCCompile measures the MiniC compiler end to end (lex,
+// parse, codegen, link, image marshal) on the largest workload source,
+// isolated from simulation. bytes/s is source bytes compiled per host
+// second.
+func BenchmarkMiniCCompile(b *testing.B) {
+	w, ok := workload.ByName("initdb-dynamic")
+	if !ok {
+		b.Fatal("initdb-dynamic workload missing")
+	}
+	var n int
+	for i := 0; i < b.N; i++ {
+		exe, libs, err := workload.Build(w, workload.BuildOptions{ABI: cheriabi.ABICheri})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = len(w.Src)
+		for _, lib := range libs {
+			_ = lib
+		}
+		_ = exe
+		for _, src := range w.Libs {
+			n += len(src)
+		}
+	}
+	b.SetBytes(int64(n))
+}
+
 // BenchmarkParallelDriver measures the sharded evaluation driver on a
 // fixed Table 3 slice at several worker counts. The aggregated result is
 // identical for every worker count (TestParallelBodiagDeterminism); only

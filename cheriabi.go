@@ -128,6 +128,12 @@ type Config struct {
 	// matrix); the knob exists for the ablation benchmarks and as a
 	// safety hatch.
 	DisableThreadedDispatch bool
+	// DisableSuperblocks turns off superblock chaining: the threaded
+	// engine then exits at every page boundary instead of following
+	// direct branches and fallthrough block-to-block. Results are
+	// bit-identical either way (same matrix); the knob exists for the
+	// ablation benchmarks and as a safety hatch.
+	DisableSuperblocks bool
 	// DisableBulkFastPath forces byte-at-a-time movement in the uaccess
 	// subsystem's kernel/runtime bulk copies. Results are bit-identical
 	// either way (same matrix); the knob exists for the ablation
@@ -160,6 +166,7 @@ func NewSystem(cfg Config) *System {
 		Tracer:                  cfg.Tracer,
 		DisableDecodeCache:      cfg.DisableDecodeCache,
 		DisableThreadedDispatch: cfg.DisableThreadedDispatch,
+		DisableSuperblocks:      cfg.DisableSuperblocks,
 		DisableBulkFastPath:     cfg.DisableBulkFastPath,
 		OnTrap:                  cfg.OnTrap,
 	})
@@ -206,6 +213,7 @@ func (s *Snapshot) Clone(cfg Config) *System {
 		Tracer:                  cfg.Tracer,
 		DisableDecodeCache:      cfg.DisableDecodeCache,
 		DisableThreadedDispatch: cfg.DisableThreadedDispatch,
+		DisableSuperblocks:      cfg.DisableSuperblocks,
 		DisableBulkFastPath:     cfg.DisableBulkFastPath,
 		OnTrap:                  cfg.OnTrap,
 	})
@@ -292,9 +300,10 @@ func deltaStats(a, b Stats) Stats {
 func (s *System) L2Misses() uint64 { return s.Machine.Hier.L2.Stats().Misses }
 
 // DecodeCacheStats reports the simulator's decoded-instruction-cache
-// event counts (non-architectural). With the cache disabled, Hits and
-// Decodes stay zero; Misses still counts every slow-path fetch and
-// Flushes every explicit sync.
+// event counts (non-architectural). With the cache disabled, Hits,
+// Misses, and Decodes stay zero; every fetch instead counts in Disabled
+// (so ablation reports never conflate "cache off" with "latch invalid"),
+// and Flushes still counts every explicit sync.
 func (s *System) DecodeCacheStats() cpu.DecodeStats { return s.Machine.CPU.DecodeStats }
 
 // InstSize is the size of one instruction, exported for code-size metrics.

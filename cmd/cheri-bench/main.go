@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"cheriabi/internal/driver"
 	"cheriabi/internal/testsuite"
@@ -24,7 +25,35 @@ func main() {
 		"parallel evaluation workers (the default auto-calibrates to host parallelism and the sweep size)")
 	snapshot := flag.Bool("snapshot", true,
 		"clone each sweep machine from one shared pre-booted snapshot; false cold-boots per run (differential reference)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cheri-bench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cheri-bench:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cheri-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cheri-bench:", err)
+			}
+		}()
+	}
 	// Figure 4's row count is the widest sweep this tool shards; it
 	// bounds the useful pool size for the auto-calibrated default.
 	wk, err := driver.ResolveWorkers(driver.FlagPassed("workers"), *workersFlag, len(workload.Figure4))

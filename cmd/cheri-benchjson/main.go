@@ -1,0 +1,60 @@
+// Command cheri-benchjson converts `go test -bench` text output into a
+// machine-readable JSON ledger. CI pipes the push bench step through it
+// to publish BENCH_simulator.json (MB/s, sim-cycles, ns/op per
+// benchmark) as a build artifact:
+//
+//	go test -bench ... | tee bench.txt
+//	cheri-benchjson -in bench.txt -out BENCH_simulator.json
+//
+// With no flags it reads stdin and writes stdout, so it also composes
+// with a plain pipe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cheriabi/internal/benchjson"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file to read (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cheri-benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	led, err := benchjson.Parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(led.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "cheri-benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cheri-benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := led.Write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "cheri-benchjson:", err)
+		os.Exit(1)
+	}
+}

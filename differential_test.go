@@ -1,7 +1,7 @@
 // Differential determinism suite: every benchmark, test-suite, and bodiag
-// program is run under all eight simulator fast-path configurations —
-// {decoded-instruction cache, block-threaded dispatch, uaccess bulk-copy
-// fast path} on/off — and must
+// program is run under all ten simulator fast-path configurations —
+// {decoded-instruction cache, block-threaded dispatch, superblock
+// chaining, uaccess bulk-copy fast path} — and must
 // produce bit-identical architectural results: Stats (instructions,
 // cycles, loads/stores, branches, syscalls), program output, exit status,
 // L2 miss counts, and the exact sequence of traps the CPU delivered. This
@@ -32,6 +32,7 @@ type simConfig struct {
 	name     string
 	decode   bool // decoded-instruction cache enabled
 	threaded bool // block-threaded dispatch enabled
+	super    bool // superblock chaining enabled (needs decode+threaded)
 	bulk     bool // uaccess bulk-copy fast path enabled
 }
 
@@ -44,10 +45,11 @@ type simConfig struct {
 // indistinguishable from.
 var simConfigs = func() []simConfig {
 	base := []simConfig{
-		{"plain", false, false, false},
-		{"cache", true, false, false},
-		{"cache+threaded", true, true, false},
-		{"threaded-sans-cache", false, true, false},
+		{"plain", false, false, false, false},
+		{"cache", true, false, false, false},
+		{"cache+threaded", true, true, true, false},
+		{"cache+threaded-nosuper", true, true, false, false},
+		{"threaded-sans-cache", false, true, false, false},
 	}
 	out := make([]simConfig, 0, 2*len(base))
 	for _, c := range base {
@@ -70,6 +72,13 @@ type diffCase struct {
 	// they are allowed to die on a signal or exit non-zero, and the
 	// differential comparison of that outcome is exactly the test.
 	mayTrap bool
+	// chains marks programs whose code provably straddles page boundaries
+	// on the hot path, so superblock configurations must actually chain
+	// (the vacuousness check for the superblock dimension). Most guest
+	// programs compile into one or two code pages with every cross-page
+	// transfer a CJR/CJALR, which by design exits the block instead of
+	// chaining, so the positive check is opt-in per case.
+	chains bool
 }
 
 // diffRecord captures everything a run can observe.
@@ -90,6 +99,7 @@ func diffConfig(cfg simConfig, traps *uint64, h io.Writer) cheriabi.Config {
 		MemBytes:                128 << 20,
 		DisableDecodeCache:      !cfg.decode,
 		DisableThreadedDispatch: !cfg.threaded,
+		DisableSuperblocks:      !cfg.super,
 		DisableBulkFastPath:     !cfg.bulk,
 		OnTrap: func(tr *cpu.Trap) {
 			*traps++
@@ -148,6 +158,12 @@ func runCaseOn(t *testing.T, sys *cheriabi.System, tc diffCase, cfg simConfig, t
 	}
 	if !(cfg.decode && cfg.threaded) && ds.Threaded != 0 {
 		t.Fatalf("%s: threaded dispatch ran while disabled (%+v)", tc.name, ds)
+	}
+	if cfg.super && tc.chains && ds.Chains == 0 {
+		t.Fatalf("%s: superblock chaining never ran; the differential run is vacuous", tc.name)
+	}
+	if !cfg.super && ds.Chains != 0 {
+		t.Fatalf("%s: superblock chaining ran while disabled (%+v)", tc.name, ds)
 	}
 	us := sys.Machine.UA.Stats
 	if cfg.bulk && us.SlowRuns != 0 {
@@ -223,6 +239,20 @@ func corpus(short bool) []diffCase {
 			})
 		}
 	}
+	// A synthetic case whose main loop body spans several code pages: the
+	// backward loop branch and the straight-line fallthrough both cross
+	// page boundaries on every iteration, so the superblock configurations
+	// must chain (and are checked to, via diffCase.chains) under both ABIs
+	// and both directions, with a helper call (CJR exit) breaking the chain
+	// mid-loop.
+	for _, a := range diffABIs {
+		out = append(out, diffCase{
+			name:   fmt.Sprintf("superblock-straddle-%s", a.label),
+			src:    straddleSrc(),
+			abi:    a.abi,
+			chains: true,
+		})
+	}
 	for _, s := range testsuite.Suites {
 		names := make([]string, 0, len(s.Programs))
 		for name := range s.Programs {
@@ -246,6 +276,23 @@ func corpus(short bool) []diffCase {
 		}
 	}
 	return out
+}
+
+// straddleSrc generates a program whose loop body unrolls to well over a
+// page of instructions, guaranteeing cross-page fallthrough and a
+// cross-page backward branch each iteration.
+func straddleSrc() string {
+	var b strings.Builder
+	b.WriteString("int bump(int x) { return x + 1; }\n")
+	b.WriteString("int main() {\n  int s = 0;\n  for (int i = 0; i < 40; i++) {\n")
+	for j := 0; j < 1200; j++ {
+		b.WriteString("    s += i;\n")
+		if j%400 == 0 {
+			b.WriteString("    s = bump(s);\n")
+		}
+	}
+	b.WriteString("  }\n  printf(\"%d\\n\", s);\n  return 0;\n}\n")
+	return b.String()
 }
 
 // bodiagCorpus assembles the bodiag differential corpus: overflow programs
@@ -279,8 +326,8 @@ func bodiagCorpus(short bool) []diffCase {
 
 // TestDifferentialMatrix is the determinism gate for the workload and
 // test-suite corpora: every fast-path configuration in the
-// {decode cache × threaded dispatch × bulk copy} matrix must be
-// indistinguishable across every program and both ABIs.
+// {decode cache × threaded dispatch × superblocks × bulk copy} matrix
+// must be indistinguishable across every program and both ABIs.
 func TestDifferentialMatrix(t *testing.T) {
 	for _, tc := range corpus(testing.Short()) {
 		tc := tc
@@ -304,8 +351,9 @@ func TestBodiagDifferential(t *testing.T) {
 // snapshot/clone: for each case, a machine cloned from a shared post-boot
 // snapshot must be bit-identical — output, Stats, termination, trap
 // sequence, L2 misses — to a cold NewSystem boot, under every fast-path
-// configuration in the {decode cache × threaded dispatch × bulk copy}
-// matrix. One plain-boot template serves all eight configurations: the
+// configuration in the {decode cache × threaded dispatch × superblocks
+// × bulk copy} matrix. One plain-boot template serves all ten
+// configurations: the
 // knobs, like the seed, are clone-time Config fields. The corpora are the
 // short workload + test-suite and bodiag sets under both ABIs (strided
 // further in -short mode).

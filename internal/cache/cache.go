@@ -92,6 +92,14 @@ func (c *Cache) lineAddr(pa uint64) uint64 {
 	return pa / c.cfg.LineSize
 }
 
+// set returns the set that lineAddr maps to.
+func (c *Cache) set(lineAddr uint64) []line {
+	if c.pow2 {
+		return c.sets[lineAddr&c.setMask]
+	}
+	return c.sets[lineAddr%c.nsets]
+}
+
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
@@ -114,12 +122,7 @@ func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
 		}
 		return true, false
 	}
-	var set []line
-	if c.pow2 {
-		set = c.sets[lineAddr&c.setMask]
-	} else {
-		set = c.sets[lineAddr%c.nsets]
-	}
+	set := c.set(lineAddr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
 			set[i].lru = c.clock
@@ -130,6 +133,13 @@ func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
 			return true, false
 		}
 	}
+	return false, c.fillLine(set, lineAddr, write)
+}
+
+// fillLine allocates lineAddr in set after a miss, evicting LRU, counting
+// the miss, and updating the last-hit latch. Returns whether a dirty
+// victim was written back.
+func (c *Cache) fillLine(set []line, lineAddr uint64, write bool) (writeback bool) {
 	c.stats.Misses++
 	victim := 0
 	for i := range set {
@@ -147,7 +157,7 @@ func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
 	}
 	set[victim] = line{valid: true, dirty: write, tag: lineAddr, lru: c.clock}
 	c.lastAddr, c.last = lineAddr, &set[victim]
-	return false, writeback
+	return writeback
 }
 
 // Flush invalidates all lines (e.g. between benchmark repetitions).
@@ -198,14 +208,21 @@ func (h *Hierarchy) accessLevel(l1 *Cache, lineAddr uint64, write bool) uint64 {
 	if hit {
 		return cycles
 	}
-	cycles += h.L2.cfg.HitLatency
+	return cycles + h.missWalk(pa, wb)
+}
+
+// missWalk charges the L2/DRAM walk completing an L1 line fill at pa;
+// l1wb reports whether the L1 eviction wrote back a dirty line. Returns
+// the cycles beyond the L1 hit latency.
+func (h *Hierarchy) missWalk(pa uint64, l1wb bool) uint64 {
+	cycles := h.L2.cfg.HitLatency
 	hit2, wb2 := h.L2.access(pa, false)
 	if !hit2 {
 		cycles += h.DRAMLatency
 		h.dramAccesses++
 	}
 	// Dirty evictions drain through a write buffer; charge a small constant.
-	if wb || wb2 {
+	if l1wb || wb2 {
 		cycles += 2
 	}
 	return cycles
@@ -225,15 +242,98 @@ func (h *Hierarchy) Fetch(pa, size uint64) uint64 {
 	return cycles
 }
 
+// FetchLine returns the L1I line index containing pa, for callers that
+// detect same-line instruction fetches and batch them with FetchRepeats.
+func (h *Hierarchy) FetchLine(pa uint64) uint64 { return h.L1I.lineAddr(pa) }
+
+// FetchRepeats applies n instruction fetches that are all guaranteed to
+// hit the resident L1I line lineAddr: the caller has already fetched that
+// line (filling it if needed) and has issued no other L1I access since,
+// and nothing but instruction fetches touches L1I state, so each access
+// would be a hit whose only effects are the clock tick, the access count,
+// and the LRU stamp. Applying all n at once leaves state bit-identical to
+// n individual Fetch calls, because the intermediate LRU stamps are never
+// observed — no miss (the only reader of LRU ordering) can occur in
+// between. Returns the cycle charge, n times the L1I hit latency.
+func (h *Hierarchy) FetchRepeats(lineAddr, n uint64) uint64 {
+	c := h.L1I
+	c.clock += n
+	c.stats.Accesses += n
+	if l := c.last; l != nil && c.lastAddr == lineAddr && l.valid && l.tag == lineAddr {
+		l.lru = c.clock
+		return n * c.cfg.HitLatency
+	}
+	set := c.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lru = c.clock
+			c.lastAddr, c.last = lineAddr, &set[i]
+			return n * c.cfg.HitLatency
+		}
+	}
+	panic("cache: FetchRepeats on a non-resident line")
+}
+
 // Data models a data access of size bytes at pa.
 func (h *Hierarchy) Data(pa, size uint64, write bool) uint64 {
-	if ls := h.L1D.cfg.LineSize; pa%ls+size <= ls {
-		return h.accessLevel(h.L1D, h.L1D.lineAddr(pa), write)
+	l1 := h.L1D
+	if ls := l1.cfg.LineSize; pa%ls+size <= ls {
+		// Non-spanning access with the last-hit latch checked inline: the
+		// state updates are exactly those of the access() hit path.
+		la := l1.lineAddr(pa)
+		if l := l1.last; l != nil && l1.lastAddr == la && l.valid && l.tag == la {
+			l1.clock++
+			l1.stats.Accesses++
+			l.lru = l1.clock
+			if write {
+				l.dirty = true
+			}
+			return l1.cfg.HitLatency
+		}
+		return h.accessLevel(l1, la, write)
 	}
 	first, last := h.lineSpan(h.L1D, pa, size)
 	var cycles uint64
 	for l := first; l <= last; l++ {
 		cycles += h.accessLevel(h.L1D, l, write)
+	}
+	return cycles
+}
+
+// DataRun models a multi-line bulk data access of size bytes at pa as one
+// batched line walk. Per-line outcomes — hit/miss, LRU stamps, eviction
+// choices, writebacks, L2 traffic — are identical to issuing Data over the
+// same span, because each step performs the same state updates in the same
+// order; only the per-line dispatch overhead (call, latch probe, span
+// re-computation) is hoisted out of the loop. Bulk movers (the uaccess
+// page-run walker) use this; single accesses keep using Data.
+func (h *Hierarchy) DataRun(pa, size uint64, write bool) uint64 {
+	l1 := h.L1D
+	if size == 0 || pa%l1.cfg.LineSize+size <= l1.cfg.LineSize {
+		return h.Data(pa, size, write)
+	}
+	first, last := h.lineSpan(l1, pa, size)
+	cycles := (last - first + 1) * l1.cfg.HitLatency
+	l1.stats.Accesses += last - first + 1
+	for la := first; la <= last; la++ {
+		l1.clock++
+		set := l1.set(la)
+		hit := false
+		for i := range set {
+			if set[i].valid && set[i].tag == la {
+				set[i].lru = l1.clock
+				if write {
+					set[i].dirty = true
+				}
+				l1.lastAddr, l1.last = la, &set[i]
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			wb := l1.fillLine(set, la, write)
+			cycles += h.missWalk(la*l1.cfg.LineSize, wb)
+		}
 	}
 	return cycles
 }

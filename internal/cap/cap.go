@@ -220,10 +220,33 @@ func fault(cause FaultCause, c Capability, addr, size uint64) error {
 	return &Fault{Cause: cause, Cap: c, Addr: addr, Size: size}
 }
 
+// Authorizes reports whether c fully authorizes a memory access of size
+// bytes at addr with the permissions in need — the same decision
+// CheckDeref makes, as a single branch chain small enough to inline into
+// the simulator's access fast paths. It does not attribute a fault cause;
+// callers needing the precise fault call CheckDeref after a false return.
+func (c Capability) Authorizes(addr, size uint64, need Perm) bool {
+	if !c.tag || c.otype != OTypeUnsealed || c.perms&need != need || addr < c.base {
+		return false
+	}
+	off := addr - c.base
+	return off <= c.len && size <= c.len-off
+}
+
 // CheckDeref validates a memory access of size bytes at address addr
 // authorized by c, requiring the permissions in need. This is the check the
 // hardware performs on every capability-relative load, store, and fetch.
 func (c Capability) CheckDeref(addr, size uint64, need Perm) error {
+	if c.Authorizes(addr, size, need) {
+		return nil
+	}
+	return c.checkDerefFault(addr, size, need)
+}
+
+// checkDerefFault reproduces the hardware's check order — tag, seal,
+// permissions, bounds — to identify which condition failed. CheckDeref
+// only calls it when at least one has.
+func (c Capability) checkDerefFault(addr, size uint64, need Perm) error {
 	if !c.tag {
 		return fault(FaultTag, c, addr, size)
 	}

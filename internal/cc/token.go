@@ -43,10 +43,34 @@ var keywords = map[string]bool{
 	"NULL": true,
 }
 
-var punct2 = []string{
-	"<<=", ">>=", "...",
-	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
-	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+// punctLen returns the length of the operator token starting s, longest
+// match first, or 0 if s does not start with one. A switch on fixed-size
+// prefixes compiles to direct comparisons; MiniC sources are operator-
+// dense enough that the previous linear scan over a table of 21
+// strings.HasPrefix candidates was the hottest line of the lexer.
+func punctLen(s string) int {
+	switch s[0] {
+	case '(', ')', '{', '}', '[', ']', ';', ',', '?', ':', '~':
+		return 1
+	}
+	if len(s) >= 3 {
+		switch s[:3] {
+		case "<<=", ">>=", "...":
+			return 3
+		}
+	}
+	if len(s) >= 2 {
+		switch s[:2] {
+		case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+			"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--":
+			return 2
+		}
+	}
+	switch s[0] {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '!', '<', '>', '=', '.':
+		return 1
+	}
+	return 0
 }
 
 type lexer struct {
@@ -59,7 +83,11 @@ type lexer struct {
 
 // lex tokenises src, returning the token stream.
 func lex(file, src string) ([]token, error) {
-	l := &lexer{src: src, line: 1, file: file}
+	// One upfront allocation sized by a source-density estimate: MiniC
+	// averages well above four bytes per token, so the stream almost never
+	// regrows (append doubling on the token slice used to dominate the
+	// compiler's allocation profile).
+	l := &lexer{src: src, line: 1, file: file, toks: make([]token, 0, len(src)/4+16)}
 	for {
 		t, err := l.next()
 		if err != nil {
@@ -190,15 +218,10 @@ scan:
 		return token{kind: tokChar, text: string(ch), num: int64(ch), line: l.line}, nil
 
 	default:
-		for _, p := range punct2 {
-			if strings.HasPrefix(src[l.pos:], p) {
-				l.pos += len(p)
-				return token{kind: tokPunct, text: p, line: l.line}, nil
-			}
-		}
-		if strings.ContainsRune("+-*/%&|^~!<>=(){}[];,.?:", rune(c)) {
-			l.pos++
-			return token{kind: tokPunct, text: string(c), line: l.line}, nil
+		if n := punctLen(src[l.pos:]); n != 0 {
+			text := src[l.pos : l.pos+n]
+			l.pos += n
+			return token{kind: tokPunct, text: text, line: l.line}, nil
 		}
 		return token{}, l.errf("unexpected character %q", c)
 	}

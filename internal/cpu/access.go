@@ -85,15 +85,34 @@ func (c *CPU) storeInt(in isa.Inst, auth cap.Capability, ea uint64, v uint64) *T
 // this with user-supplied capabilities to implement copyin ("Kernel code
 // dereferences user-provided capabilities when accessing user memory").
 func (c *CPU) LoadVia(auth cap.Capability, ea, size uint64) (uint64, error) {
+	return c.loadViaP(&auth, ea, size)
+}
+
+// loadViaP is LoadVia behind a pointer: the threaded engine authorizes
+// straight against the register file, so the hot path never copies the
+// capability (the checks are value-identical; only the error path, which
+// embeds the capability in the fault, reads it in full).
+func (c *CPU) loadViaP(auth *cap.Capability, ea, size uint64) (uint64, error) {
 	if ea%size != 0 {
 		return 0, &AlignmentError{VA: ea, Size: size}
 	}
-	if err := auth.CheckDeref(ea, size, cap.PermLoad); err != nil {
-		return 0, err
+	if !auth.Authorizes(ea, size, cap.PermLoad) {
+		return 0, auth.CheckDeref(ea, size, cap.PermLoad)
 	}
-	pa, pf := c.translate(ea, vm.ProtRead)
-	if pf != nil {
-		return 0, pf
+	// Micro-TLB hit check inlined from translate: this is the hottest
+	// translation site in the simulator, and the call (with its two return
+	// values) is measurable against a four-compare hit test.
+	vpn := ea >> vm.PageShift
+	e := &c.tlb[vpn&(dtlbSize-1)]
+	var pa uint64
+	if e.as == c.AS && e.gen == c.AS.Gen && e.vpn == vpn && e.prot&vm.ProtRead != 0 {
+		pa = e.base + ea%vm.PageSize
+	} else {
+		var pf *vm.PageFault
+		pa, pf = c.translate(ea, vm.ProtRead)
+		if pf != nil {
+			return 0, pf
+		}
 	}
 	c.Stats.Cycles += c.Hier.Data(pa, size, false)
 	return c.Mem.Load(pa, size), nil
@@ -101,15 +120,29 @@ func (c *CPU) LoadVia(auth cap.Capability, ea, size uint64) (uint64, error) {
 
 // StoreVia performs a capability-authorized scalar store.
 func (c *CPU) StoreVia(auth cap.Capability, ea, size, v uint64) error {
+	return c.storeViaP(&auth, ea, size, v)
+}
+
+// storeViaP is StoreVia behind a pointer (see loadViaP).
+func (c *CPU) storeViaP(auth *cap.Capability, ea, size, v uint64) error {
 	if ea%size != 0 {
 		return &AlignmentError{VA: ea, Size: size}
 	}
-	if err := auth.CheckDeref(ea, size, cap.PermStore); err != nil {
-		return err
+	if !auth.Authorizes(ea, size, cap.PermStore) {
+		return auth.CheckDeref(ea, size, cap.PermStore)
 	}
-	pa, pf := c.translate(ea, vm.ProtWrite)
-	if pf != nil {
-		return pf
+	// Micro-TLB hit check inlined from translate (see loadViaP).
+	vpn := ea >> vm.PageShift
+	e := &c.tlb[vpn&(dtlbSize-1)]
+	var pa uint64
+	if e.as == c.AS && e.gen == c.AS.Gen && e.vpn == vpn && e.prot&vm.ProtWrite != 0 {
+		pa = e.base + ea%vm.PageSize
+	} else {
+		var pf *vm.PageFault
+		pa, pf = c.translate(ea, vm.ProtWrite)
+		if pf != nil {
+			return pf
+		}
 	}
 	c.Stats.Cycles += c.Hier.Data(pa, size, true)
 	c.Mem.Store(pa, size, v)

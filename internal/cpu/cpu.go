@@ -128,6 +128,14 @@ type CPU struct {
 	// NoDecodeCache disables it implicitly.
 	NoThreadedDispatch bool
 
+	// NoSuperblocks disables superblock chaining: the threaded engine then
+	// exits at every page boundary instead of following direct branches and
+	// fallthrough block-to-block (threaded.go). Behaviour is identical
+	// either way; the knob exists for ablation and as a safety hatch.
+	// Chaining also requires threaded dispatch, so either knob above
+	// disables it implicitly.
+	NoSuperblocks bool
+
 	Stats Stats
 
 	// DecodeStats counts decode-cache events (non-architectural).
@@ -141,9 +149,20 @@ type CPU struct {
 	tlb [dtlbSize]tlbEntry
 
 	// Decoded-instruction cache (see decode.go): per-physical-page decoded
-	// blocks plus the fast-path latch for the page PC is executing from.
-	decoded map[uint64]*instPage
-	latch   fetchLatch
+	// blocks plus the fast-path latch for the page PC is executing from,
+	// fronted by a small direct-mapped block index so the hot path
+	// (superblock chaining, latch refills) skips the map lookup.
+	decoded  map[uint64]*instPage
+	latch    fetchLatch
+	blockIdx [blockIdxSize]blockIdxEnt
+}
+
+// blockIdxSize is the number of direct-mapped block-index entries.
+const blockIdxSize = 64
+
+type blockIdxEnt struct {
+	paPage uint64
+	page   *instPage
 }
 
 // dtlbSize is the number of direct-mapped micro-TLB entries (per-page,

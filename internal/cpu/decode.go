@@ -36,10 +36,43 @@ import (
 // counts, and LRU state are bit-identical with the cache on or off.
 
 // instPage is one decoded physical page: PageSize/InstSize instructions
-// plus the mem write generation the decode was taken at.
+// plus the mem write generation the decode was taken at, and the
+// superblock successor links for runs that left this page (threaded.go).
 type instPage struct {
 	gen   uint64
 	insts [vm.PageSize / isa.InstSize]isa.Inst
+	links [linkWays]chainLink
+}
+
+// linkWays is the number of direct-mapped successor-link slots per decoded
+// page, indexed by the target's virtual page number. Hot code rarely
+// leaves one page for more than a few distinct successors (fallthrough
+// plus a handful of branch targets); conflicting targets just re-prove.
+const linkWays = 4
+
+// chainLink is one superblock successor edge: proof that a virtual target
+// page resolved to a particular decoded block last time control left the
+// owning page for it. A link asserts nothing about the owning page's
+// contents — it is keyed purely by target — so it survives re-decodes of
+// its owner. It is live only while every recorded condition still holds:
+//
+//   - the run executes under the same address space at the same mutation
+//     generation (lk.as, lk.asGen), so vaPage still translates to paPage
+//     with execute rights proven;
+//   - the target page's bytes are unchanged (mem.PageGen(paPage) still
+//     equals page.gen), so the decoded block mirrors memory.
+//
+// PCC validity is deliberately not recorded: the traverser re-checks the
+// target against the current PCC's bounds on every traversal (tag, seal,
+// and permissions are already proven for the whole run, since nothing
+// inside a run replaces PCC). A link that fails validation is re-proved
+// through the full translate walk or severed.
+type chainLink struct {
+	page   *instPage
+	as     *vm.AddressSpace
+	asGen  uint64
+	vaPage uint64
+	paPage uint64
 }
 
 // fetchLatch caches everything needed to prove the fast path sound for
@@ -57,26 +90,42 @@ type fetchLatch struct {
 // bookkeeping, not architectural state: they are deliberately kept out of
 // Stats so runs with the cache on and off report identical Stats.
 type DecodeStats struct {
-	Hits    uint64 // fast-path fetches served from a decoded block
-	Misses  uint64 // slow-path fetches (latch invalid or cache disabled)
-	Decodes uint64 // whole-page decodes (first touch or invalidation)
-	Flushes uint64 // explicit SyncICache calls
+	Hits     uint64 // fast-path fetches served from a decoded block
+	Misses   uint64 // slow-path fetches with the cache enabled (latch invalid)
+	Disabled uint64 // slow-path fetches taken because NoDecodeCache is set
+	Decodes  uint64 // whole-page decodes (first touch or invalidation)
+	Flushes  uint64 // explicit SyncICache calls
 
 	// Threaded counts instructions retired inside the block-threaded
 	// engine (a subset of Hits); Blocks counts the straight-line runs they
 	// were grouped into.
 	Threaded uint64
 	Blocks   uint64
+
+	// Chains counts superblock link traversals (page-to-page transitions
+	// that stayed inside the threaded engine); Severs counts links dropped
+	// because re-proving the target translation faulted.
+	Chains uint64
+	Severs uint64
 }
 
 const pageOffMask = vm.PageSize - 1
 
 // pageFor returns the decoded block for the physical page containing pa,
-// (re)decoding it if the page's bytes changed since the last decode.
+// (re)decoding it if the page's bytes changed since the last decode. A
+// small direct-mapped block index in front of the map serves the hot path
+// (page-boundary crossings and chain re-proofs revisit the same few pages);
+// the map remains the backing store, so an index conflict only costs the
+// map lookup, never a re-decode.
 func (c *CPU) pageFor(paPage uint64) *instPage {
 	gen := c.Mem.PageGen(paPage)
+	e := &c.blockIdx[(paPage>>vm.PageShift)&(blockIdxSize-1)]
+	if p := e.page; p != nil && e.paPage == paPage && p.gen == gen {
+		return p
+	}
 	p := c.decoded[paPage]
 	if p != nil && p.gen == gen {
+		e.paPage, e.page = paPage, p
 		return p
 	}
 	if p == nil {
@@ -92,6 +141,7 @@ func (c *CPU) pageFor(paPage uint64) *instPage {
 		p.insts[i] = isa.Decode(binary.LittleEndian.Uint32(raw[i*isa.InstSize:]))
 	}
 	p.gen = gen
+	e.paPage, e.page = paPage, p
 	c.DecodeStats.Decodes++
 	return p
 }
@@ -104,6 +154,10 @@ func (c *CPU) pageFor(paPage uint64) *instPage {
 func (c *CPU) SyncICache() {
 	c.decoded = nil
 	c.latch = fetchLatch{}
+	// The block index must drop with the map: a surviving entry would
+	// resurrect a pre-sync decoded page (and its superblock links) whose
+	// generation still matches, defeating the explicit flush.
+	c.blockIdx = [blockIdxSize]blockIdxEnt{}
 	c.DecodeStats.Flushes++
 }
 
@@ -126,7 +180,11 @@ func (c *CPU) fetchInst() (isa.Inst, *Trap) {
 			return l.page.insts[off/isa.InstSize], nil
 		}
 	}
-	c.DecodeStats.Misses++
+	if c.NoDecodeCache {
+		c.DecodeStats.Disabled++ // cache off: not a miss, the cache never ran
+	} else {
+		c.DecodeStats.Misses++
+	}
 
 	// Slow path: identical to the pre-cache fetch sequence.
 	if err := c.PCC.CheckDeref(c.PC, isa.InstSize, cap.PermExecute); err != nil {

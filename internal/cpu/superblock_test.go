@@ -1,0 +1,222 @@
+package cpu
+
+import (
+	"testing"
+
+	"cheriabi/internal/isa"
+	"cheriabi/internal/vm"
+)
+
+// instsPerPage is how many instruction slots one page holds.
+const instsPerPage = int(vm.PageSize / isa.InstSize)
+
+// padTo appends NOPs until the program is n instructions long.
+func padTo(prog []isa.Inst, n int) []isa.Inst {
+	for len(prog) < n {
+		prog = append(prog, isa.Inst{Op: isa.NOP})
+	}
+	return prog
+}
+
+// TestSuperblockChainsAcrossPages is the positive control: straight-line
+// code walking off the end of a page must chain into the next page's
+// block without returning to Step, and retire with the same architecture
+// as the unchained engine.
+func TestSuperblockChainsAcrossPages(t *testing.T) {
+	prog := make([]isa.Inst, 0, instsPerPage+1)
+	for i := 0; i < instsPerPage; i++ {
+		prog = append(prog, isa.Inst{Op: isa.ADDI, Ra: 2, Rb: 2, Imm: 1})
+	}
+	prog = append(prog, isa.Inst{Op: isa.BREAK})
+
+	c := newTestCPU(t)
+	load(t, c, prog)
+	run(t, c)
+	if got := c.X[2]; got != uint64(instsPerPage) {
+		t.Fatalf("r2 = %d, want %d", got, instsPerPage)
+	}
+	if c.DecodeStats.Chains == 0 {
+		t.Fatal("fallthrough across the page boundary did not chain")
+	}
+
+	// The ablation knob must take the same path Step would: no chaining,
+	// identical architecture.
+	c2 := newTestCPU(t)
+	c2.NoSuperblocks = true
+	load(t, c2, prog)
+	run(t, c2)
+	if c2.DecodeStats.Chains != 0 {
+		t.Fatalf("chained with superblocks disabled: %+v", c2.DecodeStats)
+	}
+	if c.X[2] != c2.X[2] || c.Stats != c2.Stats {
+		t.Fatalf("superblocks on/off diverged: on %+v, off %+v", c.Stats, c2.Stats)
+	}
+}
+
+// TestSuperblockSMCReprovesLink stores into a chained successor page
+// between traversals of the chain: the link's generation proof goes
+// stale, and the next traversal must re-prove it against the re-decoded
+// page rather than execute stale decoded instructions.
+//
+// Iteration 1 skips the patch and executes the original target (r2 += 5).
+// Iteration 2 patches the target to r2 += 9 from the predecessor page,
+// then falls through the (now stale) link. Iteration 3 takes the
+// re-proved link once more. A stale link would leave r2 = 15.
+func TestSuperblockSMCReprovesLink(t *testing.T) {
+	const (
+		targetVA = codeVA + vm.PageSize // first instruction of page 1
+	)
+	patched := isa.MustEncode(isa.Inst{Op: isa.ADDI, Ra: 2, Rb: 2, Imm: 9})
+
+	prog := []isa.Inst{
+		{Op: isa.ADDI, Ra: 4, Rb: 4, Imm: 1}, // 0: iteration counter
+		{Op: isa.ADDI, Ra: 5, Rb: 0, Imm: 2}, // 1
+		{Op: isa.BNE, Ra: 4, Rb: 5, Imm: 6},  // 2: skip patch unless iter 2
+	}
+	prog = append(prog, storeWordInsts(patched, targetVA)...) // 3..7
+	prog = padTo(prog, instsPerPage)                          // fallthrough
+	prog = append(prog,
+		isa.Inst{Op: isa.ADDI, Ra: 2, Rb: 2, Imm: 5},    // 1024: patch target
+		isa.Inst{Op: isa.ADDI, Ra: 6, Rb: 0, Imm: 3},    // 1025
+		isa.Inst{Op: isa.BNE, Ra: 4, Rb: 6, Imm: -1026}, // 1026: loop to 0
+		isa.Inst{Op: isa.BREAK},                         // 1027
+	)
+
+	c := newTestCPU(t)
+	load(t, c, prog)
+	run(t, c)
+	if got := c.X[2]; got != 5+9+9 {
+		t.Fatalf("r2 = %d, want 23 (stale chained block executed?)", got)
+	}
+	ds := c.DecodeStats
+	if ds.Chains < 4 {
+		t.Fatalf("expected cross-page chaining in both directions, got %+v", ds)
+	}
+	if ds.Decodes < 3 {
+		t.Fatalf("patched successor page was not re-decoded: %+v", ds)
+	}
+}
+
+// crossPageLoop builds an endless two-page loop with a fixed iteration
+// length of instsPerPage+2 retired instructions: page 0 counts in r2 and
+// falls through; page 1 counts in r3 and jumps back.
+func crossPageLoop() []isa.Inst {
+	prog := []isa.Inst{{Op: isa.ADDI, Ra: 2, Rb: 2, Imm: 1}}
+	prog = padTo(prog, instsPerPage)
+	return append(prog,
+		isa.Inst{Op: isa.ADDI, Ra: 3, Rb: 3, Imm: 1},
+		isa.Inst{Op: isa.J, Imm: -(int32(instsPerPage) + 1)},
+	)
+}
+
+// chainLinkFor digs the predecessor page's chain link to tva out of the
+// decoded-block cache.
+func chainLinkFor(t *testing.T, c *CPU, fromVA, tva uint64) *chainLink {
+	t.Helper()
+	pa, pf := c.AS.Translate(fromVA, vm.ProtExec)
+	if pf != nil {
+		t.Fatalf("translate %x: %v", fromVA, pf)
+	}
+	p := c.decoded[pa&^uint64(pageOffMask)]
+	if p == nil {
+		t.Fatalf("no decoded block for va %x", fromVA)
+	}
+	return &p.links[(tva>>vm.PageShift)&(linkWays-1)]
+}
+
+// TestSuperblockMprotectSeversLink drops exec permission on (or unmaps)
+// the successor page of an established chain while the PC is mid-way
+// through the predecessor: the next traversal's re-proof must fail, the
+// link must be severed, and the fault must surface exactly at the first
+// instruction of the revoked page.
+func TestSuperblockMprotectSeversLink(t *testing.T) {
+	iter := uint64(instsPerPage + 2)
+	for _, tc := range []struct {
+		name   string
+		revoke func(c *CPU) error
+	}{
+		{"mprotect", func(c *CPU) error {
+			return c.AS.Protect(codeVA+vm.PageSize, vm.PageSize, vm.ProtRead|vm.ProtWrite)
+		}},
+		{"unmap", func(c *CPU) error {
+			return c.AS.Unmap(codeVA+vm.PageSize, vm.PageSize)
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestCPU(t)
+			load(t, c, crossPageLoop())
+
+			// Three laps establish the links; 100 extra instructions park
+			// the PC mid-way through page 0.
+			if tr := c.Run(3*iter + 100); tr != nil {
+				t.Fatalf("unexpected trap while priming: %v", tr)
+			}
+			if c.DecodeStats.Chains < 6 {
+				t.Fatalf("loop did not chain: %+v", c.DecodeStats)
+			}
+			if lk := chainLinkFor(t, c, codeVA, codeVA+vm.PageSize); lk.page == nil {
+				t.Fatal("no established link for the successor page")
+			}
+			severs := c.DecodeStats.Severs
+
+			if err := tc.revoke(c); err != nil {
+				t.Fatal(err)
+			}
+			tr := c.Run(10 * iter)
+			if tr == nil || tr.Kind != TrapPageFault {
+				t.Fatalf("trap = %v, want a page fault on the revoked page", tr)
+			}
+			if tr.PC != codeVA+vm.PageSize {
+				t.Fatalf("fault PC = %x, want %x (first instruction of the revoked page)",
+					tr.PC, codeVA+vm.PageSize)
+			}
+			if got := c.DecodeStats.Severs; got != severs+1 {
+				t.Fatalf("Severs = %d, want %d", got, severs+1)
+			}
+			if lk := chainLinkFor(t, c, codeVA, codeVA+vm.PageSize); lk.page != nil {
+				t.Fatal("stale link survived the failed re-proof")
+			}
+		})
+	}
+}
+
+// TestSuperblockCJRLandsOnPatchedChainTarget patches a chained successor
+// page and then enters it through CJALR instead of the chain: the Step
+// fetch latch must re-prove and re-decode the page exactly like a chain
+// traversal would, never serving the stale block the link still points
+// at.
+func TestSuperblockCJRLandsOnPatchedChainTarget(t *testing.T) {
+	const targetVA = codeVA + vm.PageSize
+	patched := isa.MustEncode(isa.Inst{Op: isa.ADDI, Ra: 2, Rb: 2, Imm: 9})
+
+	prog := []isa.Inst{
+		{Op: isa.ADDI, Ra: 4, Rb: 4, Imm: 1}, // 0: iteration counter
+		{Op: isa.ADDI, Ra: 5, Rb: 0, Imm: 2}, // 1
+		{Op: isa.BNE, Ra: 4, Rb: 5, Imm: 8},  // 2: skip patch+call unless iter 2
+	}
+	prog = append(prog, storeWordInsts(patched, targetVA)...) // 3..7
+	prog = append(prog,
+		isa.Inst{Op: isa.CJALR, Ra: 17, Rb: 12}, // 8: jump to the patched target
+		isa.Inst{Op: isa.BREAK},                 // 9: unreachable
+	)
+	prog = padTo(prog, instsPerPage) // 10..1023: fallthrough on iter 1
+	prog = append(prog,
+		isa.Inst{Op: isa.ADDI, Ra: 2, Rb: 2, Imm: 5},    // 1024: patch target
+		isa.Inst{Op: isa.BNE, Ra: 4, Rb: 5, Imm: -1025}, // 1025: loop unless iter 2
+		isa.Inst{Op: isa.BREAK},                         // 1026
+	)
+
+	c := newTestCPU(t)
+	c.C[12] = c.Fmt.SetAddr(c.PCC, targetVA)
+	load(t, c, prog)
+	run(t, c)
+	if got := c.X[2]; got != 5+9 {
+		t.Fatalf("r2 = %d, want 14 (CJALR landed on a stale chained block?)", got)
+	}
+	if c.DecodeStats.Chains == 0 {
+		t.Fatalf("iteration 1 never chained: %+v", c.DecodeStats)
+	}
+	if c.DecodeStats.Decodes < 3 {
+		t.Fatalf("CJALR target page was not re-decoded after the patch: %+v", c.DecodeStats)
+	}
+}

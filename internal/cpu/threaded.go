@@ -23,6 +23,22 @@ type scalarMemOp struct {
 
 var scalarMemOps [isa.NumOps]scalarMemOp
 
+// opAccessesMem marks the exec-dispatched ops that can touch memory (and
+// therefore bump AS.Gen via a soft fault resolved in translate, or a
+// physical page's write generation via a store). The per-instruction
+// generation probe in runBlock only needs to run after these: no other
+// instruction performs a translation or a physical-memory mutation, so
+// after anything else the generations provably cannot have changed. The
+// scalar loads/stores handled inline by runBlock are probed via their own
+// path and deliberately left false here.
+var opAccessesMem [isa.NumOps]bool
+
+func init() {
+	for _, op := range []isa.Op{isa.CLC, isa.CLCB, isa.CSC, isa.CSCB} {
+		opAccessesMem[op] = true
+	}
+}
+
 func init() {
 	type def struct {
 		op           isa.Op
@@ -52,47 +68,77 @@ func init() {
 	}
 }
 
-// Block-threaded execution engine: phase 2 of the simulator fast path.
+// Block-threaded execution engine: phase 2 of the simulator fast path,
+// extended into superblocks (phase 3).
 //
 // With the decoded-instruction cache (decode.go), every Step still pays a
 // full latch validation — an address-space compare, two generation
 // compares, and a bit-for-bit PCC compare — plus the Step/fetchInst call
 // overhead, per instruction. runBlock hoists that validation out of the
-// loop: it proves the latch once, then executes straight-line runs of
-// decoded instructions directly from the block, re-checking per
-// instruction only what an instruction can actually change:
+// loop: it proves the latch once, then executes decoded instructions
+// directly from blocks, re-checking per instruction only what an
+// instruction can actually change:
 //
-//   - PC still inside the latched page and instruction-aligned (branches
-//     within the page keep the run alive; leaving the page exits);
-//   - PC in PCC bounds (the bounds are fixed for the whole run because the
-//     run exits on the only instructions that replace PCC, CJR/CJALR; an
+//   - PC instruction-aligned (branches within the page keep the run
+//     alive; a misaligned target exits);
+//   - PC in PCC bounds. The bounds are fixed for the whole run because
+//     the run exits on the only instructions that replace PCC, CJR/CJALR;
+//     when the whole current page lies inside them (the overwhelmingly
+//     common case — PCC spans the code segment) the per-instruction
+//     compare is hoisted to one whole-page check per chained segment, and
+//     only a partially covered page keeps the per-PC compare. An
 //     out-of-bounds PC exits to the Step slow path, which raises the
-//     identical capability fault);
-//   - AddressSpace.Gen and the executing page's mem.PageGen unchanged
-//     (re-checked after every retired instruction, so a store that hits
-//     the executing page — self-modifying code — or a soft fault that
-//     changes a translation ends the run before the next fetch).
+//     identical capability fault;
+//   - AddressSpace.Gen and the executing page's mem.PageGen unchanged.
+//     Only a memory-accessing instruction can change either (a store
+//     mutates page bytes; a translation resolves soft faults), so the
+//     probe runs exactly after loads, stores, and capability loads/stores
+//     — after anything else the generations provably cannot have moved.
+//
+// Superblock chaining: when PC leaves the current page through a direct
+// branch, an in-PCC indirect jump (JR/JALR), or straight-line fallthrough,
+// the run no longer exits. Each decoded page carries a small direct-mapped
+// set of successor links (decode.go, chainLink); the transition
+// re-validates only what the page change can affect — target alignment,
+// PCC bounds for the new target, and the link's (AS, AS.Gen, target
+// PageGen) proof — then swaps the run's page state and continues. The
+// bounds check deliberately happens BEFORE any translation: Step's slow
+// path checks PCC first too, and translating first could resolve a soft
+// fault (COW copy, demand-zero) that the in-order machine would never
+// reach, skewing physical frames and cycle counts. A link that fails
+// validation is re-proved through the same translate walk Step would
+// perform (severed instead if that walk faults, leaving Step to raise the
+// identical fault), so SMC, mprotect, munmap, COW, and swap semantics are
+// exactly those of the unchained engine. CJR/CJALR still exit: they
+// replace PCC, and the full fetchInst latch rebuild re-proves the
+// tag/seal/permission checks a chain traversal never re-examines.
 //
 // Exit conditions, exhaustively: trap (returned to the kernel), budget
-// exhausted, PC leaves the latched page, misaligned PC, PC out of PCC
-// bounds, PCC replaced (CJR/CJALR), AS.Gen or PageGen changed.
+// exhausted, misaligned PC, PC out of PCC bounds, PCC replaced
+// (CJR/CJALR), AS.Gen or executing PageGen changed, chain target
+// unprovable (translation fault), or superblocks disabled and PC leaves
+// the page.
 //
 // Cycle-ledger batching: the per-instruction base charges (one retired
 // instruction, plus the I-cache fetch cost) accumulate in run-local
 // counters and are flushed to Stats when the run ends — before any trap is
 // surfaced, so the kernel and any OnTrap observer always see exact
-// architectural counts. Op-specific extras (multi-cycle ALU ops, branch
-// bubbles, data-cache costs) are charged directly by exec, exactly as on
-// the Step path; the final sums are bit-identical either way. Nothing in
-// the simulator reads Stats mid-run: the cache hierarchy keeps its own
-// access clock, so deferring the flush cannot perturb LRU state or miss
-// counts.
+// architectural counts. Consecutive fetches from one L1I line are batched
+// the same way: only the first issues a real Hierarchy.Fetch; the rest are
+// guaranteed hits (nothing but instruction fetches touches L1I state) and
+// are applied as one FetchRepeats bulk update before the next real fetch
+// or flush, leaving clock, LRU, and counters bit-identical to per-fetch
+// issue. Op-specific extras (multi-cycle ALU ops, branch bubbles,
+// data-cache costs) are charged directly by exec, exactly as on the Step
+// path; the final sums are bit-identical either way. Nothing in the
+// simulator reads Stats or cache state mid-run, so deferring the flushes
+// cannot perturb LRU decisions or miss counts.
 
-// runBlock executes decoded instructions from the latched page until an
-// exit condition, retiring at most rem instructions (0 = no limit). It
-// returns the trap that ended the run, or nil. If the latch does not
-// validate, it returns immediately having retired nothing, and the caller
-// falls back to Step.
+// runBlock executes decoded instructions from the latched page — chaining
+// across pages — until an exit condition, retiring at most rem
+// instructions (0 = no limit). It returns the trap that ended the run, or
+// nil. If the latch does not validate, it returns immediately having
+// retired nothing, and the caller falls back to Step.
 func (c *CPU) runBlock(rem uint64) *Trap {
 	l := &c.latch
 	page := l.page
@@ -102,13 +148,39 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 		return nil
 	}
 	vaPage, paPage, asGen := l.vaPage, l.paPage, l.asGen
-	var nInst, nCycles uint64
+	pageBounded := c.PCC.InBounds(vaPage, vm.PageSize)
+	// pc shadows c.PC for the duration of the loop so straight-line
+	// retirement never touches the CPU struct; it is written back before
+	// every exec call (exec reads and advances c.PC), before building a
+	// trap, and at every loop exit.
+	pc := c.PC
+	var nInst, nCycles, nLoads, nStores, nBranches, nTaken uint64
+
+	// Pending same-line instruction fetches (see the batching note above):
+	// [lineBase, lineEnd) spans the L1I line of the last real fetch;
+	// lineRepeats counts fetches from it not yet applied to the cache
+	// model. The span compare keeps the per-instruction check free of
+	// method calls; the line index is recomputed only at flush time.
+	lineSize := c.Hier.L1I.Config().LineSize
+	lineBase, lineEnd := uint64(1), uint64(0) // empty span: no line fetched yet
+	var lineRepeats uint64
+	flushLine := func() {
+		if lineRepeats != 0 {
+			nCycles += c.Hier.FetchRepeats(c.Hier.FetchLine(lineBase), lineRepeats)
+			lineRepeats = 0
+		}
+	}
 	flush := func() {
+		flushLine()
 		if nInst == 0 {
 			return
 		}
 		c.Stats.Instructions += nInst
 		c.Stats.Cycles += nCycles
+		c.Stats.Loads += nLoads
+		c.Stats.Stores += nStores
+		c.Stats.Branches += nBranches
+		c.Stats.Taken += nTaken
 		c.DecodeStats.Hits += nInst
 		c.DecodeStats.Threaded += nInst
 		c.DecodeStats.Blocks++
@@ -117,16 +189,58 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 		if rem != 0 && nInst >= rem {
 			break
 		}
-		off := c.PC - vaPage
-		if off >= vm.PageSize || off%isa.InstSize != 0 {
-			break // left the page, or a branch to a misaligned target
+		off := pc - vaPage
+		if off >= vm.PageSize {
+			// PC left the page: chain to the successor block. PCC bounds
+			// come first (matching Step's check order — see the package
+			// comment); the link proof or a fresh translate walk covers the
+			// rest. Chaining retires nothing, so the next iteration either
+			// executes from the new page or exits.
+			if c.NoSuperblocks || pc%isa.InstSize != 0 ||
+				!c.PCC.InBounds(pc, isa.InstSize) {
+				break // Step raises any fault identically
+			}
+			tva := pc &^ uint64(pageOffMask)
+			lk := &page.links[(tva>>vm.PageShift)&(linkWays-1)]
+			if lk.page == nil || lk.as != c.AS || lk.asGen != c.AS.Gen ||
+				lk.vaPage != tva || c.Mem.PageGen(lk.paPage) != lk.page.gen {
+				pa, pf := c.translate(pc, vm.ProtExec)
+				if pf != nil {
+					lk.page = nil
+					c.DecodeStats.Severs++
+					break // Step repeats the walk and raises the fault
+				}
+				tpa := pa &^ uint64(pageOffMask)
+				// AS.Gen is re-read after the translate: resolving a soft
+				// fault bumps it, and the link must record the generation
+				// its proof holds at.
+				*lk = chainLink{page: c.pageFor(tpa), as: c.AS,
+					asGen: c.AS.Gen, vaPage: tva, paPage: tpa}
+			}
+			page, vaPage, paPage, asGen = lk.page, lk.vaPage, lk.paPage, lk.asGen
+			pageBounded = c.PCC.InBounds(vaPage, vm.PageSize)
+			l.page, l.vaPage, l.paPage, l.asGen = page, vaPage, paPage, asGen
+			c.DecodeStats.Chains++
+			continue
 		}
-		if !c.PCC.InBounds(c.PC, isa.InstSize) {
+		if off%isa.InstSize != 0 {
+			break // a branch to a misaligned target
+		}
+		if !pageBounded && !c.PCC.InBounds(pc, isa.InstSize) {
 			break // Step's slow path raises the identical bounds fault
 		}
-		// Identical I-cache access to the Step path: the fetch charge
-		// subsumes the base execution cycle (an L1I hit costs 1).
-		nCycles += c.Hier.Fetch(paPage+off, isa.InstSize)
+		// Identical I-cache accounting to the Step path: the fetch charge
+		// subsumes the base execution cycle (an L1I hit costs 1). Same-line
+		// fetches accumulate in lineRepeats and are applied in bulk.
+		pa := paPage + off
+		if pa >= lineBase && pa < lineEnd {
+			lineRepeats++
+		} else {
+			flushLine()
+			nCycles += c.Hier.Fetch(pa, isa.InstSize)
+			lineBase = pa - pa%lineSize
+			lineEnd = lineBase + lineSize
+		}
 		nInst++
 		in := page.insts[off/isa.InstSize]
 		if mo := scalarMemOps[in.Op]; mo.size != 0 {
@@ -134,47 +248,186 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 			// Stats updates as exec's loadInt/storeInt, minus the op-switch
 			// dispatch and the per-op opSize lookup. Scalar memory ops never
 			// replace PCC, so the CJR/CJALR exit check is skipped too.
-			var auth cap.Capability
+			var auth *cap.Capability
 			var ea uint64
 			if mo.cheri {
-				auth = c.C[in.Rb]
+				auth = &c.C[in.Rb]
 				ea = auth.Addr() + uint64(int64(in.Imm))
 			} else {
-				auth = c.DDC
+				auth = &c.DDC
 				ea = c.X[in.Rb] + uint64(int64(in.Imm))
 			}
 			if mo.store {
-				if err := c.StoreVia(auth, ea, mo.size, c.X[in.Ra]); err != nil {
+				if err := c.storeViaP(auth, ea, mo.size, c.X[in.Ra]); err != nil {
+					c.PC = pc
 					flush()
 					return c.accessTrap(in, err)
 				}
-				c.Stats.Stores++
+				nStores++
 			} else {
-				v, err := c.LoadVia(auth, ea, mo.size)
+				v, err := c.loadViaP(auth, ea, mo.size)
 				if err != nil {
+					c.PC = pc
 					flush()
 					return c.accessTrap(in, err)
 				}
-				c.Stats.Loads++
+				nLoads++
 				if mo.shift != 0 {
 					v = uint64(int64(v<<mo.shift) >> mo.shift)
 				}
 				c.setX(in.Ra, v)
 			}
-			c.PC += isa.InstSize
+			pc += isa.InstSize
 		} else {
+			// Inline direct branches and jumps: the same compare, Stats
+			// updates, taken-bubble charge, and PC arithmetic as exec's
+			// cases, minus the call and op-switch dispatch. None of these
+			// touch memory or PCC, so they skip both the generation probe
+			// and the CJR/CJALR exit check.
+			switch in.Op {
+			case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+				nBranches++
+				var taken bool
+				a, b := c.X[in.Ra], c.X[in.Rb]
+				switch in.Op {
+				case isa.BEQ:
+					taken = a == b
+				case isa.BNE:
+					taken = a != b
+				case isa.BLT:
+					taken = int64(a) < int64(b)
+				case isa.BGE:
+					taken = int64(a) >= int64(b)
+				case isa.BLTU:
+					taken = a < b
+				case isa.BGEU:
+					taken = a >= b
+				}
+				if taken {
+					nTaken++
+					nCycles++ // taken-branch bubble
+					pc += uint64(int64(in.Imm)) * isa.InstSize
+				} else {
+					pc += isa.InstSize
+				}
+				continue
+			case isa.J:
+				nCycles++
+				pc += uint64(int64(in.Imm)) * isa.InstSize
+				continue
+			case isa.JAL:
+				nCycles++
+				c.setX(isa.RRA, pc+isa.InstSize)
+				pc += uint64(int64(in.Imm)) * isa.InstSize
+				continue
+
+			// Inline single-cycle integer ALU ops: same register reads,
+			// setX writes, and PC advance as exec's cases, minus the call
+			// and op-switch dispatch. None touch memory, PCC, or extra
+			// cycles, so they skip the probe and exit checks like the
+			// branches above.
+			case isa.NOP:
+				pc += isa.InstSize
+				continue
+			case isa.ADD:
+				c.setX(in.Ra, c.X[in.Rb]+c.X[in.Rc])
+				pc += isa.InstSize
+				continue
+			case isa.SUB:
+				c.setX(in.Ra, c.X[in.Rb]-c.X[in.Rc])
+				pc += isa.InstSize
+				continue
+			case isa.AND:
+				c.setX(in.Ra, c.X[in.Rb]&c.X[in.Rc])
+				pc += isa.InstSize
+				continue
+			case isa.OR:
+				c.setX(in.Ra, c.X[in.Rb]|c.X[in.Rc])
+				pc += isa.InstSize
+				continue
+			case isa.XOR:
+				c.setX(in.Ra, c.X[in.Rb]^c.X[in.Rc])
+				pc += isa.InstSize
+				continue
+			case isa.SLL:
+				c.setX(in.Ra, c.X[in.Rb]<<(c.X[in.Rc]&63))
+				pc += isa.InstSize
+				continue
+			case isa.SRL:
+				c.setX(in.Ra, c.X[in.Rb]>>(c.X[in.Rc]&63))
+				pc += isa.InstSize
+				continue
+			case isa.SRA:
+				c.setX(in.Ra, uint64(int64(c.X[in.Rb])>>(c.X[in.Rc]&63)))
+				pc += isa.InstSize
+				continue
+			case isa.SLT:
+				c.setX(in.Ra, b2i(int64(c.X[in.Rb]) < int64(c.X[in.Rc])))
+				pc += isa.InstSize
+				continue
+			case isa.SLTU:
+				c.setX(in.Ra, b2i(c.X[in.Rb] < c.X[in.Rc]))
+				pc += isa.InstSize
+				continue
+			case isa.ADDI:
+				c.setX(in.Ra, c.X[in.Rb]+uint64(int64(in.Imm)))
+				pc += isa.InstSize
+				continue
+			case isa.ANDI:
+				c.setX(in.Ra, c.X[in.Rb]&uint64(uint32(in.Imm)&0x3FFF))
+				pc += isa.InstSize
+				continue
+			case isa.ORI:
+				c.setX(in.Ra, c.X[in.Rb]|uint64(uint32(in.Imm)&0x3FFF))
+				pc += isa.InstSize
+				continue
+			case isa.XORI:
+				c.setX(in.Ra, c.X[in.Rb]^uint64(uint32(in.Imm)&0x3FFF))
+				pc += isa.InstSize
+				continue
+			case isa.SLTI:
+				c.setX(in.Ra, b2i(int64(c.X[in.Rb]) < int64(in.Imm)))
+				pc += isa.InstSize
+				continue
+			case isa.SLTIU:
+				c.setX(in.Ra, b2i(c.X[in.Rb] < uint64(int64(in.Imm))))
+				pc += isa.InstSize
+				continue
+			case isa.SLLI:
+				c.setX(in.Ra, c.X[in.Rb]<<(uint(in.Imm)&63))
+				pc += isa.InstSize
+				continue
+			case isa.SRLI:
+				c.setX(in.Ra, c.X[in.Rb]>>(uint(in.Imm)&63))
+				pc += isa.InstSize
+				continue
+			case isa.SRAI:
+				c.setX(in.Ra, uint64(int64(c.X[in.Rb])>>(uint(in.Imm)&63)))
+				pc += isa.InstSize
+				continue
+			case isa.LUI:
+				c.setX(in.Ra, uint64(int64(in.Imm))<<14)
+				pc += isa.InstSize
+				continue
+			}
+			c.PC = pc
 			if t := c.exec(in); t != nil {
 				flush()
 				return t
 			}
+			pc = c.PC
 			if in.Op == isa.CJR || in.Op == isa.CJALR {
 				break // PCC replaced; the Step latch revalidates it
+			}
+			if !opAccessesMem[in.Op] {
+				continue // no memory touched: generations cannot have moved
 			}
 		}
 		if c.AS.Gen != asGen || c.Mem.PageGen(paPage) != page.gen {
 			break // a translation or the executing page's bytes changed
 		}
 	}
+	c.PC = pc
 	flush()
 	return nil
 }

@@ -52,6 +52,10 @@ type Config struct {
 	// DisableThreadedDispatch turns off the CPU's block-threaded execution
 	// engine (ablation / differential-testing knob; no observable effect).
 	DisableThreadedDispatch bool
+	// DisableSuperblocks turns off superblock chaining in the CPU's
+	// block-threaded engine (ablation / differential-testing knob; no
+	// observable effect).
+	DisableSuperblocks bool
 	// DisableBulkFastPath forces the uaccess subsystem's byte-at-a-time
 	// slow path for kernel/runtime bulk copies (ablation /
 	// differential-testing knob; no observable effect).
@@ -158,6 +162,7 @@ func NewMachine(cfg Config) *Machine {
 	m.CPU.Tracer = cfg.Tracer
 	m.CPU.NoDecodeCache = cfg.DisableDecodeCache
 	m.CPU.NoThreadedDispatch = cfg.DisableThreadedDispatch
+	m.CPU.NoSuperblocks = cfg.DisableSuperblocks
 	m.CPU.OnTrap = cfg.OnTrap
 	m.UA = &uaccess.Space{CPU: m.CPU, DisableBulkFastPath: cfg.DisableBulkFastPath}
 

@@ -139,6 +139,7 @@ func (s *MachineSnapshot) Boot(cfg Config) *Machine {
 	m.CPU.Tracer = cfg.Tracer
 	m.CPU.NoDecodeCache = cfg.DisableDecodeCache
 	m.CPU.NoThreadedDispatch = cfg.DisableThreadedDispatch
+	m.CPU.NoSuperblocks = cfg.DisableSuperblocks
 	m.CPU.OnTrap = cfg.OnTrap
 	m.UA = &uaccess.Space{CPU: m.CPU, DisableBulkFastPath: cfg.DisableBulkFastPath}
 

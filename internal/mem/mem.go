@@ -37,8 +37,9 @@ const (
 // permission checking happen above this layer (capabilities + MMU), so an
 // out-of-range physical access is a simulator bug and panics.
 type Physical struct {
-	size    uint64
-	granule uint64 // capability size in bytes; one tag per granule
+	size      uint64
+	granule   uint64 // capability size in bytes; one tag per granule
+	granShift uint   // log2(granule); granule is asserted a power of two
 	// chunks and tags are parallel lazily-allocated arrays: chunks[i] is
 	// nil until the chunk's bytes (or tags) are first written, and nil
 	// means "all zero bytes, all tags clear". The two materialize
@@ -74,12 +75,22 @@ func New(size, granule uint64) *Physical {
 	}
 	nchunks := (size + chunkSize - 1) / chunkSize
 	return &Physical{
-		size:    size,
-		granule: granule,
-		chunks:  make([][]byte, nchunks),
-		tags:    make([][]bool, nchunks),
-		gens:    make([]uint64, (size+PageSize-1)/PageSize),
+		size:      size,
+		granule:   granule,
+		granShift: granShiftOf(granule),
+		chunks:    make([][]byte, nchunks),
+		tags:      make([][]bool, nchunks),
+		gens:      make([]uint64, (size+PageSize-1)/PageSize),
 	}
+}
+
+// granShiftOf returns log2 of a power-of-two granule.
+func granShiftOf(granule uint64) uint {
+	var sh uint
+	for g := granule; g > 1; g >>= 1 {
+		sh++
+	}
+	return sh
 }
 
 // Size returns the memory size in bytes.
@@ -163,16 +174,17 @@ func (m *Physical) clearTags(pa, n uint64) {
 	if n == 0 {
 		return
 	}
-	first, last := pa/m.granule, (pa+n-1)/m.granule
+	gs := m.granShift
+	first, last := pa>>gs, (pa+n-1)>>gs
 	for g := first; g <= last; {
-		ci := g * m.granule >> chunkShift
-		chunkEnd := (ci + 1) << chunkShift / m.granule // first granule of next chunk
+		ci := g << gs >> chunkShift
+		chunkEnd := (ci + 1) << chunkShift >> gs // first granule of next chunk
 		end := last + 1
 		if chunkEnd < end {
 			end = chunkEnd
 		}
 		if _, t := m.writable(ci); t != nil {
-			base := ci << chunkShift / m.granule
+			base := ci << chunkShift >> gs
 			clear(t[g-base : end-base])
 		}
 		g = end
@@ -232,7 +244,7 @@ func (m *Physical) Store(pa, n, v uint64) {
 	m.check(pa, n)
 	off := pa & chunkMask
 	if off+n <= chunkSize {
-		ch, _ := m.materialize(pa)
+		ch, tags := m.materialize(pa)
 		switch n {
 		case 1:
 			ch[off] = byte(v)
@@ -245,16 +257,29 @@ func (m *Physical) Store(pa, n, v uint64) {
 		default:
 			panic(fmt.Sprintf("mem: bad store size %d", n))
 		}
-	} else {
-		switch n {
-		case 2, 4, 8:
-		default:
-			panic(fmt.Sprintf("mem: bad store size %d", n))
+		if pa>>m.granShift == (pa+n-1)>>m.granShift {
+			// Inside one granule (every naturally aligned scalar store):
+			// exactly one tag to clear and — granules never straddle
+			// pages — exactly one page generation to bump. The chunk is
+			// already materialized and private, so the generic walks'
+			// writable() re-checks are skipped too.
+			tags[off>>m.granShift] = false
+			m.gens[pa>>PageShift]++
+			return
 		}
-		for i := uint64(0); i < n; i++ {
-			ch, _ := m.materialize(pa + i)
-			ch[(pa+i)&chunkMask] = byte(v >> (8 * i))
-		}
+		m.clearTags(pa, n)
+		m.touch(pa, n)
+		return
+	}
+	// Misaligned store straddling a chunk boundary: scatter bytewise.
+	switch n {
+	case 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("mem: bad store size %d", n))
+	}
+	for i := uint64(0); i < n; i++ {
+		ch, _ := m.materialize(pa + i)
+		ch[(pa+i)&chunkMask] = byte(v >> (8 * i))
 	}
 	m.clearTags(pa, n)
 	m.touch(pa, n)
@@ -540,12 +565,13 @@ func (m *Physical) Snapshot() *Snapshot {
 // privatize per chunk; the snapshot and sibling clones are unaffected.
 func (s *Snapshot) Clone() *Physical {
 	m := &Physical{
-		size:    s.size,
-		granule: s.granule,
-		chunks:  make([][]byte, len(s.chunks)),
-		tags:    make([][]bool, len(s.tags)),
-		gens:    make([]uint64, len(s.gens)),
-		cow:     make([]bool, len(s.chunks)),
+		size:      s.size,
+		granule:   s.granule,
+		granShift: granShiftOf(s.granule),
+		chunks:    make([][]byte, len(s.chunks)),
+		tags:      make([][]bool, len(s.tags)),
+		gens:      make([]uint64, len(s.gens)),
+		cow:       make([]bool, len(s.chunks)),
 	}
 	copy(m.chunks, s.chunks)
 	copy(m.tags, s.tags)

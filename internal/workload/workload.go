@@ -94,6 +94,10 @@ type BuildOptions struct {
 	// execution engine for this run (host-side ablation; guest-visible
 	// results are identical either way).
 	DisableThreadedDispatch bool
+	// DisableSuperblocks turns off superblock chaining in the threaded
+	// engine for this run (host-side ablation; guest-visible results are
+	// identical either way).
+	DisableSuperblocks bool
 	// DisableBulkFastPath forces the uaccess subsystem's byte-at-a-time
 	// slow path for this run (host-side ablation; guest-visible results
 	// are identical either way).
@@ -148,6 +152,7 @@ func runConfig(opt BuildOptions, seed int64) cheriabi.Config {
 		Seed:                    seed,
 		DisableDecodeCache:      opt.DisableDecodeCache,
 		DisableThreadedDispatch: opt.DisableThreadedDispatch,
+		DisableSuperblocks:      opt.DisableSuperblocks,
 		DisableBulkFastPath:     opt.DisableBulkFastPath,
 	}
 }

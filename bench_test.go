@@ -360,6 +360,64 @@ func BenchmarkSocketEcho(b *testing.B) {
 	}
 }
 
+// BenchmarkInetEcho measures the cross-machine socket path: two simulated
+// machines joined by the network fabric, one echoing the other's 512-byte
+// records. Against BenchmarkSocketEcho (the same record size over an
+// AF_UNIX socketpair on one machine) the delta is the cost of the packet
+// NIC, the lockstep coordinator, and the seeded link latency. sim-cycles
+// is the fleet makespan — the largest per-machine virtual-time delta.
+func BenchmarkInetEcho(b *testing.B) {
+	const rounds = 200
+	var makespan uint64
+	b.SetBytes(2 * 512 * rounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := workload.FleetEcho(cheriabi.ABICheri, 1, rounds, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = 0
+		for _, n := range res.Nodes {
+			if n.ExitCode != 0 || n.Signal != 0 {
+				b.Fatalf("node exited %d signal %d (output %q)", n.ExitCode, n.Signal, n.Output)
+			}
+			if n.Stats.Cycles > makespan {
+				makespan = n.Stats.Cycles
+			}
+		}
+	}
+	b.ReportMetric(float64(makespan), "sim-cycles")
+}
+
+// BenchmarkLoadGen runs the multi-machine load-generator fleet: one echo
+// server and four client machines, each forking eight connection workers
+// that drive the fixed 64/256/512/1024-byte request mix. Reported
+// metrics are the guest-observed latency percentiles in simulated cycles
+// and the simulated-time request throughput; MB/s covers the payload
+// bytes the fabric moved.
+func BenchmarkLoadGen(b *testing.B) {
+	spec := workload.LoadGenSpec{
+		ABI:      cheriabi.ABICheri,
+		Clients:  4,
+		Conns:    8,
+		Requests: 8,
+		Seed:     1,
+	}
+	var res *workload.LoadGenResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = workload.LoadGen(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(res.Fleet.DataBytes))
+	b.ReportMetric(float64(res.P50), "p50-cycles")
+	b.ReportMetric(float64(res.P99), "p99-cycles")
+	b.ReportMetric(res.RequestsPerSec, "sim-req/s")
+	b.ReportMetric(float64(res.Cycles), "sim-cycles")
+}
+
 // BenchmarkPollStorm measures wakeup cost against a crowd of idle blocked
 // threads: idle children parked forever on silent pipes while one hot
 // pipe pair echoes. Boot/fork/teardown scale with the idle count, so the

@@ -282,6 +282,10 @@ func (s *System) RunPath(path string, argv ...string) (*RunResult, error) {
 	return res, nil
 }
 
+// DeltaStats subtracts two Stats snapshots field-wise (b - a); fleet
+// runners use it to report per-machine deltas.
+func DeltaStats(a, b Stats) Stats { return deltaStats(a, b) }
+
 func deltaStats(a, b Stats) Stats {
 	return Stats{
 		Instructions: b.Instructions - a.Instructions,

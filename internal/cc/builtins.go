@@ -90,6 +90,8 @@ const (
 	sysUsleep
 	sysClockGettime
 	sysGettimeofday
+	sysGetsockname
+	sysGetpeername
 )
 
 var builtins = map[string]builtin{
@@ -154,6 +156,9 @@ var builtins = map[string]builtin{
 	"usleep":        {kind: bSyscall, num: sysUsleep, spec: "i"},
 	"clock_gettime": {kind: bSyscall, num: sysClockGettime, spec: "ip"},
 	"gettimeofday":  {kind: bSyscall, num: sysGettimeofday, spec: "p"},
+	// Socket name queries: fill a struct sockaddr_in {family, port, addr}.
+	"getsockname": {kind: bSyscall, num: sysGetsockname, spec: "ip"},
+	"getpeername": {kind: bSyscall, num: sysGetpeername, spec: "ip"},
 
 	// C runtime natives.
 	"malloc":  {kind: bNative, num: nat.Malloc, spec: "i", retPtr: true},

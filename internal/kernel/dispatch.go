@@ -117,9 +117,9 @@ var sysTable = [...]sysDef{
 	SysFtruncate:    {name: "ftruncate", spec: "ii", sig: "ftruncate(fd, len)", fn: sysFtruncate},
 	SysSocket:       {name: "socket", spec: "iii", sig: "socket(domain, type, proto)", fn: sysSocket},
 	SysSocketpair:   {name: "socketpair", spec: "iiip", sig: "socketpair(domain, type, proto, sv:out[16])", fn: sysSocketpair},
-	SysBind:         {name: "bind", spec: "is", sig: "bind(fd, path:str) — AF_UNIX address is the path", fn: sysBind},
+	SysBind:         {name: "bind", spec: "ip", sig: "bind(fd, sa:in) — AF_UNIX: path string; AF_INET: sockaddr_in[24]", fn: sysBind},
 	SysListen:       {name: "listen", spec: "ii", sig: "listen(fd, backlog)", fn: sysListen},
-	SysConnect:      {name: "connect", spec: "is", sig: "connect(fd, path:str)", fn: sysConnect},
+	SysConnect:      {name: "connect", spec: "ip", sig: "connect(fd, sa:in) — AF_UNIX: path string; AF_INET: sockaddr_in[24]", fn: sysConnect},
 	SysAccept:       {name: "accept", spec: "i", sig: "accept(fd)", fn: sysAccept},
 	SysShutdown:     {name: "shutdown", spec: "ii", sig: "shutdown(fd, how)", fn: sysShutdown},
 	SysSend:         {name: "send", spec: "ipii", sig: "send(fd, buf:in[len<=n], n, flags)", fn: sysSend},
@@ -132,6 +132,8 @@ var sysTable = [...]sysDef{
 	SysUsleep:       {name: "usleep", spec: "i", sig: "usleep(micros)", fn: sysUsleep},
 	SysClockGettime: {name: "clock_gettime", spec: "ip", sig: "clock_gettime(clk, tp:out[16])", fn: sysClockGettime},
 	SysGettimeofday: {name: "gettimeofday", spec: "p", sig: "gettimeofday(tv:out[16])", fn: sysGettimeofday},
+	SysGetsockname:  {name: "getsockname", spec: "ip", sig: "getsockname(fd, sa:out[24])", fn: sysGetsockname},
+	SysGetpeername:  {name: "getpeername", spec: "ip", sig: "getpeername(fd, sa:out[24])", fn: sysGetpeername},
 }
 
 // SyscallName returns the kernel's name for syscall number num, or ""

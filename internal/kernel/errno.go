@@ -37,8 +37,11 @@ const (
 	EAGAIN Errno = 35
 	// EINPROGRESS: a non-blocking connect was queued on the listener; its
 	// completion is observed through poll/select writability.
-	EINPROGRESS  Errno = 36
-	ENOTSOCK     Errno = 38
+	EINPROGRESS Errno = 36
+	ENOTSOCK    Errno = 38
+	// EAFNOSUPPORT: socket(2) with an address family the kernel does not
+	// implement (POSIX reserves EINVAL for a bad type/protocol).
+	EAFNOSUPPORT Errno = 47
 	EADDRINUSE   Errno = 48
 	EISCONN      Errno = 56
 	ENOTCONN     Errno = 57
@@ -57,7 +60,8 @@ var errnoNames = map[Errno]string{
 	EINVAL: "EINVAL", ENFILE: "ENFILE", EMFILE: "EMFILE", ENOTTY: "ENOTTY", EFBIG: "EFBIG",
 	ENOSPC: "ENOSPC", ESPIPE: "ESPIPE", EPIPE: "EPIPE", ERANGE: "ERANGE", ENOSYS: "ENOSYS",
 	EAGAIN: "EAGAIN", EINPROGRESS: "EINPROGRESS", ENOTSOCK: "ENOTSOCK",
-	EADDRINUSE: "EADDRINUSE", EISCONN: "EISCONN", ENOTCONN: "ENOTCONN",
+	EAFNOSUPPORT: "EAFNOSUPPORT",
+	EADDRINUSE:   "EADDRINUSE", EISCONN: "EISCONN", ENOTCONN: "ENOTCONN",
 	ECONNREFUSED: "ECONNREFUSED",
 	ECAPMODE:     "ECAPMODE",
 }

@@ -132,8 +132,13 @@ int main() {
 	int fd = open("/dev/null", 2, 0);
 	if (send(fd, "x", 1, 0) >= 0) return 8;
 	if (errno() != 38) return 9;        // ENOTSOCK
-	if (socket(2, 1, 0) >= 0) return 10;
-	if (errno() != 22) return 11;       // only AF_UNIX exists
+	int in = socket(2, 1, 0);
+	if (in < 0) return 10;              // AF_INET is a known family
+	close(in);
+	if (socket(9, 1, 0) >= 0) return 17;
+	if (errno() != 47) return 18;       // EAFNOSUPPORT: unknown family
+	if (socket(1, 7, 0) >= 0) return 19;
+	if (errno() != 22) return 20;       // EINVAL: bad type, known family
 
 	if (socketpair(1, 1, 0, sv) != 0) return 12;
 	close(sv[1]);

@@ -115,6 +115,19 @@ type Kernel struct {
 	// unixNS is the AF_UNIX namespace: bound socket addresses.
 	unixNS map[string]*socketFile
 
+	// The inet stack (see netif.go). netAddr is this machine's address
+	// (NetLoopback until a fabric attaches a NIC); inetNS maps bound
+	// listening ports; netConns demuxes delivered packets to endpoints by
+	// connection id; netOut is the NIC's outbound ring, drained by the
+	// fabric between scheduling slices.
+	netAddr     uint64
+	netAttached bool
+	inetNS      map[uint64]*socketFile
+	netConns    map[int]*socketFile
+	nextConn    int
+	nextPort    uint64
+	netOut      []*NetPacket
+
 	// timers is the deadline min-heap of timed waiters, ordered by
 	// (deadline, seq); timerSeq is the arm counter supplying the
 	// determinism tiebreak (see timer.go).
@@ -172,6 +185,10 @@ func NewMachine(cfg Config) *Machine {
 		Ledger:       core.NewLedger(),
 		procs:        map[int]*Proc{},
 		unixNS:       map[string]*socketFile{},
+		netAddr:      NetLoopback,
+		inetNS:       map[uint64]*socketFile{},
+		netConns:     map[int]*socketFile{},
+		nextPort:     netEphemeralBase,
 		Natives:      map[int]NativeFunc{},
 		shmSegs:      map[int]*shmSeg{},
 		seed:         cfg.Seed,
@@ -429,24 +446,112 @@ func (k *Kernel) Run(budget uint64, stop func() bool) error {
 			}
 			return nil
 		}
-		k.ContextSwitches++
-		k.charge(CostContextSwitch)
-		k.switchTo(t)
-		// Deliver pending signals at kernel->user transition.
-		if k.deliverPending(t) {
-			continue // delivery killed the thread
+		k.runThread(t, Quantum)
+	}
+}
+
+// runThread gives t one quantum on the CPU: context switch, pending
+// signal delivery, execution, trap handling, round-robin re-enqueue.
+// Shared by Run and StepSlice.
+func (k *Kernel) runThread(t *Thread, quantum uint64) {
+	k.ContextSwitches++
+	k.charge(CostContextSwitch)
+	k.switchTo(t)
+	// Deliver pending signals at kernel->user transition.
+	if k.deliverPending(t) {
+		return // delivery killed the thread
+	}
+	tr := k.M.CPU.Run(quantum)
+	k.saveFrom(t)
+	if tr != nil {
+		k.handleTrap(t, tr)
+	}
+	// Round-robin: the thread rejoins the tail unless it blocked or
+	// exited during the quantum (a wait-queue wake re-enqueues it).
+	if t.State == ThreadRunnable {
+		k.runqPush(t)
+	}
+}
+
+// StepSlice runs the machine for up to budget instructions at the
+// current virtual time and returns the number executed. Unlike Run it
+// never skips virtual time to a timer deadline and never reports
+// deadlock: a multi-machine coordinator (internal/fabric) owns global
+// time advance and global deadlock detection, and calls StepSlice to
+// interleave machines at bounded granularity. Returns 0 when nothing is
+// runnable now — the machine is idle until a timer fires or a packet
+// delivery wakes a wait queue.
+func (k *Kernel) StepSlice(budget uint64) uint64 {
+	start := k.M.CPU.Stats.Instructions
+	for {
+		used := k.M.CPU.Stats.Instructions - start
+		if used >= budget {
+			return used
 		}
-		tr := k.M.CPU.Run(Quantum)
-		k.saveFrom(t)
-		if tr != nil {
-			k.handleTrap(t, tr)
+		k.fireDueTimers()
+		t := k.pickRunnable()
+		if t == nil {
+			return k.M.CPU.Stats.Instructions - start
 		}
-		// Round-robin: the thread rejoins the tail unless it blocked or
-		// exited during the quantum (a wait-queue wake re-enqueues it).
-		if t.State == ThreadRunnable {
-			k.runqPush(t)
+		quantum := budget - used
+		if quantum > Quantum {
+			quantum = Quantum
+		}
+		k.runThread(t, quantum)
+	}
+}
+
+// RunnableNow reports whether a thread could be scheduled at the current
+// virtual time, firing any due timers as a side effect. Coordinator
+// accessor (see internal/fabric).
+func (k *Kernel) RunnableNow() bool {
+	k.fireDueTimers()
+	for i := k.runqHead; i < len(k.runq); i++ {
+		t := k.runq[i]
+		if t != nil && t.State == ThreadRunnable && !t.Proc.Suspended {
+			return true
 		}
 	}
+	return false
+}
+
+// NextTimerDeadline returns the earliest armed timer deadline, if any.
+// Coordinator accessor.
+func (k *Kernel) NextTimerDeadline() (uint64, bool) {
+	e := k.timerPeek()
+	if e == nil {
+		return 0, false
+	}
+	return e.deadline, true
+}
+
+// AdvanceClock moves virtual time forward to `to` (never backward) and
+// fires any timers that became due. The coordinator advances an idle
+// machine's clock to the next event — a packet delivery time or its own
+// earliest timer deadline — the multi-machine analogue of Run's tickless
+// timerSkip.
+func (k *Kernel) AdvanceClock(to uint64) {
+	if to > k.M.CPU.Stats.Cycles {
+		k.M.CPU.Stats.Cycles = to
+	}
+	k.fireDueTimers()
+}
+
+// BlockedThreads counts threads parked on wait queues (excluding
+// ptrace-suspended processes), for the coordinator's deadlock report.
+func (k *Kernel) BlockedThreads() int {
+	n := 0
+	for _, p := range k.procs {
+		if p.Suspended {
+			continue
+		}
+		for _, t := range p.Threads {
+			if t.State == ThreadBlocked {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // RunUntilExit drives the system until p terminates.

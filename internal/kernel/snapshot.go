@@ -85,6 +85,14 @@ func (m *Machine) Snapshot() (*MachineSnapshot, error) {
 		return nil, fmt.Errorf("kernel: snapshot requires a quiescent machine: scheduler ring not empty")
 	case len(k.unixNS) != 0:
 		return nil, fmt.Errorf("kernel: snapshot requires a quiescent machine: %d bound AF_UNIX sockets", len(k.unixNS))
+	case len(k.inetNS) != 0:
+		return nil, fmt.Errorf("kernel: snapshot requires a quiescent machine: %d bound AF_INET ports", len(k.inetNS))
+	case len(k.netConns) != 0:
+		return nil, fmt.Errorf("kernel: snapshot requires a quiescent machine: %d live inet connections", len(k.netConns))
+	case len(k.netOut) != 0:
+		return nil, fmt.Errorf("kernel: snapshot requires a quiescent machine: %d packets queued on the NIC", len(k.netOut))
+	case k.netAttached:
+		return nil, fmt.Errorf("kernel: snapshot requires a quiescent machine: NIC attached to a fabric")
 	}
 	shm := make(map[int]*shmSeg, len(k.shmSegs))
 	for id, seg := range k.shmSegs {
@@ -158,6 +166,10 @@ func (s *MachineSnapshot) Boot(cfg Config) *Machine {
 		kernRoot:        s.kernRoot,
 		procs:           map[int]*Proc{},
 		unixNS:          map[string]*socketFile{},
+		netAddr:         NetLoopback,
+		inetNS:          map[uint64]*socketFile{},
+		netConns:        map[int]*socketFile{},
+		nextPort:        netEphemeralBase,
 		Natives:         map[int]NativeFunc{},
 		shmSegs:         shm,
 		nextShmID:       s.nextShmID,

@@ -68,6 +68,8 @@ const (
 	SysUsleep
 	SysClockGettime
 	SysGettimeofday
+	SysGetsockname
+	SysGetpeername
 )
 
 // mmap prot/flags.

@@ -38,6 +38,7 @@ var Figure4 = []Workload{
 	{Name: "posix-vectorio", Src: SrcVectorIO},
 	{Name: "posix-sockets", Src: SrcPosixSockets},
 	{Name: "posix-timers", Src: SrcPosixTimers},
+	{Name: "posix-inet", Src: SrcPosixInet},
 }
 
 // ShortCorpus is the representative Figure 4 subset used by -short test
@@ -47,10 +48,12 @@ var Figure4 = []Workload{
 // matrix), the socket/poll scenario (so the wait-queue scheduler,
 // AF_UNIX stack, poll(2), O_NONBLOCK, and readdir paths do too), and the
 // timed-wait scenario (virtual clock, deadline queue, finite poll/select
-// timeouts, the sleep family). The full corpus runs in the default mode.
+// timeouts, the sleep family), and the AF_INET scenario (the virtual NIC
+// loopback path, backlog enforcement, getsockname/getpeername). The full
+// corpus runs in the default mode.
 func ShortCorpus() []Workload {
 	var out []Workload
-	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic", "posix-vectorio", "posix-sockets", "posix-timers"} {
+	for _, name := range []string{"auto-basicmath", "security-sha", "initdb-dynamic", "posix-vectorio", "posix-sockets", "posix-timers", "posix-inet"} {
 		w, ok := ByName(name)
 		if !ok {
 			panic("workload: short corpus names unknown workload " + name)

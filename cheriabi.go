@@ -134,6 +134,13 @@ type Config struct {
 	// bit-identical either way (same matrix); the knob exists for the
 	// ablation benchmarks and as a safety hatch.
 	DisableSuperblocks bool
+	// DisableIndirectCache turns off the indirect-transfer target cache
+	// and return-stack latch: every CJR/CJALR then exits the threaded
+	// engine to the Step slow path instead of being served from a cached
+	// capability proof. Results are bit-identical either way (same
+	// matrix); the knob exists for the ablation benchmarks and as a
+	// safety hatch.
+	DisableIndirectCache bool
 	// DisableBulkFastPath forces byte-at-a-time movement in the uaccess
 	// subsystem's kernel/runtime bulk copies. Results are bit-identical
 	// either way (same matrix); the knob exists for the ablation
@@ -167,6 +174,7 @@ func NewSystem(cfg Config) *System {
 		DisableDecodeCache:      cfg.DisableDecodeCache,
 		DisableThreadedDispatch: cfg.DisableThreadedDispatch,
 		DisableSuperblocks:      cfg.DisableSuperblocks,
+		DisableIndirectCache:    cfg.DisableIndirectCache,
 		DisableBulkFastPath:     cfg.DisableBulkFastPath,
 		OnTrap:                  cfg.OnTrap,
 	})
@@ -214,6 +222,7 @@ func (s *Snapshot) Clone(cfg Config) *System {
 		DisableDecodeCache:      cfg.DisableDecodeCache,
 		DisableThreadedDispatch: cfg.DisableThreadedDispatch,
 		DisableSuperblocks:      cfg.DisableSuperblocks,
+		DisableIndirectCache:    cfg.DisableIndirectCache,
 		DisableBulkFastPath:     cfg.DisableBulkFastPath,
 		OnTrap:                  cfg.OnTrap,
 	})

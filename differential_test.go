@@ -33,6 +33,7 @@ type simConfig struct {
 	decode   bool // decoded-instruction cache enabled
 	threaded bool // block-threaded dispatch enabled
 	super    bool // superblock chaining enabled (needs decode+threaded)
+	indirect bool // indirect-transfer target cache enabled (needs threaded)
 	bulk     bool // uaccess bulk-copy fast path enabled
 }
 
@@ -40,16 +41,19 @@ type simConfig struct {
 // dispatch} crossed with the uaccess bulk-copy fast path. Threaded
 // dispatch executes out of decoded blocks, so threaded-without-cache
 // degenerates to the plain interpreter — it is still exercised to prove
-// the degenerate path is sound. The first entry (everything off) is the
-// reference byte-at-a-time interpreter every other configuration must be
+// the degenerate path is sound. The superblock and indirect-transfer
+// dimensions are each ablated separately against the all-on threaded
+// configuration. The first entry (everything off) is the reference
+// byte-at-a-time interpreter every other configuration must be
 // indistinguishable from.
 var simConfigs = func() []simConfig {
 	base := []simConfig{
-		{"plain", false, false, false, false},
-		{"cache", true, false, false, false},
-		{"cache+threaded", true, true, true, false},
-		{"cache+threaded-nosuper", true, true, false, false},
-		{"threaded-sans-cache", false, true, false, false},
+		{"plain", false, false, false, false, false},
+		{"cache", true, false, false, false, false},
+		{"cache+threaded", true, true, true, true, false},
+		{"cache+threaded-nosuper", true, true, false, true, false},
+		{"cache+threaded-noindirect", true, true, true, false, false},
+		{"threaded-sans-cache", false, true, false, false, false},
 	}
 	out := make([]simConfig, 0, 2*len(base))
 	for _, c := range base {
@@ -79,6 +83,13 @@ type diffCase struct {
 	// transfer a CJR/CJALR, which by design exits the block instead of
 	// chaining, so the positive check is opt-in per case.
 	chains bool
+	// indirects marks programs whose hot path provably repeats CJR/CJALR
+	// transfers under threaded dispatch, so indirect-cache configurations
+	// must actually hit (the vacuousness check for the indirect-transfer
+	// dimension). Only CheriABI code issues capability jumps — the legacy
+	// ABI calls through integer JR/JALR — so the positive check is opt-in
+	// per case like chains.
+	indirects bool
 }
 
 // diffRecord captures everything a run can observe.
@@ -100,6 +111,7 @@ func diffConfig(cfg simConfig, traps *uint64, h io.Writer) cheriabi.Config {
 		DisableDecodeCache:      !cfg.decode,
 		DisableThreadedDispatch: !cfg.threaded,
 		DisableSuperblocks:      !cfg.super,
+		DisableIndirectCache:    !cfg.indirect,
 		DisableBulkFastPath:     !cfg.bulk,
 		OnTrap: func(tr *cpu.Trap) {
 			*traps++
@@ -164,6 +176,12 @@ func runCaseOn(t *testing.T, sys *cheriabi.System, tc diffCase, cfg simConfig, t
 	}
 	if !cfg.super && ds.Chains != 0 {
 		t.Fatalf("%s: superblock chaining ran while disabled (%+v)", tc.name, ds)
+	}
+	if cfg.indirect && tc.indirects && ds.IndirectHits == 0 {
+		t.Fatalf("%s: indirect-transfer cache never hit; the differential run is vacuous", tc.name)
+	}
+	if !cfg.indirect && ds.IndirectHits != 0 {
+		t.Fatalf("%s: indirect-transfer cache hit while disabled (%+v)", tc.name, ds)
 	}
 	us := sys.Machine.UA.Stats
 	if cfg.bulk && us.SlowRuns != 0 {
@@ -251,6 +269,10 @@ func corpus(short bool) []diffCase {
 			src:    straddleSrc(),
 			abi:    a.abi,
 			chains: true,
+			// The straddle loop calls a helper every iteration; under
+			// CheriABI those calls and returns are CJR/CJALR, so the
+			// indirect-transfer cache must serve repeats.
+			indirects: a.abi == cheriabi.ABICheri,
 		})
 	}
 	for _, s := range testsuite.Suites {

@@ -98,3 +98,70 @@ func (l *Ledger) Write(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(l)
 }
+
+// Read parses a JSON ledger previously produced by Write.
+func Read(r io.Reader) (*Ledger, error) {
+	led := &Ledger{}
+	if err := json.NewDecoder(r).Decode(led); err != nil {
+		return nil, fmt.Errorf("benchjson: reading ledger: %v", err)
+	}
+	return led, nil
+}
+
+// baseKey strips the trailing -<GOMAXPROCS> suffix go test appends to
+// benchmark names, so ledgers recorded on hosts with different core
+// counts compare by benchmark identity.
+func baseKey(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Compare checks current against baseline and returns human-readable
+// regression findings (empty when clean). Two guards:
+//
+//   - sim-cycles must not change AT ALL on any benchmark both ledgers
+//     share: simulated cycle counts are architectural results, so a
+//     drift here is a correctness regression (or an intentional change
+//     that must be made visible by regenerating the committed ledger in
+//     the same change).
+//   - MB/s on benchmarks whose name starts with mbGuardPrefix must not
+//     drop more than maxDropPct below the baseline: host throughput on
+//     other benchmarks is too noisy to gate on, but the headline
+//     simulator throughput regressing past the tolerance fails.
+//
+// A baseline benchmark missing from current is reported too — a guard
+// that silently stops covering a benchmark is itself a regression.
+func Compare(baseline, current *Ledger, maxDropPct float64, mbGuardPrefix string) []string {
+	cur := make(map[string]Benchmark, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[baseKey(b.Name)] = b
+	}
+	var findings []string
+	for _, base := range baseline.Benchmarks {
+		key := baseKey(base.Name)
+		got, ok := cur[key]
+		if !ok {
+			findings = append(findings,
+				fmt.Sprintf("%s: present in baseline but missing from current run", key))
+			continue
+		}
+		if base.SimCycles != 0 && got.SimCycles != base.SimCycles {
+			findings = append(findings,
+				fmt.Sprintf("%s: sim-cycles changed %v -> %v (simulated architecture must not drift)",
+					key, base.SimCycles, got.SimCycles))
+		}
+		if mbGuardPrefix != "" && strings.HasPrefix(key, mbGuardPrefix) &&
+			base.MBPerS > 0 && got.MBPerS < base.MBPerS*(1-maxDropPct/100) {
+			findings = append(findings,
+				fmt.Sprintf("%s: MB/s dropped %.2f -> %.2f (more than %.0f%% below baseline)",
+					key, base.MBPerS, got.MBPerS, maxDropPct))
+		}
+	}
+	return findings
+}

@@ -78,3 +78,87 @@ func TestWriteRoundTrips(t *testing.T) {
 		t.Fatalf("sim-cycles lost in round trip: %+v", got.Benchmarks[1])
 	}
 }
+
+func TestReadRoundTrips(t *testing.T) {
+	led, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := led.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(led.Benchmarks) || got.Benchmarks[0].MBPerS != 47.28 {
+		t.Fatalf("Read round trip wrong: %+v", got)
+	}
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("Read accepted malformed JSON")
+	}
+}
+
+func TestBaseKey(t *testing.T) {
+	for name, want := range map[string]string{
+		"BenchmarkSimulator":              "BenchmarkSimulator",
+		"BenchmarkSimulator-8":            "BenchmarkSimulator",
+		"BenchmarkSimulator-128":          "BenchmarkSimulator",
+		"BenchmarkIndirectTransfer/on-16": "BenchmarkIndirectTransfer/on",
+		"BenchmarkPollStorm/idle=4":       "BenchmarkPollStorm/idle=4",
+		"BenchmarkCopyInOut/bulk-x":       "BenchmarkCopyInOut/bulk-x",
+	} {
+		if got := baseKey(name); got != want {
+			t.Errorf("baseKey(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func ledger(bs ...Benchmark) *Ledger { return &Ledger{Benchmarks: bs} }
+
+func TestCompareClean(t *testing.T) {
+	base := ledger(
+		Benchmark{Name: "BenchmarkSimulator-8", MBPerS: 50},
+		Benchmark{Name: "BenchmarkIndirectTransfer/on-8", MBPerS: 44, SimCycles: 3749010},
+	)
+	// Different -cpu suffix, slightly slower but within tolerance,
+	// identical sim-cycles: clean.
+	cur := ledger(
+		Benchmark{Name: "BenchmarkSimulator-16", MBPerS: 45},
+		Benchmark{Name: "BenchmarkIndirectTransfer/on-16", MBPerS: 20, SimCycles: 3749010},
+	)
+	if findings := Compare(base, cur, 15, "BenchmarkSimulator"); len(findings) != 0 {
+		t.Fatalf("clean comparison produced findings: %v", findings)
+	}
+}
+
+func TestCompareFindsRegressions(t *testing.T) {
+	base := ledger(
+		Benchmark{Name: "BenchmarkSimulator-8", MBPerS: 50},
+		Benchmark{Name: "BenchmarkIndirectTransfer/on-8", MBPerS: 44, SimCycles: 3749010},
+		Benchmark{Name: "BenchmarkSuperblocks/on-8", SimCycles: 100},
+	)
+	cur := ledger(
+		// >15% MB/s drop on a guarded benchmark.
+		Benchmark{Name: "BenchmarkSimulator-8", MBPerS: 40},
+		// sim-cycles drift (guarded regardless of name prefix).
+		Benchmark{Name: "BenchmarkIndirectTransfer/on-8", MBPerS: 44, SimCycles: 3749011},
+		// BenchmarkSuperblocks/on missing entirely.
+	)
+	findings := Compare(base, cur, 15, "BenchmarkSimulator")
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3: %v", len(findings), findings)
+	}
+	for i, want := range []string{"MB/s dropped", "sim-cycles changed", "missing from current"} {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("finding %d: no finding mentions %q: %v", i, want, findings)
+		}
+	}
+}

@@ -48,18 +48,38 @@ type Cache struct {
 	clock uint64
 	stats Stats
 
-	// Last-hit latch: consecutive accesses to the same line (the common
-	// case for instruction fetch) skip the set scan. The latch holds a
-	// pointer into sets, so an eviction that retags the line is detected
-	// by the tag compare; this never changes hit/miss outcomes, only the
+	// Last-hit latches: consecutive accesses to the same line (the common
+	// case for instruction fetch) skip the set scan, and a second entry
+	// catches the two-line ping-pong that call/return pairs and short
+	// loops straddling a line boundary produce (each access alternates
+	// away from the single-entry latch and back). The latches hold
+	// pointers into sets, so an eviction that retags the line is detected
+	// by the tag compare; they never change hit/miss outcomes, only the
 	// cost of computing them.
-	lastAddr uint64
-	last     *line
+	lastAddr  uint64
+	last      *line
+	lastAddr2 uint64
+	last2     *line
+
+	// Pending same-line hit repeats, deferred onto the front latch: a hit
+	// on last only increments pendN (recording whether any was a write)
+	// instead of ticking the clock, the access counter, and the LRU
+	// stamp. flushPend applies all of them at once before anything can
+	// observe cache state — any access to another line, a set scan, an
+	// eviction, a stats read, or a flush — leaving every observable
+	// bit-identical to immediate application, because the intermediate
+	// clock values and LRU stamps of a run of same-line hits are never
+	// read (a miss, the only LRU reader, flushes first). This generalizes
+	// the instruction-fetch batching contract (FetchRepeats) to every
+	// level and every access kind.
+	pendN     uint64
+	pendDirty bool
 
 	// When the geometry is a power of two (as all modelled hardware is),
 	// pow2 selects shift/mask addressing in place of division and modulo.
 	pow2      bool
 	lineShift uint
+	lineMask  uint64
 	setMask   uint64
 }
 
@@ -79,6 +99,7 @@ func New(cfg Config) *Cache {
 		for s := cfg.LineSize; s > 1; s >>= 1 {
 			c.lineShift++
 		}
+		c.lineMask = cfg.LineSize - 1
 		c.setMask = nsets - 1
 	}
 	return c
@@ -90,6 +111,17 @@ func (c *Cache) lineAddr(pa uint64) uint64 {
 		return pa >> c.lineShift
 	}
 	return pa / c.cfg.LineSize
+}
+
+// lineOff returns pa's offset within its line. Like lineAddr, the
+// power-of-two geometry (all modelled hardware) takes the mask path: a
+// variable-divisor modulo is a hardware divide, and this runs on every
+// fetch and data access.
+func (c *Cache) lineOff(pa uint64) uint64 {
+	if c.pow2 {
+		return pa & c.lineMask
+	}
+	return pa % c.cfg.LineSize
 }
 
 // set returns the set that lineAddr maps to.
@@ -104,22 +136,54 @@ func (c *Cache) set(lineAddr uint64) []line {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a copy of the access statistics.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	c.flushPend()
+	return c.stats
+}
 
-// ResetStats zeroes the statistics (the contents stay warm).
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+// ResetStats zeroes the statistics (the contents stay warm). Deferred
+// accesses happened before the reset, so they are applied first.
+func (c *Cache) ResetStats() {
+	c.flushPend()
+	c.stats = Stats{}
+}
+
+// flushPend applies the deferred same-line hits accumulated on the front
+// latch (see the pendN field comment). Every path that can observe cache
+// state calls it first.
+func (c *Cache) flushPend() {
+	if c.pendN != 0 {
+		c.clock += c.pendN
+		c.stats.Accesses += c.pendN
+		c.last.lru = c.clock
+		if c.pendDirty {
+			c.last.dirty = true
+		}
+		c.pendN, c.pendDirty = 0, false
+	}
+}
 
 // access looks up the line containing pa; on miss it allocates, evicting
 // LRU. Returns hit and whether a dirty line was written back.
 func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
-	c.clock++
-	c.stats.Accesses++
 	lineAddr := c.lineAddr(pa)
 	if l := c.last; l != nil && c.lastAddr == lineAddr && l.valid && l.tag == lineAddr {
+		c.pendN++
+		c.pendDirty = c.pendDirty || write
+		return true, false
+	}
+	c.flushPend()
+	c.clock++
+	c.stats.Accesses++
+	if l := c.last2; l != nil && c.lastAddr2 == lineAddr && l.valid && l.tag == lineAddr {
 		l.lru = c.clock
 		if write {
 			l.dirty = true
 		}
+		// Promote to the front latch so a following same-line access hits
+		// on the first compare; the displaced line stays in the second.
+		c.lastAddr2, c.last2 = c.lastAddr, c.last
+		c.lastAddr, c.last = lineAddr, l
 		return true, false
 	}
 	set := c.set(lineAddr)
@@ -129,6 +193,7 @@ func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
 			if write {
 				set[i].dirty = true
 			}
+			c.lastAddr2, c.last2 = c.lastAddr, c.last
 			c.lastAddr, c.last = lineAddr, &set[i]
 			return true, false
 		}
@@ -140,6 +205,7 @@ func (c *Cache) access(pa uint64, write bool) (hit, writeback bool) {
 // the miss, and updating the last-hit latch. Returns whether a dirty
 // victim was written back.
 func (c *Cache) fillLine(set []line, lineAddr uint64, write bool) (writeback bool) {
+	c.flushPend() // eviction reads LRU stamps; defensive on pre-flushed paths
 	c.stats.Misses++
 	victim := 0
 	for i := range set {
@@ -156,18 +222,20 @@ func (c *Cache) fillLine(set []line, lineAddr uint64, write bool) (writeback boo
 		c.stats.Writebacks++
 	}
 	set[victim] = line{valid: true, dirty: write, tag: lineAddr, lru: c.clock}
+	c.lastAddr2, c.last2 = c.lastAddr, c.last
 	c.lastAddr, c.last = lineAddr, &set[victim]
 	return writeback
 }
 
 // Flush invalidates all lines (e.g. between benchmark repetitions).
 func (c *Cache) Flush() {
+	c.flushPend() // the deferred accesses happened before the flush
 	for _, set := range c.sets {
 		for i := range set {
 			set[i] = line{}
 		}
 	}
-	c.last = nil
+	c.last, c.last2 = nil, nil
 }
 
 // Hierarchy is the full memory system: split L1s over a shared L2 over
@@ -193,11 +261,10 @@ func DefaultHierarchy() *Hierarchy {
 func (h *Hierarchy) DRAMAccesses() uint64 { return h.dramAccesses }
 
 func (h *Hierarchy) lineSpan(l1 *Cache, pa, size uint64) (first, last uint64) {
-	ls := l1.cfg.LineSize
 	if size == 0 {
 		size = 1
 	}
-	return pa / ls, (pa + size - 1) / ls
+	return l1.lineAddr(pa), l1.lineAddr(pa + size - 1)
 }
 
 // accessLevel walks one line access through L1 -> L2 -> DRAM.
@@ -231,8 +298,8 @@ func (h *Hierarchy) missWalk(pa uint64, l1wb bool) uint64 {
 // Fetch models an instruction fetch of size bytes at pa.
 func (h *Hierarchy) Fetch(pa, size uint64) uint64 {
 	// Aligned instruction fetches never span lines; skip the span loop.
-	if ls := h.L1I.cfg.LineSize; pa%ls+size <= ls {
-		return h.accessLevel(h.L1I, h.L1I.lineAddr(pa), false)
+	if l1 := h.L1I; l1.lineOff(pa)+size <= l1.cfg.LineSize {
+		return h.accessLevel(l1, l1.lineAddr(pa), false)
 	}
 	first, last := h.lineSpan(h.L1I, pa, size)
 	var cycles uint64
@@ -257,37 +324,58 @@ func (h *Hierarchy) FetchLine(pa uint64) uint64 { return h.L1I.lineAddr(pa) }
 // between. Returns the cycle charge, n times the L1I hit latency.
 func (h *Hierarchy) FetchRepeats(lineAddr, n uint64) uint64 {
 	c := h.L1I
-	c.clock += n
-	c.stats.Accesses += n
+	// The caller guarantees lineAddr is the most recently accessed,
+	// resident line, so these n hits simply join the deferred batch on
+	// the front latch (flushPend applies them with the same effects the
+	// eager implementation had).
 	if l := c.last; l != nil && c.lastAddr == lineAddr && l.valid && l.tag == lineAddr {
-		l.lru = c.clock
+		c.pendN += n
 		return n * c.cfg.HitLatency
 	}
+	c.flushPend()
 	set := c.set(lineAddr)
 	for i := range set {
 		if set[i].valid && set[i].tag == lineAddr {
-			set[i].lru = c.clock
+			c.lastAddr2, c.last2 = c.lastAddr, c.last
 			c.lastAddr, c.last = lineAddr, &set[i]
+			c.pendN += n
 			return n * c.cfg.HitLatency
 		}
 	}
 	panic("cache: FetchRepeats on a non-resident line")
 }
 
+// DataHit attempts a data access as a front-latch hit alone: a
+// non-spanning access (power-of-two geometry) to the latched line joins
+// the deferred batch and returns its hit latency with ok true; anything
+// else returns ok false having changed nothing, and the caller issues
+// the access through Data. Split out of Data because this probe is small
+// enough to inline into the CPU's scalar access path, where the call
+// overhead is measurable per retired memory instruction.
+func (c *Cache) DataHit(pa, size uint64, write bool) (cycles uint64, ok bool) {
+	if !c.pow2 || (pa&c.lineMask)+size > c.cfg.LineSize {
+		return 0, false
+	}
+	la := pa >> c.lineShift
+	l := c.last
+	if l == nil || c.lastAddr != la || !l.valid || l.tag != la {
+		return 0, false
+	}
+	c.pendN++
+	c.pendDirty = c.pendDirty || write
+	return c.cfg.HitLatency, true
+}
+
 // Data models a data access of size bytes at pa.
 func (h *Hierarchy) Data(pa, size uint64, write bool) uint64 {
 	l1 := h.L1D
-	if ls := l1.cfg.LineSize; pa%ls+size <= ls {
+	if l1.lineOff(pa)+size <= l1.cfg.LineSize {
 		// Non-spanning access with the last-hit latch checked inline: the
-		// state updates are exactly those of the access() hit path.
+		// hit joins the deferred batch exactly as in access().
 		la := l1.lineAddr(pa)
 		if l := l1.last; l != nil && l1.lastAddr == la && l.valid && l.tag == la {
-			l1.clock++
-			l1.stats.Accesses++
-			l.lru = l1.clock
-			if write {
-				l.dirty = true
-			}
+			l1.pendN++
+			l1.pendDirty = l1.pendDirty || write
 			return l1.cfg.HitLatency
 		}
 		return h.accessLevel(l1, la, write)
@@ -309,10 +397,11 @@ func (h *Hierarchy) Data(pa, size uint64, write bool) uint64 {
 // page-run walker) use this; single accesses keep using Data.
 func (h *Hierarchy) DataRun(pa, size uint64, write bool) uint64 {
 	l1 := h.L1D
-	if size == 0 || pa%l1.cfg.LineSize+size <= l1.cfg.LineSize {
+	if size == 0 || l1.lineOff(pa)+size <= l1.cfg.LineSize {
 		return h.Data(pa, size, write)
 	}
 	first, last := h.lineSpan(l1, pa, size)
+	l1.flushPend() // the walk below reads and updates set state directly
 	cycles := (last - first + 1) * l1.cfg.HitLatency
 	l1.stats.Accesses += last - first + 1
 	for la := first; la <= last; la++ {

@@ -1,12 +1,46 @@
 package cpu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"cheriabi/internal/cap"
 	"cheriabi/internal/isa"
 	"cheriabi/internal/vm"
 )
+
+// dataFrame is a one-entry L0 in front of the micro-TLB and mem's
+// Load/Store call chain: it latches one translated data page's backing
+// arrays so aligned scalar accesses that stay on the page are served
+// straight from the page slice. A hit re-proves the cached translation
+// exactly as a micro-TLB hit does (address-space identity plus AS.Gen
+// plus vpn — mprotect, munmap, fork and COW resolution all bump AS.Gen)
+// and additionally re-proves the backing identity with mem's Epoch
+// (chunk materialization, privatization, and snapshotting move or share
+// the arrays; in-place content writes are visible through the slices by
+// mem's contract and need no check). The protection proof is encoded by
+// which frame holds the page: rframe is filled only after a ProtRead
+// translation, wframe only after ProtWrite. Frames never outlive their
+// proofs, and a CPU's Mem is fixed for its lifetime, so the slices can
+// never alias a different machine's memory.
+type dataFrame struct {
+	data  []byte // page bytes; nil means empty frame
+	as    *vm.AddressSpace
+	asGen uint64
+	epoch uint64
+	vpn   uint64
+	base  uint64  // physical page base (for cache-model charging)
+	tags  []bool  // write frames only: the page's tag granules
+	gen   *uint64 // write frames only: the page's write-generation counter
+	gsh   uint    // write frames only: log2(granule)
+}
+
+// hits reports whether the frame serves vpn under the CPU's current
+// translation and backing proofs.
+func (f *dataFrame) hits(c *CPU, vpn uint64) bool {
+	return f.data != nil && f.vpn == vpn && f.as == c.AS &&
+		f.asGen == c.AS.Gen && f.epoch == c.Mem.Epoch()
+}
 
 // AlignmentError reports a misaligned access (CHERI traps on under-aligned
 // accesses; one of the paper's PostgreSQL test failures is exactly this).
@@ -93,16 +127,44 @@ func (c *CPU) LoadVia(auth cap.Capability, ea, size uint64) (uint64, error) {
 // capability (the checks are value-identical; only the error path, which
 // embeds the capability in the fault, reads it in full).
 func (c *CPU) loadViaP(auth *cap.Capability, ea, size uint64) (uint64, error) {
-	if ea%size != 0 {
+	// Access sizes are always powers of two (1/2/4/8 scalars, 16/32
+	// capability widths), so the natural-alignment check is a mask — a
+	// variable-divisor modulo here is a hardware divide on the hottest
+	// path in the simulator.
+	if ea&(size-1) != 0 {
 		return 0, &AlignmentError{VA: ea, Size: size}
 	}
 	if !auth.Authorizes(ea, size, cap.PermLoad) {
 		return 0, auth.CheckDeref(ea, size, cap.PermLoad)
 	}
+	vpn := ea >> vm.PageShift
+	// Data-frame hit: serve the load from the latched page slice. An
+	// aligned power-of-two access of ≤ 8 bytes never leaves the page.
+	if f := &c.rframe; f.hits(c, vpn) {
+		off := ea & pageOffMask
+		// The inline-able front-latch probe first; only a latch miss pays
+		// the Data call.
+		if lat, ok := c.Hier.L1D.DataHit(f.base+off, size, false); ok {
+			c.Stats.Cycles += lat
+		} else {
+			c.Stats.Cycles += c.Hier.Data(f.base+off, size, false)
+		}
+		d := f.data[off:]
+		switch size {
+		case 1:
+			return uint64(d[0]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(d)), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(d)), nil
+		case 8:
+			return binary.LittleEndian.Uint64(d), nil
+		}
+		return c.Mem.Load(f.base+off, size), nil // other sizes panic there, as ever
+	}
 	// Micro-TLB hit check inlined from translate: this is the hottest
 	// translation site in the simulator, and the call (with its two return
 	// values) is measurable against a four-compare hit test.
-	vpn := ea >> vm.PageShift
 	e := &c.tlb[vpn&(dtlbSize-1)]
 	var pa uint64
 	if e.as == c.AS && e.gen == c.AS.Gen && e.vpn == vpn && e.prot&vm.ProtRead != 0 {
@@ -113,6 +175,15 @@ func (c *CPU) loadViaP(auth *cap.Capability, ea, size uint64) (uint64, error) {
 		if pf != nil {
 			return 0, pf
 		}
+	}
+	// Refill the read frame for the translated page. ReadablePage is nil
+	// for a never-written page — such a page reads as zero through Load
+	// and cannot be latched (materializing on a read would change the
+	// lazy-allocation observable Epoch).
+	paPage := pa &^ uint64(pageOffMask)
+	if d := c.Mem.ReadablePage(paPage); d != nil {
+		c.rframe = dataFrame{data: d, as: c.AS, asGen: c.AS.Gen,
+			epoch: c.Mem.Epoch(), vpn: vpn, base: paPage}
 	}
 	c.Stats.Cycles += c.Hier.Data(pa, size, false)
 	return c.Mem.Load(pa, size), nil
@@ -125,14 +196,43 @@ func (c *CPU) StoreVia(auth cap.Capability, ea, size, v uint64) error {
 
 // storeViaP is StoreVia behind a pointer (see loadViaP).
 func (c *CPU) storeViaP(auth *cap.Capability, ea, size, v uint64) error {
-	if ea%size != 0 {
+	if ea&(size-1) != 0 { // sizes are powers of two (see loadViaP)
 		return &AlignmentError{VA: ea, Size: size}
 	}
 	if !auth.Authorizes(ea, size, cap.PermStore) {
 		return auth.CheckDeref(ea, size, cap.PermStore)
 	}
-	// Micro-TLB hit check inlined from translate (see loadViaP).
 	vpn := ea >> vm.PageShift
+	// Data-frame hit: write the page slice directly, taking over Store's
+	// aligned single-granule contract — an aligned store of ≤ 8 bytes
+	// never straddles a ≥ 16-byte tag granule, so exactly one tag is
+	// cleared and one page generation bumped.
+	if f := &c.wframe; f.hits(c, vpn) {
+		off := ea & pageOffMask
+		if lat, ok := c.Hier.L1D.DataHit(f.base+off, size, true); ok {
+			c.Stats.Cycles += lat
+		} else {
+			c.Stats.Cycles += c.Hier.Data(f.base+off, size, true)
+		}
+		d := f.data[off:]
+		switch size {
+		case 1:
+			d[0] = byte(v)
+		case 2:
+			binary.LittleEndian.PutUint16(d, uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(d, uint32(v))
+		case 8:
+			binary.LittleEndian.PutUint64(d, v)
+		default:
+			c.Mem.Store(f.base+off, size, v) // other sizes panic there, as ever
+			return nil
+		}
+		f.tags[off>>f.gsh] = false
+		*f.gen++
+		return nil
+	}
+	// Micro-TLB hit check inlined from translate (see loadViaP).
 	e := &c.tlb[vpn&(dtlbSize-1)]
 	var pa uint64
 	if e.as == c.AS && e.gen == c.AS.Gen && e.vpn == vpn && e.prot&vm.ProtWrite != 0 {
@@ -146,6 +246,15 @@ func (c *CPU) storeViaP(auth *cap.Capability, ea, size, v uint64) error {
 	}
 	c.Stats.Cycles += c.Hier.Data(pa, size, true)
 	c.Mem.Store(pa, size, v)
+	// Refill the write frame AFTER the store: Store materializes (and, if
+	// snapshot-shared, privatizes) the chunk, so WritablePage here never
+	// moves arrays again and the Epoch read is post-settlement.
+	paPage := pa &^ uint64(pageOffMask)
+	if d, tags, gen := c.Mem.WritablePage(paPage); d != nil {
+		c.wframe = dataFrame{data: d, as: c.AS, asGen: c.AS.Gen,
+			epoch: c.Mem.Epoch(), vpn: vpn, base: paPage,
+			tags: tags, gen: gen, gsh: c.Mem.GranShift()}
+	}
 	return nil
 }
 
@@ -153,7 +262,7 @@ func (c *CPU) storeViaP(auth *cap.Capability, ea, size, v uint64) error {
 // PermLoadCap the loaded value arrives with its tag stripped.
 func (c *CPU) LoadCapVia(auth cap.Capability, ea uint64) (cap.Capability, error) {
 	bytes := c.Fmt.Bytes
-	if ea%bytes != 0 {
+	if ea&(bytes-1) != 0 { // capability widths are powers of two
 		return cap.Null(), &AlignmentError{VA: ea, Size: bytes}
 	}
 	if err := auth.CheckDeref(ea, bytes, cap.PermLoad); err != nil {
@@ -178,7 +287,7 @@ func (c *CPU) LoadCapVia(auth cap.Capability, ea uint64) (cap.Capability, error)
 // PermStoreLocalCap.
 func (c *CPU) StoreCapVia(auth cap.Capability, ea uint64, v cap.Capability) error {
 	bytes := c.Fmt.Bytes
-	if ea%bytes != 0 {
+	if ea&(bytes-1) != 0 { // capability widths are powers of two
 		return &AlignmentError{VA: ea, Size: bytes}
 	}
 	need := cap.PermStore

@@ -136,6 +136,14 @@ type CPU struct {
 	// disables it implicitly.
 	NoSuperblocks bool
 
+	// NoIndirectCache disables the indirect-transfer target cache and the
+	// return-prediction stack (indirect.go): CJR/CJALR then exit the
+	// threaded engine and re-prove through the Step latch rebuild, as
+	// before. Behaviour is identical either way; the knob exists for
+	// ablation and as a safety hatch. The cache is only consulted inside
+	// the threaded engine, so either knob above disables it implicitly.
+	NoIndirectCache bool
+
 	Stats Stats
 
 	// DecodeStats counts decode-cache events (non-architectural).
@@ -155,6 +163,20 @@ type CPU struct {
 	decoded  map[uint64]*instPage
 	latch    fetchLatch
 	blockIdx [blockIdxSize]blockIdxEnt
+
+	// Indirect-transfer prediction (see indirect.go): the direct-mapped
+	// target cache of validated CJR/CJALR transfers, and the return stack
+	// of link capabilities CJALR wrote (rsp counts pushes; the stack wraps,
+	// so the live top is rstack[(rsp-1)%retStackSize]).
+	icache [indirectSize]indirectEnt
+	rstack [retStackSize]indirectEnt
+	rsp    int
+
+	// Data-page frames (see access.go): one-entry L0 caches in front of
+	// the micro-TLB and mem's Load/Store for scalar loads (rframe) and
+	// stores (wframe), holding the translated page's backing arrays.
+	rframe dataFrame
+	wframe dataFrame
 }
 
 // blockIdxSize is the number of direct-mapped block-index entries.

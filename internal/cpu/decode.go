@@ -107,6 +107,15 @@ type DecodeStats struct {
 	// because re-proving the target translation faulted.
 	Chains uint64
 	Severs uint64
+
+	// IndirectHits counts CJR/CJALR transfers served by the
+	// indirect-target cache or the return stack (the run stayed inside
+	// the threaded engine); IndirectMisses counts transfers that
+	// re-proved from scratch; IndirectSevers counts cache entries dropped
+	// because the re-proof's translate walk faulted (indirect.go).
+	IndirectHits   uint64
+	IndirectMisses uint64
+	IndirectSevers uint64
 }
 
 const pageOffMask = vm.PageSize - 1
@@ -156,8 +165,13 @@ func (c *CPU) SyncICache() {
 	c.latch = fetchLatch{}
 	// The block index must drop with the map: a surviving entry would
 	// resurrect a pre-sync decoded page (and its superblock links) whose
-	// generation still matches, defeating the explicit flush.
+	// generation still matches, defeating the explicit flush. The
+	// indirect-target cache and return stack hold decoded pages too, so
+	// they drop for the same reason.
 	c.blockIdx = [blockIdxSize]blockIdxEnt{}
+	c.icache = [indirectSize]indirectEnt{}
+	c.rstack = [retStackSize]indirectEnt{}
+	c.rsp = 0
 	c.DecodeStats.Flushes++
 }
 

@@ -7,62 +7,44 @@ import (
 )
 
 // scalarMemOp is the pre-resolved description of a scalar load/store for
-// the threaded engine's inline dispatch: the access size, the
-// sign-extension shift (64-8*size for signed loads, 0 otherwise), and
-// whether the op is a store and whether it addresses through a capability
-// register (vs. DDC). A zero size marks ops that are not scalar memory
-// accesses. Resolving this once at startup lets the hot loop skip both
-// exec's op switch and the per-op opSize switch for the most common
-// memory instructions.
+// the threaded engine's inline dispatch: the access size and the
+// sign-extension shift (64-8*size for signed loads, 0 otherwise). The
+// store/cheri split is encoded in the dispatch itself — each
+// authority/direction combination has its own jump-table case — so the
+// table carries only what varies within a case. A zero size marks ops
+// that are not scalar memory accesses. The fields are deliberately
+// byte-sized: the table is indexed per retired instruction, and a
+// two-byte entry loads in one half-word.
 type scalarMemOp struct {
-	size  uint64
-	shift uint
-	store bool
-	cheri bool
+	size  uint8
+	shift uint8
 }
 
 var scalarMemOps [isa.NumOps]scalarMemOp
 
-// opAccessesMem marks the exec-dispatched ops that can touch memory (and
-// therefore bump AS.Gen via a soft fault resolved in translate, or a
-// physical page's write generation via a store). The per-instruction
-// generation probe in runBlock only needs to run after these: no other
-// instruction performs a translation or a physical-memory mutation, so
-// after anything else the generations provably cannot have changed. The
-// scalar loads/stores handled inline by runBlock are probed via their own
-// path and deliberately left false here.
-var opAccessesMem [isa.NumOps]bool
-
-func init() {
-	for _, op := range []isa.Op{isa.CLC, isa.CLCB, isa.CSC, isa.CSCB} {
-		opAccessesMem[op] = true
-	}
-}
-
 func init() {
 	type def struct {
-		op           isa.Op
-		size         uint64
-		signed       bool
-		store, cheri bool
+		op     isa.Op
+		size   uint64
+		signed bool
 	}
 	for _, d := range []def{
-		{isa.LB, 1, true, false, false}, {isa.LBU, 1, false, false, false},
-		{isa.LH, 2, true, false, false}, {isa.LHU, 2, false, false, false},
-		{isa.LW, 4, true, false, false}, {isa.LWU, 4, false, false, false},
-		{isa.LD, 8, false, false, false},
-		{isa.SB, 1, false, true, false}, {isa.SH, 2, false, true, false},
-		{isa.SW, 4, false, true, false}, {isa.SD, 8, false, true, false},
-		{isa.CLB, 1, true, false, true}, {isa.CLBU, 1, false, false, true},
-		{isa.CLH, 2, true, false, true}, {isa.CLHU, 2, false, false, true},
-		{isa.CLW, 4, true, false, true}, {isa.CLWU, 4, false, false, true},
-		{isa.CLD, 8, false, false, true},
-		{isa.CSB, 1, false, true, true}, {isa.CSH, 2, false, true, true},
-		{isa.CSW, 4, false, true, true}, {isa.CSD, 8, false, true, true},
+		{isa.LB, 1, true}, {isa.LBU, 1, false},
+		{isa.LH, 2, true}, {isa.LHU, 2, false},
+		{isa.LW, 4, true}, {isa.LWU, 4, false},
+		{isa.LD, 8, false},
+		{isa.SB, 1, false}, {isa.SH, 2, false},
+		{isa.SW, 4, false}, {isa.SD, 8, false},
+		{isa.CLB, 1, true}, {isa.CLBU, 1, false},
+		{isa.CLH, 2, true}, {isa.CLHU, 2, false},
+		{isa.CLW, 4, true}, {isa.CLWU, 4, false},
+		{isa.CLD, 8, false},
+		{isa.CSB, 1, false}, {isa.CSH, 2, false},
+		{isa.CSW, 4, false}, {isa.CSD, 8, false},
 	} {
-		mo := scalarMemOp{size: d.size, store: d.store, cheri: d.cheri}
+		mo := scalarMemOp{size: uint8(d.size)}
 		if d.signed {
-			mo.shift = uint(64 - 8*d.size)
+			mo.shift = uint8(64 - 8*d.size)
 		}
 		scalarMemOps[d.op] = mo
 	}
@@ -79,14 +61,13 @@ func init() {
 // directly from blocks, re-checking per instruction only what an
 // instruction can actually change:
 //
-//   - PC instruction-aligned (branches within the page keep the run
-//     alive; a misaligned target exits);
-//   - PC in PCC bounds. The bounds are fixed for the whole run because
-//     the run exits on the only instructions that replace PCC, CJR/CJALR;
-//     when the whole current page lies inside them (the overwhelmingly
-//     common case — PCC spans the code segment) the per-instruction
-//     compare is hoisted to one whole-page check per chained segment, and
-//     only a partially covered page keeps the per-PC compare. An
+//   - PC instruction-aligned, maintained by induction (every inline PC
+//     advance is a multiple of InstSize; transfer targets and exec-set
+//     PCs are checked where they are produced);
+//   - PC in PCC bounds, as one subtract-and-compare against a
+//     precomputed fetch window (fetchWindow above). The window is fixed
+//     until PCC is replaced — which only CJR/CJALR do, and the indirect
+//     path recomputes it after every predicted transfer. An
 //     out-of-bounds PC exits to the Step slow path, which raises the
 //     identical capability fault;
 //   - AddressSpace.Gen and the executing page's mem.PageGen unchanged.
@@ -134,6 +115,44 @@ func init() {
 // simulator reads Stats or cache state mid-run, so deferring the flushes
 // cannot perturb LRU decisions or miss counts.
 
+// capMem executes one capability load or store (CLC/CLCB/CSC/CSCB) for
+// the threaded engine: exec's exact sequence and Stats updates, minus the
+// op-switch dispatch. Kept out of line (like indirectTransfer) so its
+// capability-typed locals stay out of the hot loop's register allocation.
+//
+//go:noinline
+func (c *CPU) capMem(in isa.Inst) error {
+	ea := c.C[in.Rb].Addr() + uint64(int64(in.Imm))
+	if in.Op == isa.CSC || in.Op == isa.CSCB {
+		if err := c.StoreCapVia(c.C[in.Rb], ea, c.C[in.Ra]); err != nil {
+			return err
+		}
+		c.Stats.CapStores++
+		return nil
+	}
+	v, err := c.LoadCapVia(c.C[in.Rb], ea)
+	if err != nil {
+		return err
+	}
+	c.Stats.CapLoads++
+	c.setC(in.Ra, v)
+	return nil
+}
+
+// fetchWindow reduces pcc's bounds to the window of PCs from which a
+// one-instruction fetch stays in bounds, as a base and a length: pc is in
+// bounds iff pc-lo < span, a single subtract-and-compare per retired
+// instruction in place of InBounds' three (the tag, seal, and permission
+// halves of the execute proof are covered by the latch's bit-for-bit PCC
+// compare, exactly as for the per-instruction InBounds this replaces).
+func fetchWindow(pcc cap.Capability) (lo, span uint64) {
+	lo = pcc.Base()
+	if l := pcc.Len(); l >= isa.InstSize {
+		span = l - isa.InstSize + 1
+	}
+	return
+}
+
 // runBlock executes decoded instructions from the latched page — chaining
 // across pages — until an exit condition, retiring at most rem
 // instructions (0 = no limit). It returns the trap that ended the run, or
@@ -148,7 +167,21 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 		return nil
 	}
 	vaPage, paPage, asGen := l.vaPage, l.paPage, l.asGen
-	pageBounded := c.PCC.InBounds(vaPage, vm.PageSize)
+	fetchLo, fetchSpan := fetchWindow(c.PCC)
+	// Hot-probe pointers hoisted out of the loop: the executing page's
+	// write-generation counter (re-aimed on every page swap) and the
+	// address space's. c.AS cannot change inside a run — nothing the run
+	// dispatches switches address spaces; a context switch happens in the
+	// kernel, between runs — so the pointer stays aimed at the live
+	// counter even as translations bump it.
+	genPtr := c.Mem.PageGenPtr(paPage)
+	asGenPtr := &c.AS.Gen
+	// The retirement budget as a simple limit: comparing against ^0 for
+	// "unlimited" keeps the per-instruction check to one compare.
+	limit := rem
+	if limit == 0 {
+		limit = ^uint64(0)
+	}
 	// pc shadows c.PC for the duration of the loop so straight-line
 	// retirement never touches the CPU struct; it is written back before
 	// every exec call (exec reads and advances c.PC), before building a
@@ -162,6 +195,7 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 	// model. The span compare keeps the per-instruction check free of
 	// method calls; the line index is recomputed only at flush time.
 	lineSize := c.Hier.L1I.Config().LineSize
+	linePow2 := lineSize&(lineSize-1) == 0    // mask vs. modulo at line turnover
 	lineBase, lineEnd := uint64(1), uint64(0) // empty span: no line fetched yet
 	var lineRepeats uint64
 	flushLine := func() {
@@ -185,8 +219,9 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 		c.DecodeStats.Threaded += nInst
 		c.DecodeStats.Blocks++
 	}
+run:
 	for {
-		if rem != 0 && nInst >= rem {
+		if nInst >= limit {
 			break
 		}
 		off := pc - vaPage
@@ -218,15 +253,17 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 					asGen: c.AS.Gen, vaPage: tva, paPage: tpa}
 			}
 			page, vaPage, paPage, asGen = lk.page, lk.vaPage, lk.paPage, lk.asGen
-			pageBounded = c.PCC.InBounds(vaPage, vm.PageSize)
+			genPtr = c.Mem.PageGenPtr(paPage)
 			l.page, l.vaPage, l.paPage, l.asGen = page, vaPage, paPage, asGen
 			c.DecodeStats.Chains++
 			continue
 		}
-		if off%isa.InstSize != 0 {
-			break // a branch to a misaligned target
-		}
-		if !pageBounded && !c.PCC.InBounds(pc, isa.InstSize) {
+		// pc is instruction-aligned here by induction: the latch head check
+		// proves it at entry, every inline advance is a multiple of
+		// InstSize, transfer targets are checked where they are installed
+		// (chain and indirect paths), and an exec-set PC is re-checked at
+		// the exec call site below.
+		if pc-fetchLo >= fetchSpan {
 			break // Step's slow path raises the identical bounds fault
 		}
 		// Identical I-cache accounting to the Step path: the fetch charge
@@ -238,192 +275,353 @@ func (c *CPU) runBlock(rem uint64) *Trap {
 		} else {
 			flushLine()
 			nCycles += c.Hier.Fetch(pa, isa.InstSize)
-			lineBase = pa - pa%lineSize
+			if linePow2 {
+				lineBase = pa &^ (lineSize - 1)
+			} else {
+				lineBase = pa - pa%lineSize // variable-divisor fallback
+			}
 			lineEnd = lineBase + lineSize
 		}
 		nInst++
 		in := page.insts[off/isa.InstSize]
-		if mo := scalarMemOps[in.Op]; mo.size != 0 {
-			// Inline scalar load/store: same LoadVia/StoreVia sequence and
-			// Stats updates as exec's loadInt/storeInt, minus the op-switch
-			// dispatch and the per-op opSize lookup. Scalar memory ops never
-			// replace PCC, so the CJR/CJALR exit check is skipped too.
-			var auth *cap.Capability
-			var ea uint64
-			if mo.cheri {
-				auth = &c.C[in.Rb]
-				ea = auth.Addr() + uint64(int64(in.Imm))
-			} else {
-				auth = &c.DDC
-				ea = c.X[in.Rb] + uint64(int64(in.Imm))
+		// One jump-table dispatch for every instruction class: scalar and
+		// capability memory ops fall OUT of the switch to the generation
+		// probe below; everything else continues (or exits) directly,
+		// since nothing but a memory op can move the generations.
+		switch in.Op {
+		// Inline scalar loads/stores: same LoadVia/StoreVia sequence and
+		// Stats updates as exec's loadInt/storeInt, minus the per-op
+		// opSize lookup. Scalar memory ops never replace PCC, so the
+		// CJR/CJALR exit check is skipped too. The four authority/direction
+		// combinations get their own jump-table entries: the outer switch
+		// already resolved in.Op, so re-deriving "cheri?" and "store?" from
+		// table flags would re-branch on data the dispatch has settled.
+		case isa.LB, isa.LBU, isa.LH, isa.LHU, isa.LW, isa.LWU, isa.LD:
+			mo := scalarMemOps[in.Op]
+			v, err := c.loadViaP(&c.DDC, c.X[in.Rb]+uint64(int64(in.Imm)), uint64(mo.size))
+			if err != nil {
+				c.PC = pc
+				flush()
+				return c.accessTrap(in, err)
 			}
-			if mo.store {
-				if err := c.storeViaP(auth, ea, mo.size, c.X[in.Ra]); err != nil {
-					c.PC = pc
-					flush()
-					return c.accessTrap(in, err)
-				}
-				nStores++
-			} else {
-				v, err := c.loadViaP(auth, ea, mo.size)
-				if err != nil {
-					c.PC = pc
-					flush()
-					return c.accessTrap(in, err)
-				}
-				nLoads++
-				if mo.shift != 0 {
-					v = uint64(int64(v<<mo.shift) >> mo.shift)
-				}
-				c.setX(in.Ra, v)
+			nLoads++
+			if mo.shift != 0 {
+				v = uint64(int64(v<<mo.shift) >> mo.shift)
+			}
+			c.setX(in.Ra, v)
+			pc += isa.InstSize
+
+		case isa.CLB, isa.CLBU, isa.CLH, isa.CLHU, isa.CLW, isa.CLWU, isa.CLD:
+			mo := scalarMemOps[in.Op]
+			auth := &c.C[in.Rb]
+			v, err := c.loadViaP(auth, auth.Addr()+uint64(int64(in.Imm)), uint64(mo.size))
+			if err != nil {
+				c.PC = pc
+				flush()
+				return c.accessTrap(in, err)
+			}
+			nLoads++
+			if mo.shift != 0 {
+				v = uint64(int64(v<<mo.shift) >> mo.shift)
+			}
+			c.setX(in.Ra, v)
+			pc += isa.InstSize
+
+		case isa.SB, isa.SH, isa.SW, isa.SD:
+			mo := scalarMemOps[in.Op]
+			if err := c.storeViaP(&c.DDC, c.X[in.Rb]+uint64(int64(in.Imm)), uint64(mo.size), c.X[in.Ra]); err != nil {
+				c.PC = pc
+				flush()
+				return c.accessTrap(in, err)
+			}
+			nStores++
+			pc += isa.InstSize
+
+		case isa.CSB, isa.CSH, isa.CSW, isa.CSD:
+			mo := scalarMemOps[in.Op]
+			auth := &c.C[in.Rb]
+			if err := c.storeViaP(auth, auth.Addr()+uint64(int64(in.Imm)), uint64(mo.size), c.X[in.Ra]); err != nil {
+				c.PC = pc
+				flush()
+				return c.accessTrap(in, err)
+			}
+			nStores++
+			pc += isa.InstSize
+
+		case isa.CLC, isa.CLCB, isa.CSC, isa.CSCB:
+			// Capability loads/stores — the only ops outside the scalar
+			// table that can touch memory (and therefore bump AS.Gen via a
+			// soft fault resolved in translate, or a page's write
+			// generation via a store): exec's sequence via capMem, minus
+			// the dispatch. Like the scalar memops above they advance PC
+			// by one instruction and fall through to the generation probe.
+			if err := c.capMem(in); err != nil {
+				c.PC = pc
+				flush()
+				return c.accessTrap(in, err)
 			}
 			pc += isa.InstSize
-		} else {
-			// Inline direct branches and jumps: the same compare, Stats
-			// updates, taken-bubble charge, and PC arithmetic as exec's
-			// cases, minus the call and op-switch dispatch. None of these
-			// touch memory or PCC, so they skip both the generation probe
-			// and the CJR/CJALR exit check.
-			switch in.Op {
-			case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
-				nBranches++
-				var taken bool
-				a, b := c.X[in.Ra], c.X[in.Rb]
-				switch in.Op {
-				case isa.BEQ:
-					taken = a == b
-				case isa.BNE:
-					taken = a != b
-				case isa.BLT:
-					taken = int64(a) < int64(b)
-				case isa.BGE:
-					taken = int64(a) >= int64(b)
-				case isa.BLTU:
-					taken = a < b
-				case isa.BGEU:
-					taken = a >= b
-				}
-				if taken {
-					nTaken++
-					nCycles++ // taken-branch bubble
-					pc += uint64(int64(in.Imm)) * isa.InstSize
-				} else {
-					pc += isa.InstSize
-				}
-				continue
-			case isa.J:
-				nCycles++
-				pc += uint64(int64(in.Imm)) * isa.InstSize
-				continue
-			case isa.JAL:
-				nCycles++
-				c.setX(isa.RRA, pc+isa.InstSize)
-				pc += uint64(int64(in.Imm)) * isa.InstSize
-				continue
 
-			// Inline single-cycle integer ALU ops: same register reads,
-			// setX writes, and PC advance as exec's cases, minus the call
-			// and op-switch dispatch. None touch memory, PCC, or extra
-			// cycles, so they skip the probe and exit checks like the
-			// branches above.
-			case isa.NOP:
+		// Inline direct branches and jumps: the same compare, Stats
+		// updates, taken-bubble charge, and PC arithmetic as exec's
+		// cases, minus the call dispatch. None of these touch memory or
+		// PCC, so they skip both the generation probe and the CJR/CJALR
+		// exit check.
+		case isa.BEQ:
+			nBranches++
+			if c.X[in.Ra] == c.X[in.Rb] {
+				nTaken++
+				nCycles++ // taken-branch bubble
+				pc += uint64(int64(in.Imm)) * isa.InstSize
+			} else {
 				pc += isa.InstSize
-				continue
-			case isa.ADD:
-				c.setX(in.Ra, c.X[in.Rb]+c.X[in.Rc])
-				pc += isa.InstSize
-				continue
-			case isa.SUB:
-				c.setX(in.Ra, c.X[in.Rb]-c.X[in.Rc])
-				pc += isa.InstSize
-				continue
-			case isa.AND:
-				c.setX(in.Ra, c.X[in.Rb]&c.X[in.Rc])
-				pc += isa.InstSize
-				continue
-			case isa.OR:
-				c.setX(in.Ra, c.X[in.Rb]|c.X[in.Rc])
-				pc += isa.InstSize
-				continue
-			case isa.XOR:
-				c.setX(in.Ra, c.X[in.Rb]^c.X[in.Rc])
-				pc += isa.InstSize
-				continue
-			case isa.SLL:
-				c.setX(in.Ra, c.X[in.Rb]<<(c.X[in.Rc]&63))
-				pc += isa.InstSize
-				continue
-			case isa.SRL:
-				c.setX(in.Ra, c.X[in.Rb]>>(c.X[in.Rc]&63))
-				pc += isa.InstSize
-				continue
-			case isa.SRA:
-				c.setX(in.Ra, uint64(int64(c.X[in.Rb])>>(c.X[in.Rc]&63)))
-				pc += isa.InstSize
-				continue
-			case isa.SLT:
-				c.setX(in.Ra, b2i(int64(c.X[in.Rb]) < int64(c.X[in.Rc])))
-				pc += isa.InstSize
-				continue
-			case isa.SLTU:
-				c.setX(in.Ra, b2i(c.X[in.Rb] < c.X[in.Rc]))
-				pc += isa.InstSize
-				continue
-			case isa.ADDI:
-				c.setX(in.Ra, c.X[in.Rb]+uint64(int64(in.Imm)))
-				pc += isa.InstSize
-				continue
-			case isa.ANDI:
-				c.setX(in.Ra, c.X[in.Rb]&uint64(uint32(in.Imm)&0x3FFF))
-				pc += isa.InstSize
-				continue
-			case isa.ORI:
-				c.setX(in.Ra, c.X[in.Rb]|uint64(uint32(in.Imm)&0x3FFF))
-				pc += isa.InstSize
-				continue
-			case isa.XORI:
-				c.setX(in.Ra, c.X[in.Rb]^uint64(uint32(in.Imm)&0x3FFF))
-				pc += isa.InstSize
-				continue
-			case isa.SLTI:
-				c.setX(in.Ra, b2i(int64(c.X[in.Rb]) < int64(in.Imm)))
-				pc += isa.InstSize
-				continue
-			case isa.SLTIU:
-				c.setX(in.Ra, b2i(c.X[in.Rb] < uint64(int64(in.Imm))))
-				pc += isa.InstSize
-				continue
-			case isa.SLLI:
-				c.setX(in.Ra, c.X[in.Rb]<<(uint(in.Imm)&63))
-				pc += isa.InstSize
-				continue
-			case isa.SRLI:
-				c.setX(in.Ra, c.X[in.Rb]>>(uint(in.Imm)&63))
-				pc += isa.InstSize
-				continue
-			case isa.SRAI:
-				c.setX(in.Ra, uint64(int64(c.X[in.Rb])>>(uint(in.Imm)&63)))
-				pc += isa.InstSize
-				continue
-			case isa.LUI:
-				c.setX(in.Ra, uint64(int64(in.Imm))<<14)
-				pc += isa.InstSize
-				continue
 			}
+			continue
+		case isa.BNE:
+			nBranches++
+			if c.X[in.Ra] != c.X[in.Rb] {
+				nTaken++
+				nCycles++
+				pc += uint64(int64(in.Imm)) * isa.InstSize
+			} else {
+				pc += isa.InstSize
+			}
+			continue
+		case isa.BLT:
+			nBranches++
+			if int64(c.X[in.Ra]) < int64(c.X[in.Rb]) {
+				nTaken++
+				nCycles++
+				pc += uint64(int64(in.Imm)) * isa.InstSize
+			} else {
+				pc += isa.InstSize
+			}
+			continue
+		case isa.BGE:
+			nBranches++
+			if int64(c.X[in.Ra]) >= int64(c.X[in.Rb]) {
+				nTaken++
+				nCycles++
+				pc += uint64(int64(in.Imm)) * isa.InstSize
+			} else {
+				pc += isa.InstSize
+			}
+			continue
+		case isa.BLTU:
+			nBranches++
+			if c.X[in.Ra] < c.X[in.Rb] {
+				nTaken++
+				nCycles++
+				pc += uint64(int64(in.Imm)) * isa.InstSize
+			} else {
+				pc += isa.InstSize
+			}
+			continue
+		case isa.BGEU:
+			nBranches++
+			if c.X[in.Ra] >= c.X[in.Rb] {
+				nTaken++
+				nCycles++
+				pc += uint64(int64(in.Imm)) * isa.InstSize
+			} else {
+				pc += isa.InstSize
+			}
+			continue
+		case isa.J:
+			nCycles++
+			pc += uint64(int64(in.Imm)) * isa.InstSize
+			continue
+		case isa.JAL:
+			nCycles++
+			c.setX(isa.RRA, pc+isa.InstSize)
+			pc += uint64(int64(in.Imm)) * isa.InstSize
+			continue
+
+		// Inline single-cycle integer ALU ops: same register reads,
+		// setX writes, and PC advance as exec's cases, minus the call
+		// and op-switch dispatch. None touch memory, PCC, or extra
+		// cycles, so they skip the probe and exit checks like the
+		// branches above.
+		case isa.NOP:
+			pc += isa.InstSize
+			continue
+		case isa.ADD:
+			c.setX(in.Ra, c.X[in.Rb]+c.X[in.Rc])
+			pc += isa.InstSize
+			continue
+		case isa.SUB:
+			c.setX(in.Ra, c.X[in.Rb]-c.X[in.Rc])
+			pc += isa.InstSize
+			continue
+		case isa.AND:
+			c.setX(in.Ra, c.X[in.Rb]&c.X[in.Rc])
+			pc += isa.InstSize
+			continue
+		case isa.OR:
+			c.setX(in.Ra, c.X[in.Rb]|c.X[in.Rc])
+			pc += isa.InstSize
+			continue
+		case isa.XOR:
+			c.setX(in.Ra, c.X[in.Rb]^c.X[in.Rc])
+			pc += isa.InstSize
+			continue
+		case isa.SLL:
+			c.setX(in.Ra, c.X[in.Rb]<<(c.X[in.Rc]&63))
+			pc += isa.InstSize
+			continue
+		case isa.SRL:
+			c.setX(in.Ra, c.X[in.Rb]>>(c.X[in.Rc]&63))
+			pc += isa.InstSize
+			continue
+		case isa.SRA:
+			c.setX(in.Ra, uint64(int64(c.X[in.Rb])>>(c.X[in.Rc]&63)))
+			pc += isa.InstSize
+			continue
+		case isa.SLT:
+			c.setX(in.Ra, b2i(int64(c.X[in.Rb]) < int64(c.X[in.Rc])))
+			pc += isa.InstSize
+			continue
+		case isa.SLTU:
+			c.setX(in.Ra, b2i(c.X[in.Rb] < c.X[in.Rc]))
+			pc += isa.InstSize
+			continue
+		case isa.ADDI:
+			c.setX(in.Ra, c.X[in.Rb]+uint64(int64(in.Imm)))
+			pc += isa.InstSize
+			continue
+		case isa.ANDI:
+			c.setX(in.Ra, c.X[in.Rb]&uint64(uint32(in.Imm)&0x3FFF))
+			pc += isa.InstSize
+			continue
+		case isa.ORI:
+			c.setX(in.Ra, c.X[in.Rb]|uint64(uint32(in.Imm)&0x3FFF))
+			pc += isa.InstSize
+			continue
+		case isa.XORI:
+			c.setX(in.Ra, c.X[in.Rb]^uint64(uint32(in.Imm)&0x3FFF))
+			pc += isa.InstSize
+			continue
+		case isa.SLTI:
+			c.setX(in.Ra, b2i(int64(c.X[in.Rb]) < int64(in.Imm)))
+			pc += isa.InstSize
+			continue
+		case isa.SLTIU:
+			c.setX(in.Ra, b2i(c.X[in.Rb] < uint64(int64(in.Imm))))
+			pc += isa.InstSize
+			continue
+		case isa.SLLI:
+			c.setX(in.Ra, c.X[in.Rb]<<(uint(in.Imm)&63))
+			pc += isa.InstSize
+			continue
+		case isa.SRLI:
+			c.setX(in.Ra, c.X[in.Rb]>>(uint(in.Imm)&63))
+			pc += isa.InstSize
+			continue
+		case isa.SRAI:
+			c.setX(in.Ra, uint64(int64(c.X[in.Rb])>>(uint(in.Imm)&63)))
+			pc += isa.InstSize
+			continue
+		case isa.LUI:
+			c.setX(in.Ra, uint64(int64(in.Imm))<<14)
+			pc += isa.InstSize
+			continue
+		case isa.NOR:
+			c.setX(in.Ra, ^(c.X[in.Rb] | c.X[in.Rc]))
+			pc += isa.InstSize
+			continue
+
+		// Multi-cycle integer ALU ops: exec's cases with the extra cycles
+		// charged to the run-local ledger instead of Stats directly — the
+		// flush applies the identical sum. Like the single-cycle ops they
+		// touch neither memory nor PCC.
+		case isa.MUL:
+			nCycles += 2
+			c.setX(in.Ra, c.X[in.Rb]*c.X[in.Rc])
+			pc += isa.InstSize
+			continue
+		case isa.MULH:
+			nCycles += 2
+			hi, _ := mul128(c.X[in.Rb], c.X[in.Rc])
+			c.setX(in.Ra, hi)
+			pc += isa.InstSize
+			continue
+		case isa.DIV:
+			nCycles += 15
+			c.setX(in.Ra, udiv(true, c.X[in.Rb], c.X[in.Rc], false))
+			pc += isa.InstSize
+			continue
+		case isa.DIVU:
+			nCycles += 15
+			c.setX(in.Ra, udiv(false, c.X[in.Rb], c.X[in.Rc], false))
+			pc += isa.InstSize
+			continue
+		case isa.REM:
+			nCycles += 15
+			c.setX(in.Ra, udiv(true, c.X[in.Rb], c.X[in.Rc], true))
+			pc += isa.InstSize
+			continue
+		case isa.REMU:
+			nCycles += 15
+			c.setX(in.Ra, udiv(false, c.X[in.Rb], c.X[in.Rc], true))
+			pc += isa.InstSize
+			continue
+
+		// Indirect transfers: the one exit superblock chaining left
+		// behind. indirectTransfer (indirect.go) serves the transfer
+		// from the target cache or the return stack when its cached
+		// proof still stands, re-proves and fills on a miss, and
+		// reports whether the run can continue. The body lives out of
+		// line deliberately: its capability-typed locals are big
+		// enough to wreck register allocation for the whole loop if
+		// inlined here.
+		case isa.CJR, isa.CJALR:
+			if c.NoIndirectCache {
+				c.PC = pc
+				if t := c.exec(in); t != nil {
+					flush()
+					return t
+				}
+				pc = c.PC
+				break run // PCC replaced; the Step latch rebuild re-proves it
+			}
+			rs := runState{pc: pc, page: page, vaPage: vaPage,
+				paPage: paPage, asGen: asGen}
+			inRun, err := c.indirectTransfer(in, &rs, nInst < limit)
+			if err != nil {
+				// The capability check failed: identical trap to exec's
+				// CJR/CJALR cases, at the transfer's own PC.
+				c.PC = pc
+				flush()
+				return c.capTrap(in, err)
+			}
+			nCycles++ // exec's Cycles++ for the retired transfer
+			pc = rs.pc
+			l.pcc = c.PCC
+			if !inRun {
+				break run // Step takes over at the target
+			}
+			page, vaPage, paPage, asGen = rs.page, rs.vaPage, rs.paPage, rs.asGen
+			fetchLo, fetchSpan = fetchWindow(c.PCC)
+			genPtr = c.Mem.PageGenPtr(paPage)
+			l.page, l.vaPage, l.paPage, l.asGen = page, vaPage, paPage, asGen
+			continue
+
+		default:
 			c.PC = pc
 			if t := c.exec(in); t != nil {
 				flush()
 				return t
 			}
 			pc = c.PC
-			if in.Op == isa.CJR || in.Op == isa.CJALR {
-				break // PCC replaced; the Step latch revalidates it
+			if pc%isa.InstSize != 0 {
+				break run // exec set a misaligned PC; only it can (see above)
 			}
-			if !opAccessesMem[in.Op] {
-				continue // no memory touched: generations cannot have moved
-			}
+			// Everything dispatched through exec is memory-free (the
+			// capability memops took the capMem case above), so the
+			// generations provably cannot have moved.
+			continue
 		}
-		if c.AS.Gen != asGen || c.Mem.PageGen(paPage) != page.gen {
+		if *asGenPtr != asGen || *genPtr != page.gen {
 			break // a translation or the executing page's bytes changed
 		}
 	}

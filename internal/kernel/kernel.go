@@ -56,6 +56,10 @@ type Config struct {
 	// block-threaded engine (ablation / differential-testing knob; no
 	// observable effect).
 	DisableSuperblocks bool
+	// DisableIndirectCache turns off the indirect-transfer target cache
+	// and return-stack latch in the CPU's block-threaded engine (ablation
+	// / differential-testing knob; no observable effect).
+	DisableIndirectCache bool
 	// DisableBulkFastPath forces the uaccess subsystem's byte-at-a-time
 	// slow path for kernel/runtime bulk copies (ablation /
 	// differential-testing knob; no observable effect).
@@ -176,6 +180,7 @@ func NewMachine(cfg Config) *Machine {
 	m.CPU.NoDecodeCache = cfg.DisableDecodeCache
 	m.CPU.NoThreadedDispatch = cfg.DisableThreadedDispatch
 	m.CPU.NoSuperblocks = cfg.DisableSuperblocks
+	m.CPU.NoIndirectCache = cfg.DisableIndirectCache
 	m.CPU.OnTrap = cfg.OnTrap
 	m.UA = &uaccess.Space{CPU: m.CPU, DisableBulkFastPath: cfg.DisableBulkFastPath}
 

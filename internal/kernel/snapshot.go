@@ -148,6 +148,7 @@ func (s *MachineSnapshot) Boot(cfg Config) *Machine {
 	m.CPU.NoDecodeCache = cfg.DisableDecodeCache
 	m.CPU.NoThreadedDispatch = cfg.DisableThreadedDispatch
 	m.CPU.NoSuperblocks = cfg.DisableSuperblocks
+	m.CPU.NoIndirectCache = cfg.DisableIndirectCache
 	m.CPU.OnTrap = cfg.OnTrap
 	m.UA = &uaccess.Space{CPU: m.CPU, DisableBulkFastPath: cfg.DisableBulkFastPath}
 

@@ -60,6 +60,14 @@ type Physical struct {
 	// fresh arrays — so the snapshot stays immutable and siblings never
 	// observe each other's writes. nil means no chunk is shared.
 	cow []bool
+	// epoch counts backing-identity events: any change to which arrays
+	// back a chunk, or to whether a write may mutate them in place (chunk
+	// materialization, privatization, Snapshot marking chunks
+	// copy-on-write). Consumers holding slices into chunk arrays — the
+	// CPU's data-page frames — revalidate with one compare; contents are
+	// NOT covered (in-place writes are visible through such slices by
+	// construction).
+	epoch uint64
 }
 
 // New returns size bytes of zeroed physical memory with one tag per
@@ -99,6 +107,10 @@ func (m *Physical) Size() uint64 { return m.size }
 // Granule returns the capability granule size in bytes.
 func (m *Physical) Granule() uint64 { return m.granule }
 
+// GranShift returns log2(Granule()), for callers that index the tag
+// slices WritablePage hands out.
+func (m *Physical) GranShift() uint { return m.granShift }
+
 func (m *Physical) check(pa, n uint64) {
 	if pa+n > m.size || pa+n < pa {
 		panic(fmt.Sprintf("mem: physical access out of range: pa=0x%x n=%d size=0x%x", pa, n, m.size))
@@ -119,6 +131,7 @@ func (m *Physical) materialize(pa uint64) ([]byte, []bool) {
 		ch = make([]byte, csize)
 		m.chunks[ci] = ch
 		m.tags[ci] = make([]bool, csize/m.granule)
+		m.epoch++
 	} else if m.cow != nil && m.cow[ci] {
 		m.privatize(ci)
 	}
@@ -133,6 +146,7 @@ func (m *Physical) privatize(ci uint64) {
 	copy(nt, m.tags[ci])
 	m.chunks[ci], m.tags[ci] = nb, nt
 	m.cow[ci] = false
+	m.epoch++
 }
 
 // writable returns the chunk's arrays for in-place mutation, privatizing
@@ -166,6 +180,58 @@ func (m *Physical) touch(pa, n uint64) {
 // still matches.
 func (m *Physical) PageGen(pa uint64) uint64 {
 	return m.gens[pa>>PageShift]
+}
+
+// PageGenPtr returns a pointer to the page's write-generation counter, for
+// hot loops that probe one page's generation repeatedly (the threaded
+// engine probes the executing page after every memory instruction). The
+// pointer stays valid for the Physical's lifetime: gens is allocated once
+// and never reallocated.
+func (m *Physical) PageGenPtr(pa uint64) *uint64 {
+	return &m.gens[pa>>PageShift]
+}
+
+// Epoch returns the backing-identity counter (see the field comment).
+// Slices obtained from ReadablePage/WritablePage are valid for the use
+// they were handed out for only while Epoch is unchanged.
+func (m *Physical) Epoch() uint64 { return m.epoch }
+
+// ReadablePage returns the byte slice backing the page at paPage for
+// direct reads, or nil when there is nothing to read in place (page out
+// of range, or chunk never materialized — such a page reads as zeroes
+// through Load). The slice aliases live memory: in-place mutations by
+// this Physical remain visible through it, and it must be dropped when
+// Epoch changes (a privatization or snapshot may detach the array). It
+// must never be written through.
+func (m *Physical) ReadablePage(paPage uint64) []byte {
+	if paPage%PageSize != 0 || paPage+PageSize > m.size || paPage+PageSize < paPage {
+		return nil
+	}
+	ch := m.chunks[paPage>>chunkShift]
+	if ch == nil {
+		return nil
+	}
+	off := paPage & chunkMask
+	return ch[off : off+PageSize : off+PageSize]
+}
+
+// WritablePage returns the byte and tag slices backing the page at paPage
+// for direct mutation, plus the page's write-generation counter, after
+// materializing (and, if snapshot-shared, privatizing) the chunk — the
+// same preparation Store performs. nils when the page is out of range.
+// The caller takes over Store's contract for every write: clear the tags
+// of touched granules and bump the generation counter. Slices and pointer
+// must be dropped when Epoch changes.
+func (m *Physical) WritablePage(paPage uint64) (data []byte, tags []bool, gen *uint64) {
+	if paPage%PageSize != 0 || paPage+PageSize > m.size || paPage+PageSize < paPage {
+		return nil, nil, nil
+	}
+	ch, tg := m.materialize(paPage)
+	off := paPage & chunkMask
+	gs := m.granShift
+	return ch[off : off+PageSize : off+PageSize],
+		tg[off>>gs : (off+PageSize)>>gs : (off+PageSize)>>gs],
+		&m.gens[paPage>>PageShift]
 }
 
 // clearTags clears the tags of every granule overlapping [pa, pa+n).
@@ -554,6 +620,10 @@ func (m *Physical) Snapshot() *Snapshot {
 			m.cow[i] = true
 		}
 	}
+	// Chunks just became write-shared: a consumer holding writable slices
+	// into them (a CPU data-page frame) must re-acquire through
+	// WritablePage, whose materialize privatizes first.
+	m.epoch++
 	return s
 }
 

@@ -101,6 +101,11 @@ type BuildOptions struct {
 	// engine for this run (host-side ablation; guest-visible results are
 	// identical either way).
 	DisableSuperblocks bool
+	// DisableIndirectCache turns off the indirect-transfer target cache
+	// and return-stack latch in the threaded engine for this run
+	// (host-side ablation; guest-visible results are identical either
+	// way).
+	DisableIndirectCache bool
 	// DisableBulkFastPath forces the uaccess subsystem's byte-at-a-time
 	// slow path for this run (host-side ablation; guest-visible results
 	// are identical either way).
@@ -156,6 +161,7 @@ func runConfig(opt BuildOptions, seed int64) cheriabi.Config {
 		DisableDecodeCache:      opt.DisableDecodeCache,
 		DisableThreadedDispatch: opt.DisableThreadedDispatch,
 		DisableSuperblocks:      opt.DisableSuperblocks,
+		DisableIndirectCache:    opt.DisableIndirectCache,
 		DisableBulkFastPath:     opt.DisableBulkFastPath,
 	}
 }
